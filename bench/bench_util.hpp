@@ -1,0 +1,68 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Every bench prints the paper reference it reproduces, the series the paper
+// reports, and finishes with a PASS/CHECK line on the qualitative shape so
+// EXPERIMENTS.md can quote results directly.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/options.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "container/deployment.hpp"
+#include "mpi/runtime.hpp"
+
+namespace cbmpi::bench {
+
+inline void print_banner(const std::string& id, const std::string& title,
+                         const std::string& paper_claim) {
+  std::printf("=== %s — %s ===\n", id.c_str(), title.c_str());
+  std::printf("paper: %s\n\n", paper_claim.c_str());
+}
+
+inline void print_shape_check(bool ok, const std::string& what) {
+  std::printf("[%s] %s\n", ok ? "SHAPE-OK" : "SHAPE-MISMATCH", what.c_str());
+}
+
+/// The paper's three library configurations for one deployment.
+struct ModeConfigs {
+  mpi::JobConfig def;     ///< default MVAPICH2 behaviour (hostname locality)
+  mpi::JobConfig opt;     ///< proposed locality-aware design
+  mpi::JobConfig native;  ///< no containers (upper bound)
+};
+
+inline ModeConfigs make_modes(int hosts, int containers_per_host, int procs_per_host,
+                              container::SocketPolicy socket_policy =
+                                  container::SocketPolicy::Pack) {
+  ModeConfigs modes;
+  modes.def.deployment =
+      container::DeploymentSpec::containers(hosts, containers_per_host, procs_per_host);
+  modes.def.deployment.socket_policy = socket_policy;
+  modes.def.policy = fabric::LocalityPolicy::HostnameBased;
+
+  modes.opt = modes.def;
+  modes.opt.policy = fabric::LocalityPolicy::ContainerAware;
+
+  modes.native.deployment =
+      container::DeploymentSpec::native_hosts(hosts, procs_per_host);
+  modes.native.deployment.socket_policy = socket_policy;
+  modes.native.policy = fabric::LocalityPolicy::HostnameBased;
+  return modes;
+}
+
+/// Message-size sweep 1 B .. max (powers of two), OSU-style.
+inline std::vector<Bytes> size_sweep(Bytes from, Bytes upto) {
+  std::vector<Bytes> sizes;
+  for (Bytes s = from; s <= upto; s *= 2) sizes.push_back(s);
+  return sizes;
+}
+
+inline double percent_better(double baseline, double improved) {
+  return (baseline - improved) / baseline * 100.0;
+}
+
+}  // namespace cbmpi::bench

@@ -1,0 +1,64 @@
+// Figure 1: Graph 500 BFS execution time with the DEFAULT MPI library under
+// different container deployment scenarios (Native / 1 / 2 / 4 containers on
+// one host, 16 processes, scale 20, edgefactor 16 in the paper — scale is
+// reduced by default so the bench runs in seconds; raise with --scale).
+//
+// Expected shape: Native ≈ 1-Container, then BFS time grows markedly at 2
+// and again at 4 containers.
+#include "bench_util.hpp"
+
+#include "apps/graph500/bfs.hpp"
+
+using namespace cbmpi;
+using namespace cbmpi::bench;
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  const int scale = static_cast<int>(opts.get_int("scale", 13, "Graph500 scale (paper: 20)"));
+  const int edgefactor = static_cast<int>(opts.get_int("edgefactor", 16, "edges per vertex"));
+  const int procs = static_cast<int>(opts.get_int("procs", 16, "MPI processes (paper: 16)"));
+  const int nbfs = static_cast<int>(opts.get_int("nbfs", 4, "BFS roots averaged"));
+  if (opts.finish("Figure 1: Graph500 BFS time, default MPI, vs container count"))
+    return 0;
+
+  print_banner("Figure 1", "Graph 500 BFS, default MPI library",
+               "BFS time flat from native to 1 container, rising sharply at 2 "
+               "and 4 containers per host");
+
+  const apps::graph500::EdgeListParams params{scale, edgefactor, 1};
+
+  auto bfs_time = [&](int containers) {
+    mpi::JobConfig config;
+    config.deployment = containers == 0
+                            ? container::DeploymentSpec::native_hosts(1, procs)
+                            : container::DeploymentSpec::containers(1, containers, procs);
+    config.policy = fabric::LocalityPolicy::HostnameBased;
+    Micros total = 0.0;
+    mpi::run_job(config, [&](mpi::Process& p) {
+      const auto graph = apps::graph500::build_graph(p, params);
+      const auto roots = apps::graph500::choose_roots(params, nbfs);
+      Micros sum = 0.0;
+      for (const auto root : roots) sum += apps::graph500::run_bfs(p, graph, root).time;
+      if (p.rank() == 0) total = sum / nbfs;
+    });
+    return total;
+  };
+
+  Table table({"scenario", "BFS time (ms)", "vs native"});
+  const Micros native = bfs_time(0);
+  std::vector<std::pair<std::string, Micros>> rows{{"Native", native}};
+  for (int containers : {1, 2, 4})
+    rows.emplace_back(std::to_string(containers) + "-Container" +
+                          (containers > 1 ? "s" : ""),
+                      bfs_time(containers));
+  for (const auto& [label, time] : rows)
+    table.add_row({label, Table::num(to_millis(time), 3),
+                   Table::num(time / native, 2) + "x"});
+  table.print(std::cout);
+
+  const Micros one = rows[1].second, two = rows[2].second, four = rows[3].second;
+  print_shape_check(one < native * 1.15, "1-container within 15% of native");
+  print_shape_check(two > one * 1.3, "2-containers markedly slower than 1");
+  print_shape_check(four > two, "4-containers slower than 2");
+  return 0;
+}

@@ -1,0 +1,162 @@
+// Figure 7: communication channel parameter tuning for container
+// environments.
+//   (a) SMP_EAGER_SIZE sweep            — paper optimum: 8 K
+//   (b) SMPI_LENGTH_QUEUE sweep         — paper optimum: 128 K
+//   (c) MV2_IBA_EAGER_THRESHOLD sweep   — paper optimum: 17 K
+//
+// (a)/(b) run between two co-resident containers with the locality-aware
+// runtime (bandwidth + message rate, as in the paper); (c) runs between two
+// hosts (bandwidth around the threshold region).
+#include "bench_util.hpp"
+
+#include "apps/osu/microbench.hpp"
+
+using namespace cbmpi;
+using namespace cbmpi::bench;
+
+namespace {
+
+double run_pair(const mpi::JobConfig& config, Bytes size, bool message_rate,
+                int iters) {
+  apps::osu::PairOptions pair;
+  pair.iterations = iters;
+  double value = 0.0;
+  mpi::run_job(config, [&](mpi::Process& p) {
+    const double v = message_rate ? apps::osu::pt2pt_message_rate(p, size, pair)
+                                  : apps::osu::pt2pt_bandwidth(p, size, pair);
+    if (p.rank() == 0) value = v;
+  });
+  return value;
+}
+
+mpi::JobConfig intra_host_config() {
+  mpi::JobConfig config;
+  config.deployment = container::DeploymentSpec::containers(1, 2, 2);
+  config.policy = fabric::LocalityPolicy::ContainerAware;
+  return config;
+}
+
+mpi::JobConfig inter_host_config() {
+  mpi::JobConfig config;
+  config.deployment = container::DeploymentSpec::containers(2, 1, 1);
+  config.policy = fabric::LocalityPolicy::ContainerAware;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  const int iters = static_cast<int>(opts.get_int("iters", 8, "iterations per point"));
+  if (opts.finish("Figure 7: SMP_EAGER_SIZE / SMPI_LENGTH_QUEUE / "
+                  "MV2_IBA_EAGER_THRESHOLD sweeps"))
+    return 0;
+
+  // ---- (a) SMP_EAGER_SIZE --------------------------------------------------
+  print_banner("Figure 7(a)", "SMP_EAGER_SIZE sweep",
+               "optimal eager/rendezvous switch point at 8K");
+  {
+    const std::vector<Bytes> settings{2_KiB, 4_KiB, 8_KiB, 16_KiB, 32_KiB};
+    const std::vector<Bytes> probe_sizes{2_KiB, 4_KiB, 8_KiB, 16_KiB, 32_KiB};
+    Table table({"eager size", "bw@4K", "bw@8K", "bw@16K", "mr@4K (Kmsg/s)",
+                 "score (avg MB/s)"});
+    Bytes best_setting = 0;
+    double best_score = 0.0;
+    for (const Bytes eager : settings) {
+      auto config = intra_host_config();
+      config.tuning.smp_eager_size = eager;
+      double score = 0.0;
+      std::map<Bytes, double> bw;
+      for (const Bytes size : probe_sizes) {
+        bw[size] = run_pair(config, size, false, iters);
+        score += bw[size];
+      }
+      score /= static_cast<double>(probe_sizes.size());
+      const double mr = run_pair(config, 4_KiB, true, iters) / 1000.0;
+      if (score > best_score) {
+        best_score = score;
+        best_setting = eager;
+      }
+      table.add_row({format_size(eager), Table::num(bw[4_KiB], 1),
+                     Table::num(bw[8_KiB], 1), Table::num(bw[16_KiB], 1),
+                     Table::num(mr, 1), Table::num(score, 1)});
+    }
+    table.print(std::cout);
+    std::printf("best SMP_EAGER_SIZE: %s\n", format_size(best_setting).c_str());
+    print_shape_check(best_setting == 8_KiB, "optimum at 8K as in the paper");
+  }
+
+  // ---- (b) SMPI_LENGTH_QUEUE -------------------------------------------------
+  std::printf("\n");
+  print_banner("Figure 7(b)", "SMPI_LENGTH_QUEUE sweep",
+               "optimal per-pair shared queue size at 128K");
+  {
+    const std::vector<Bytes> settings{16_KiB, 32_KiB, 64_KiB, 128_KiB,
+                                      256_KiB, 512_KiB, 1_MiB};
+    const std::vector<Bytes> probe_sizes{64, 1_KiB, 4_KiB};
+    Table table({"length queue", "bw@1K", "bw@4K", "mr@64B (Kmsg/s)",
+                 "score (avg MB/s)"});
+    Bytes best_setting = 0;
+    double best_score = 0.0;
+    for (const Bytes queue : settings) {
+      auto config = intra_host_config();
+      config.tuning.smpi_length_queue = queue;
+      double score = 0.0;
+      std::map<Bytes, double> bw;
+      for (const Bytes size : probe_sizes) {
+        bw[size] = run_pair(config, size, false, iters);
+        score += bw[size] / static_cast<double>(size);  // normalize sizes
+      }
+      const double mr = run_pair(config, 64, true, iters) / 1000.0;
+      score = score / static_cast<double>(probe_sizes.size()) * 1000.0;
+      if (score > best_score) {
+        best_score = score;
+        best_setting = queue;
+      }
+      table.add_row({format_size(queue), Table::num(bw[1_KiB], 1),
+                     Table::num(bw[4_KiB], 1), Table::num(mr, 1),
+                     Table::num(score, 1)});
+    }
+    table.print(std::cout);
+    std::printf("best SMPI_LENGTH_QUEUE: %s\n", format_size(best_setting).c_str());
+    print_shape_check(best_setting == 128_KiB, "optimum at 128K as in the paper");
+  }
+
+  // ---- (c) MV2_IBA_EAGER_THRESHOLD ---------------------------------------------
+  std::printf("\n");
+  print_banner("Figure 7(c)", "MV2_IBA_EAGER_THRESHOLD sweep (13K-19K)",
+               "optimal HCA eager/rendezvous switch point at 17K");
+  {
+    std::vector<Bytes> settings;
+    for (Bytes t = 13_KiB; t <= 19_KiB; t += 1_KiB) settings.push_back(t);
+    const std::vector<Bytes> probe_sizes{13_KiB, 14_KiB, 15_KiB, 16_KiB,
+                                         17_KiB, 18_KiB, 19_KiB};
+    Table table({"threshold", "bw@14K", "bw@16K", "bw@18K", "score (avg MB/s)"});
+    Bytes best_setting = 0;
+    double best_score = 0.0;
+    for (const Bytes threshold : settings) {
+      auto config = inter_host_config();
+      config.tuning.iba_eager_threshold = threshold;
+      double score = 0.0;
+      std::map<Bytes, double> bw;
+      for (const Bytes size : probe_sizes) {
+        bw[size] = run_pair(config, size, false, iters);
+        score += bw[size];
+      }
+      score /= static_cast<double>(probe_sizes.size());
+      if (score > best_score) {
+        best_score = score;
+        best_setting = threshold;
+      }
+      table.add_row({format_size(threshold), Table::num(bw[14_KiB], 1),
+                     Table::num(bw[16_KiB], 1), Table::num(bw[18_KiB], 1),
+                     Table::num(score, 1)});
+    }
+    table.print(std::cout);
+    std::printf("best MV2_IBA_EAGER_THRESHOLD: %s\n",
+                format_size(best_setting).c_str());
+    print_shape_check(best_setting >= 16_KiB && best_setting <= 18_KiB,
+                      "optimum in the 16K-18K neighbourhood (paper: 17K)");
+  }
+  return 0;
+}

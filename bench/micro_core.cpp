@@ -1,0 +1,146 @@
+// google-benchmark microbenchmarks of core primitives, including the
+// DESIGN.md ablation: the paper's lock-free byte-list locality detector vs a
+// lock-based alternative.
+#include <benchmark/benchmark.h>
+
+#include <mutex>
+
+#include "apps/graph500/kronecker.hpp"
+#include "container/engine.hpp"
+#include "fabric/shm_channel.hpp"
+#include "mpi/locality.hpp"
+#include "mpi/matcher.hpp"
+#include "osl/machine.hpp"
+
+namespace {
+
+using namespace cbmpi;
+
+void BM_MatcherDeliverAndMatch(benchmark::State& state) {
+  mpi::Matcher matcher;
+  fabric::Envelope env;
+  env.src = 1;
+  env.dst = 0;
+  env.tag = 3;
+  env.comm_id = 0;
+  for (auto _ : state) {
+    matcher.deliver(env);
+    auto matched = matcher.try_match(1, 3, 0);
+    benchmark::DoNotOptimize(matched);
+  }
+}
+BENCHMARK(BM_MatcherDeliverAndMatch);
+
+void BM_MatcherWildcardScan(benchmark::State& state) {
+  const auto depth = static_cast<int>(state.range(0));
+  mpi::Matcher matcher;
+  for (int i = 0; i < depth; ++i) {
+    fabric::Envelope env;
+    env.src = i % 7;
+    env.dst = 0;
+    env.tag = 99;  // never matched below
+    env.comm_id = 0;
+    matcher.deliver(env);
+  }
+  for (auto _ : state) {
+    auto matched = matcher.try_match(mpi::kAnySource, 3, 0);
+    benchmark::DoNotOptimize(matched);
+  }
+}
+BENCHMARK(BM_MatcherWildcardScan)->Arg(4)->Arg(64)->Arg(512);
+
+void BM_ShmByteStoreLoad(benchmark::State& state) {
+  osl::ShmSegment segment(4096);
+  Bytes i = 0;
+  for (auto _ : state) {
+    segment.store_byte(i % 4096, 1);
+    benchmark::DoNotOptimize(segment.load_byte(i % 4096));
+    ++i;
+  }
+}
+BENCHMARK(BM_ShmByteStoreLoad);
+
+void BM_ShmBulkStage(benchmark::State& state) {
+  const auto size = static_cast<Bytes>(state.range(0));
+  osl::Machine machine(topo::ClusterBuilder().hosts(1).build());
+  auto& host = machine.host_os(0);
+  osl::SimProcess a(host, host.root_namespaces(), topo::CoreId{0, 0});
+  osl::SimProcess b(host, host.root_namespaces(), topo::CoreId{0, 1});
+  const fabric::ShmChannel shm(machine.profile(), fabric::TuningParams{});
+  std::vector<std::byte> data(size);
+  for (auto _ : state) {
+    std::vector<std::byte> out;
+    shm.stage(a, b, 7, data, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_ShmBulkStage)->Arg(1024)->Arg(8192)->Arg(65536);
+
+// --- detector ablation: byte-list (paper) vs lock-based ---------------------
+
+void BM_DetectorByteList(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  osl::Machine machine(topo::ClusterBuilder().hosts(1).build());
+  container::Engine engine(machine);
+  container::ContainerSpec spec;
+  spec.name = "c";
+  auto& cont = engine.run(0, spec);
+  auto proc = engine.spawn(cont, 0);
+  std::uint64_t tag = 0;
+  for (auto _ : state) {
+    mpi::ContainerLocalityDetector detector("bm" + std::to_string(tag++), nranks);
+    for (int r = 0; r < nranks; ++r) detector.announce(*proc, r);
+    auto row = detector.co_resident_row(*proc);
+    benchmark::DoNotOptimize(row);
+  }
+}
+BENCHMARK(BM_DetectorByteList)->Arg(16)->Arg(256)->Arg(4096);
+
+/// Lock-based alternative the paper's byte-granularity design avoids: a
+/// mutex-guarded membership set.
+void BM_DetectorLockBased(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::mutex mutex;
+    std::vector<std::uint8_t> list(static_cast<std::size_t>(nranks), 0);
+    for (int r = 0; r < nranks; ++r) {
+      const std::scoped_lock lock(mutex);
+      list[static_cast<std::size_t>(r)] = 1;
+    }
+    std::vector<std::uint8_t> row;
+    {
+      const std::scoped_lock lock(mutex);
+      row = list;
+    }
+    benchmark::DoNotOptimize(row);
+  }
+}
+BENCHMARK(BM_DetectorLockBased)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_KroneckerEdge(benchmark::State& state) {
+  const apps::graph500::EdgeListParams params{20, 16, 1};
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    auto edge = apps::graph500::kronecker_edge(params, i++);
+    benchmark::DoNotOptimize(edge);
+  }
+}
+BENCHMARK(BM_KroneckerEdge);
+
+void BM_ShmEagerCostEval(benchmark::State& state) {
+  const topo::MachineProfile profile;
+  const fabric::ShmChannel shm(profile, fabric::TuningParams{});
+  Bytes size = 1;
+  for (auto _ : state) {
+    auto costs = shm.eager_costs(size, true);
+    benchmark::DoNotOptimize(costs);
+    size = size % 8192 + 64;
+  }
+}
+BENCHMARK(BM_ShmEagerCostEval);
+
+}  // namespace
+
+BENCHMARK_MAIN();

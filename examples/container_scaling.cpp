@@ -1,0 +1,73 @@
+// Container-scaling demo: the paper's motivating experiment as an example.
+//
+// Runs the same Graph 500 BFS workload on one host under Native / 1 / 2 / 4
+// container deployments, with both the default (hostname-based) and the
+// proposed (container-aware) runtime, and prints the per-scenario times and
+// per-channel traffic — a miniature of Figures 1 and 11 plus Table I.
+//
+//   $ ./container_scaling [--scale=13] [--procs=16]
+#include <cstdio>
+#include <iostream>
+
+#include "apps/graph500/bfs.hpp"
+#include "common/options.hpp"
+#include "common/table.hpp"
+#include "mpi/runtime.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cbmpi;
+
+  Options opts(argc, argv);
+  const int scale = static_cast<int>(opts.get_int("scale", 13, "Graph500 scale"));
+  const int procs = static_cast<int>(opts.get_int("procs", 16, "MPI processes"));
+  if (opts.finish("BFS across container deployment scenarios")) return 0;
+
+  const apps::graph500::EdgeListParams params{scale, 16, 1};
+  const auto roots = apps::graph500::choose_roots(params, 2);
+
+  struct Run {
+    Micros time = 0.0;
+    std::uint64_t shm = 0, cma = 0, hca = 0;
+  };
+
+  auto measure = [&](int containers, fabric::LocalityPolicy policy) {
+    mpi::JobConfig config;
+    config.deployment = containers == 0
+                            ? container::DeploymentSpec::native_hosts(1, procs)
+                            : container::DeploymentSpec::containers(1, containers, procs);
+    config.policy = policy;
+    Run run;
+    const auto result = mpi::run_job(config, [&](mpi::Process& p) {
+      const auto graph = apps::graph500::build_graph(p, params);
+      Micros sum = 0.0;
+      for (const auto root : roots)
+        sum += apps::graph500::run_bfs(p, graph, root).time;
+      if (p.rank() == 0) run.time = sum / static_cast<double>(roots.size());
+    });
+    run.shm = result.profile.total.channel_ops(fabric::ChannelKind::Shm);
+    run.cma = result.profile.total.channel_ops(fabric::ChannelKind::Cma);
+    run.hca = result.profile.total.channel_ops(fabric::ChannelKind::Hca);
+    return run;
+  };
+
+  std::printf("Graph500 BFS, scale %d, %d ranks, one host\n\n", scale, procs);
+  Table table({"scenario", "default (ms)", "proposed (ms)", "default HCA ops",
+               "proposed HCA ops"});
+  for (int containers : {0, 1, 2, 4}) {
+    const Run def = measure(containers, fabric::LocalityPolicy::HostnameBased);
+    const Run opt = measure(containers, fabric::LocalityPolicy::ContainerAware);
+    const std::string label =
+        containers == 0 ? "Native"
+                        : std::to_string(containers) + "-Container" +
+                              (containers > 1 ? "s" : "");
+    table.add_row({label, Table::num(to_millis(def.time), 3),
+                   Table::num(to_millis(opt.time), 3), std::to_string(def.hca),
+                   std::to_string(opt.hca)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nThe default runtime pushes co-resident container traffic onto the HCA\n"
+      "loopback (rightmost columns), inflating BFS time; the proposed design\n"
+      "detects co-residence and keeps everything on SHM/CMA.\n");
+  return 0;
+}

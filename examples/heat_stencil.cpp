@@ -1,0 +1,131 @@
+// Heat-diffusion stencil: a classic domain-decomposition application on the
+// public API. A 2-D plate is split into row slabs; every iteration exchanges
+// ghost rows with the z-neighbours (non-blocking pt2pt) and checks global
+// convergence with an allreduce. Demonstrates that an unmodified user
+// application picks up the locality-aware speedup automatically.
+//
+//   $ ./heat_stencil [--grid=128] [--iters=200] [--containers=4]
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/options.hpp"
+#include "mpi/runtime.hpp"
+
+namespace {
+
+using namespace cbmpi;
+
+struct Outcome {
+  Micros time = 0.0;
+  double residual = 0.0;
+  int iterations = 0;
+};
+
+Outcome simulate(int containers, fabric::LocalityPolicy policy, int grid,
+                 int max_iters, int procs) {
+  mpi::JobConfig config;
+  config.deployment = containers == 0
+                          ? container::DeploymentSpec::native_hosts(1, procs)
+                          : container::DeploymentSpec::containers(1, containers, procs);
+  config.policy = policy;
+
+  Outcome outcome;
+  mpi::run_job(config, [&](mpi::Process& p) {
+    auto& world = p.world();
+    const int nranks = world.size();
+    const int rows = grid / nranks;  // assume divisible for the demo
+    const auto stride = static_cast<std::size_t>(grid);
+
+    // Local slab with two ghost rows; hot left wall as boundary condition.
+    std::vector<double> plate((static_cast<std::size_t>(rows) + 2) * stride, 0.0);
+    std::vector<double> next = plate;
+    for (int i = 0; i < rows + 2; ++i)
+      plate[static_cast<std::size_t>(i) * stride] = 100.0;
+
+    const int up = world.rank() > 0 ? world.rank() - 1 : -1;
+    const int down = world.rank() + 1 < nranks ? world.rank() + 1 : -1;
+
+    world.barrier();
+    p.sync_time();
+    const Micros start = p.now();
+
+    int iter = 0;
+    double diff = 0.0;
+    for (; iter < max_iters; ++iter) {
+      // Ghost-row exchange.
+      std::vector<mpi::Request> reqs;
+      if (up >= 0) {
+        reqs.push_back(world.irecv(std::span<double>(plate.data(), stride), up, 1));
+        reqs.push_back(world.isend(
+            std::span<const double>(plate.data() + stride, stride), up, 2));
+      }
+      if (down >= 0) {
+        const std::size_t last = static_cast<std::size_t>(rows) * stride;
+        reqs.push_back(world.irecv(
+            std::span<double>(plate.data() + last + stride, stride), down, 2));
+        reqs.push_back(world.isend(
+            std::span<const double>(plate.data() + last, stride), down, 1));
+      }
+      world.wait_all(reqs);
+
+      // Jacobi update.
+      diff = 0.0;
+      for (int i = 1; i <= rows; ++i) {
+        for (int j = 1; j + 1 < grid; ++j) {
+          const std::size_t c = static_cast<std::size_t>(i) * stride +
+                                static_cast<std::size_t>(j);
+          next[c] = 0.25 * (plate[c - 1] + plate[c + 1] + plate[c - stride] +
+                            plate[c + stride]);
+          diff = std::max(diff, std::abs(next[c] - plate[c]));
+        }
+      }
+      plate.swap(next);
+      p.compute(static_cast<double>(rows) * grid * 6.0);
+
+      // Converged everywhere?
+      diff = world.allreduce_value(diff, mpi::ReduceOp::Max);
+      if (diff < 1e-4) break;
+    }
+
+    const Micros elapsed = world.allreduce_value(p.now() - start, mpi::ReduceOp::Max);
+    if (p.rank() == 0) {
+      outcome.time = elapsed;
+      outcome.residual = diff;
+      outcome.iterations = iter;
+    }
+  });
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  const int grid = static_cast<int>(opts.get_int("grid", 128, "plate dimension"));
+  const int iters = static_cast<int>(opts.get_int("iters", 200, "max iterations"));
+  const int procs = static_cast<int>(opts.get_int("procs", 16, "MPI processes"));
+  const int containers = static_cast<int>(
+      opts.get_int("containers", 4, "containers per host (0 = native)"));
+  if (opts.finish("2-D heat diffusion with ghost-row exchange")) return 0;
+
+  std::printf("heat stencil: %dx%d plate, %d ranks, %d containers\n\n", grid, grid,
+              procs, containers);
+
+  const auto def =
+      simulate(containers, fabric::LocalityPolicy::HostnameBased, grid, iters, procs);
+  const auto opt =
+      simulate(containers, fabric::LocalityPolicy::ContainerAware, grid, iters, procs);
+  const auto native =
+      simulate(0, fabric::LocalityPolicy::HostnameBased, grid, iters, procs);
+
+  std::printf("default   : %8.2f ms  (%d iterations, residual %.2e)\n",
+              to_millis(def.time), def.iterations, def.residual);
+  std::printf("proposed  : %8.2f ms  (identical numerics, locality-aware channels)\n",
+              to_millis(opt.time));
+  std::printf("native    : %8.2f ms\n", to_millis(native.time));
+  std::printf("\nproposed vs default: %.1f%% faster; vs native: %.1f%% overhead\n",
+              (def.time - opt.time) / def.time * 100.0,
+              (opt.time - native.time) / native.time * 100.0);
+  return 0;
+}

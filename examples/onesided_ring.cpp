@@ -1,0 +1,67 @@
+// One-sided halo ring: demonstrates the RMA API (windows, put, accumulate,
+// fence) on a ring of ranks, plus a put-throughput probe showing the paper's
+// one-sided message-rate gap between the default and locality-aware runtimes.
+//
+//   $ ./onesided_ring
+#include <cstdio>
+#include <numeric>
+
+#include "mpi/runtime.hpp"
+#include "mpi/window.hpp"
+
+int main() {
+  using namespace cbmpi;
+
+  mpi::JobConfig config;
+  config.deployment = container::DeploymentSpec::containers(1, 2, 8);
+  config.policy = fabric::LocalityPolicy::ContainerAware;
+
+  mpi::run_job(config, [](mpi::Process& p) {
+    auto& world = p.world();
+    const int n = world.size();
+    const int right = (p.rank() + 1) % n;
+
+    // Each rank exposes a window of n slots; everyone deposits its rank into
+    // its right neighbour's slot [rank] and accumulates into slot [n-1].
+    std::vector<std::int64_t> memory(static_cast<std::size_t>(n) + 1, 0);
+    mpi::Window<std::int64_t> window(world, std::span<std::int64_t>(memory));
+
+    window.fence();
+    const std::int64_t mine = p.rank();
+    window.put(std::span<const std::int64_t>(&mine, 1), right,
+               static_cast<std::size_t>(p.rank()));
+    const std::int64_t one = 1;
+    window.accumulate(std::span<const std::int64_t>(&one, 1), right,
+                      static_cast<std::size_t>(n), mpi::ReduceOp::Sum);
+    window.fence();
+
+    // After the fence, my window holds my left neighbour's rank and one
+    // accumulated token.
+    const int left = (p.rank() + n - 1) % n;
+    if (memory[static_cast<std::size_t>(left)] != left ||
+        memory[static_cast<std::size_t>(n)] != 1) {
+      std::printf("rank %d: unexpected window contents!\n", p.rank());
+    }
+
+    // Throughput probe: back-to-back 8-byte puts, then one flush.
+    constexpr int kPuts = 256;
+    p.sync_time();
+    const Micros start = p.now();
+    for (int i = 0; i < kPuts; ++i)
+      window.put(std::span<const std::int64_t>(&mine, 1), right, 0);
+    window.flush(right);
+    const Micros elapsed = p.now() - start;
+    window.fence();
+
+    const double rate = kPuts / elapsed;  // puts per us
+    const double max_rate = world.allreduce_value(rate, mpi::ReduceOp::Max);
+    if (p.rank() == 0) {
+      std::printf("one-sided ring complete on %d ranks\n", n);
+      std::printf("8-byte put rate (locality-aware, co-resident): %.2f Mput/s\n",
+                  max_rate);
+      std::printf("(run with HostnameBased policy to watch this drop ~9x onto "
+                  "the HCA loopback)\n");
+    }
+  });
+  return 0;
+}

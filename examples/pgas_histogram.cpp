@@ -1,0 +1,66 @@
+// PGAS example: a distributed histogram built with the GlobalArray layer —
+// the programming model the paper lists as future work, running on the
+// locality-aware container runtime.
+//
+// Every rank draws samples and accumulates into a block-distributed global
+// histogram with one-sided atomic updates; rank 0 then reads the whole
+// histogram with bulk gets.
+//
+//   $ ./pgas_histogram [--samples=20000] [--bins=32]
+#include <cstdio>
+
+#include "common/options.hpp"
+#include "mpi/runtime.hpp"
+#include "pgas/global_array.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cbmpi;
+
+  Options opts(argc, argv);
+  const auto samples = static_cast<std::uint64_t>(
+      opts.get_int("samples", 20000, "samples per rank"));
+  const auto bins =
+      static_cast<std::size_t>(opts.get_int("bins", 32, "histogram bins"));
+  if (opts.finish("distributed histogram over a PGAS global array")) return 0;
+
+  mpi::JobConfig config;
+  config.deployment = container::DeploymentSpec::containers(1, 4, 8);
+  config.policy = fabric::LocalityPolicy::ContainerAware;
+
+  mpi::run_job(config, [&](mpi::Process& p) {
+    pgas::GlobalArray<std::int64_t> histogram(p.world(), bins, 0);
+
+    auto rng = p.make_rng(0x4157);
+    for (std::uint64_t i = 0; i < samples; ++i) {
+      // Sum of two uniforms: a triangular distribution over the bins.
+      const double x = (rng.uniform() + rng.uniform()) / 2.0;
+      histogram.accumulate(static_cast<std::size_t>(x * static_cast<double>(bins)), 1);
+    }
+    p.compute(static_cast<double>(samples) * 4.0);
+    histogram.sync();
+
+    if (p.rank() == 0) {
+      std::vector<std::int64_t> all(bins);
+      histogram.read_block(0, std::span<std::int64_t>(all));
+      std::int64_t total = 0, peak = 0;
+      for (const auto count : all) {
+        total += count;
+        peak = std::max(peak, count);
+      }
+      std::printf("histogram of %llu samples across %zu bins:\n",
+                  static_cast<unsigned long long>(total), bins);
+      for (std::size_t b = 0; b < bins; ++b) {
+        const int width =
+            static_cast<int>(all[b] * 48 / std::max<std::int64_t>(peak, 1));
+        std::printf("%3zu |%-48.*s %lld\n", b, width,
+                    "################################################",
+                    static_cast<long long>(all[b]));
+      }
+      std::printf("\n(accumulates ran one-sided over SHM/CMA thanks to the "
+                  "container locality detector; virtual time %.1f us)\n",
+                  p.now());
+    }
+    histogram.sync();
+  });
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Distributed graph construction for Graph 500.
+//
+// 1-D vertex partition: vertex v is owned by rank v % P (the mpi-simple
+// convention). Construction generates each rank's slice of the Kronecker
+// edge list, exchanges endpoints with alltoallv so both endpoints' owners
+// learn each edge, and builds a local CSR over global vertex ids.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/graph500/kronecker.hpp"
+#include "mpi/runtime.hpp"
+
+namespace cbmpi::apps::graph500 {
+
+class DistGraph {
+ public:
+  std::uint64_t num_global_vertices = 0;
+  int nranks = 1;
+  int my_rank = 0;
+
+  /// CSR over local vertices; columns hold *global* vertex ids.
+  std::vector<std::uint64_t> row_ptr;  ///< local_vertices + 1
+  std::vector<std::uint64_t> adjacency;
+
+  int owner(std::uint64_t v) const {
+    return static_cast<int>(v % static_cast<std::uint64_t>(nranks));
+  }
+
+  std::uint64_t to_local(std::uint64_t v) const {
+    return v / static_cast<std::uint64_t>(nranks);
+  }
+
+  std::uint64_t to_global(std::uint64_t local) const {
+    return local * static_cast<std::uint64_t>(nranks) +
+           static_cast<std::uint64_t>(my_rank);
+  }
+
+  std::uint64_t local_vertices() const { return row_ptr.size() - 1; }
+
+  std::span<const std::uint64_t> neighbors(std::uint64_t local) const {
+    return {adjacency.data() + row_ptr[local],
+            adjacency.data() + row_ptr[local + 1]};
+  }
+
+  std::uint64_t local_edges() const { return adjacency.size(); }
+};
+
+/// Collective: builds the distributed graph (both edge directions stored).
+DistGraph build_graph(mpi::Process& p, const EdgeListParams& params);
+
+}  // namespace cbmpi::apps::graph500

@@ -1,0 +1,72 @@
+#include "apps/graph500/kronecker.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cbmpi::apps::graph500 {
+
+namespace {
+constexpr double kA = 0.57;
+constexpr double kB = 0.19;
+constexpr double kC = 0.19;
+}  // namespace
+
+Edge kronecker_edge(const EdgeListParams& params, std::uint64_t index) {
+  Xoshiro256 rng(mix64(params.seed ^ mix64(index + 0x1234567ULL)));
+  std::uint64_t u = 0, v = 0;
+  for (int level = 0; level < params.scale; ++level) {
+    const double r = rng.uniform();
+    std::uint64_t ubit = 0, vbit = 0;
+    if (r < kA) {
+      // top-left quadrant
+    } else if (r < kA + kB) {
+      vbit = 1;
+    } else if (r < kA + kB + kC) {
+      ubit = 1;
+    } else {
+      ubit = 1;
+      vbit = 1;
+    }
+    u = (u << 1) | ubit;
+    v = (v << 1) | vbit;
+  }
+  // Permute vertex labels (mix within range) so high-degree vertices are not
+  // clustered at small ids — the spec's vertex scrambling.
+  const std::uint64_t mask = params.num_vertices() - 1;
+  u = mix64(u ^ (params.seed * 0x2545F4914F6CDD1DULL)) & mask;
+  v = mix64(v ^ (params.seed * 0x2545F4914F6CDD1DULL)) & mask;
+  return Edge{u, v};
+}
+
+std::vector<Edge> kronecker_slice(const EdgeListParams& params, std::uint64_t first,
+                                  std::uint64_t last) {
+  CBMPI_REQUIRE(first <= last && last <= params.num_edges(),
+                "edge slice out of range");
+  std::vector<Edge> edges;
+  edges.reserve(last - first);
+  for (std::uint64_t i = first; i < last; ++i)
+    edges.push_back(kronecker_edge(params, i));
+  return edges;
+}
+
+std::vector<std::uint64_t> choose_roots(const EdgeListParams& params, int count) {
+  std::vector<std::uint64_t> roots;
+  roots.reserve(static_cast<std::size_t>(count));
+  // Stride through the edge list so roots spread over the graph.
+  const std::uint64_t stride =
+      std::max<std::uint64_t>(1, params.num_edges() / 97);
+  for (std::uint64_t i = 0;
+       roots.size() < static_cast<std::size_t>(count) && i < params.num_edges();
+       i += stride) {
+    const Edge e = kronecker_edge(params, i);
+    if (e.u == e.v) continue;  // self loops are dropped during construction
+    if (std::find(roots.begin(), roots.end(), e.u) == roots.end())
+      roots.push_back(e.u);
+  }
+  CBMPI_REQUIRE(roots.size() == static_cast<std::size_t>(count),
+                "could not find ", count, " distinct connected roots");
+  return roots;
+}
+
+}  // namespace cbmpi::apps::graph500

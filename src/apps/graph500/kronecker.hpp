@@ -1,0 +1,45 @@
+// Graph 500 Kronecker (R-MAT) edge generator.
+//
+// Reference parameters A=0.57, B=0.19, C=0.19 (D = 1-A-B-C = 0.05). Every
+// edge is generated from a counter-seeded hash stream, so the global edge
+// list is a pure function of (seed, scale, edgefactor) — independent of the
+// rank count — and each rank can generate its share without communication.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace cbmpi::apps::graph500 {
+
+struct EdgeListParams {
+  int scale = 16;        ///< 2^scale vertices
+  int edgefactor = 16;   ///< edges = edgefactor * vertices
+  std::uint64_t seed = 1;
+
+  std::uint64_t num_vertices() const { return std::uint64_t{1} << scale; }
+  std::uint64_t num_edges() const {
+    return num_vertices() * static_cast<std::uint64_t>(edgefactor);
+  }
+};
+
+struct Edge {
+  std::uint64_t u;
+  std::uint64_t v;
+};
+
+/// Generates edge `index` of the global list.
+Edge kronecker_edge(const EdgeListParams& params, std::uint64_t index);
+
+/// Generates the contiguous slice [first, last) of the global edge list.
+std::vector<Edge> kronecker_slice(const EdgeListParams& params, std::uint64_t first,
+                                  std::uint64_t last);
+
+/// Deterministically selects `count` distinct BFS roots with degree >= 1
+/// (endpoints of generated edges, skipping self-loops), as the Graph 500
+/// spec requires search keys to be connected. Pure function of the params —
+/// every rank computes the same roots with no communication.
+std::vector<std::uint64_t> choose_roots(const EdgeListParams& params, int count);
+
+}  // namespace cbmpi::apps::graph500

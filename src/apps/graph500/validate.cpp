@@ -1,0 +1,125 @@
+#include "apps/graph500/validate.hpp"
+
+#include <algorithm>
+
+namespace cbmpi::apps::graph500 {
+
+ValidationReport validate_bfs(mpi::Process& p, const DistGraph& graph,
+                              const BfsResult& result) {
+  auto& comm = p.world();
+  const int nranks = comm.size();
+  const int me = comm.rank();
+
+  ValidationReport report;
+
+  // --- check 1: root sanity -------------------------------------------------
+  if (graph.owner(result.root) == me) {
+    const std::uint64_t local_root = graph.to_local(result.root);
+    if (result.parent[local_root] != result.root ||
+        result.level[local_root] != 0)
+      ++report.bad_root;
+  }
+
+  // --- check 3 (local): tree edges exist, and collect level queries ---------
+  // For every reached non-root vertex v, ask owner(parent) for parent's level.
+  std::vector<std::vector<std::uint64_t>> queries(
+      static_cast<std::size_t>(nranks));  // parent global ids, per owner
+  std::vector<std::vector<std::uint64_t>> query_vertex(
+      static_cast<std::size_t>(nranks));  // matching local v (for level check)
+
+  for (std::uint64_t local = 0; local < graph.local_vertices(); ++local) {
+    const std::uint64_t parent = result.parent[local];
+    if (parent == kUnreached) continue;
+    const std::uint64_t global_v = graph.to_global(local);
+    if (global_v == result.root) continue;
+
+    const auto neighbors = graph.neighbors(local);
+    if (std::find(neighbors.begin(), neighbors.end(), parent) == neighbors.end())
+      ++report.missing_edges;
+
+    const int owner = graph.owner(parent);
+    queries[static_cast<std::size_t>(owner)].push_back(parent);
+    query_vertex[static_cast<std::size_t>(owner)].push_back(local);
+  }
+
+  // --- check 2: distributed parent-level queries -----------------------------
+  std::vector<int> send_counts(static_cast<std::size_t>(nranks), 0);
+  std::vector<int> send_displs(static_cast<std::size_t>(nranks), 0);
+  for (int r = 0; r < nranks; ++r)
+    send_counts[static_cast<std::size_t>(r)] =
+        static_cast<int>(queries[static_cast<std::size_t>(r)].size());
+  for (int r = 1; r < nranks; ++r)
+    send_displs[static_cast<std::size_t>(r)] =
+        send_displs[static_cast<std::size_t>(r - 1)] +
+        send_counts[static_cast<std::size_t>(r - 1)];
+
+  std::vector<std::uint64_t> send_buf(
+      static_cast<std::size_t>(send_displs.back() + send_counts.back()));
+  for (int r = 0; r < nranks; ++r)
+    std::copy(queries[static_cast<std::size_t>(r)].begin(),
+              queries[static_cast<std::size_t>(r)].end(),
+              send_buf.begin() + send_displs[static_cast<std::size_t>(r)]);
+
+  std::vector<int> recv_counts(static_cast<std::size_t>(nranks), 0);
+  comm.alltoall(std::span<const int>(send_counts), std::span<int>(recv_counts));
+  std::vector<int> recv_displs(static_cast<std::size_t>(nranks), 0);
+  for (int r = 1; r < nranks; ++r)
+    recv_displs[static_cast<std::size_t>(r)] =
+        recv_displs[static_cast<std::size_t>(r - 1)] +
+        recv_counts[static_cast<std::size_t>(r - 1)];
+  std::vector<std::uint64_t> recv_buf(
+      static_cast<std::size_t>(recv_displs.back() + recv_counts.back()));
+
+  comm.alltoallv(std::span<const std::uint64_t>(send_buf),
+                 std::span<const int>(send_counts), std::span<const int>(send_displs),
+                 std::span<std::uint64_t>(recv_buf), std::span<const int>(recv_counts),
+                 std::span<const int>(recv_displs));
+
+  // Answer with levels (reuse the same counts/displacements shape).
+  std::vector<std::int32_t> answers(recv_buf.size());
+  for (std::size_t i = 0; i < recv_buf.size(); ++i)
+    answers[i] = result.level[graph.to_local(recv_buf[i])];
+
+  std::vector<std::int32_t> level_replies(send_buf.size());
+  comm.alltoallv(std::span<const std::int32_t>(answers),
+                 std::span<const int>(recv_counts), std::span<const int>(recv_displs),
+                 std::span<std::int32_t>(level_replies),
+                 std::span<const int>(send_counts), std::span<const int>(send_displs));
+
+  for (int r = 0; r < nranks; ++r) {
+    const auto base = static_cast<std::size_t>(send_displs[static_cast<std::size_t>(r)]);
+    const auto& verts = query_vertex[static_cast<std::size_t>(r)];
+    for (std::size_t i = 0; i < verts.size(); ++i) {
+      const std::int32_t parent_level = level_replies[base + i];
+      const std::int32_t my_level = result.level[verts[i]];
+      if (parent_level < 0)
+        ++report.unreached_parents;
+      else if (my_level != parent_level + 1)
+        ++report.bad_levels;
+    }
+  }
+
+  // --- check 4: reached count matches ----------------------------------------
+  std::uint64_t local_reached = 0;
+  for (std::uint64_t local = 0; local < graph.local_vertices(); ++local)
+    if (result.parent[local] != kUnreached) ++local_reached;
+  const auto global_reached = static_cast<std::uint64_t>(comm.allreduce_value(
+      static_cast<std::int64_t>(local_reached), mpi::ReduceOp::Sum));
+  if (global_reached != result.visited) ++report.count_mismatch;
+
+  // --- aggregate -------------------------------------------------------------
+  std::uint64_t flaws[5] = {report.bad_root, report.bad_levels, report.missing_edges,
+                            report.unreached_parents, report.count_mismatch};
+  std::uint64_t total[5] = {};
+  comm.allreduce(std::span<const std::uint64_t>(flaws, 5),
+                 std::span<std::uint64_t>(total, 5), mpi::ReduceOp::Sum);
+  report.bad_root = total[0];
+  report.bad_levels = total[1];
+  report.missing_edges = total[2];
+  report.unreached_parents = total[3];
+  report.count_mismatch = total[4];
+  report.ok = total[0] + total[1] + total[2] + total[3] + total[4] == 0;
+  return report;
+}
+
+}  // namespace cbmpi::apps::graph500

@@ -1,0 +1,27 @@
+// Graph 500 BFS result validation (the spec's soundness checks, distributed):
+//   1. the root's parent is itself, at level 0;
+//   2. every reached vertex has a reached parent whose level is exactly one
+//      less (checked with a distributed level-query exchange);
+//   3. every tree edge (parent, v) exists in the graph (checked against the
+//      local adjacency of v — adjacency is stored symmetrically);
+//   4. reached-vertex count matches the BFS's own counter.
+#pragma once
+
+#include "apps/graph500/bfs.hpp"
+
+namespace cbmpi::apps::graph500 {
+
+struct ValidationReport {
+  bool ok = true;
+  std::uint64_t bad_root = 0;
+  std::uint64_t bad_levels = 0;        ///< parent level != level - 1
+  std::uint64_t missing_edges = 0;     ///< tree edge absent from the graph
+  std::uint64_t unreached_parents = 0; ///< parent itself not reached
+  std::uint64_t count_mismatch = 0;
+};
+
+/// Collective: validates one BFS result; identical report on all ranks.
+ValidationReport validate_bfs(mpi::Process& p, const DistGraph& graph,
+                              const BfsResult& result);
+
+}  // namespace cbmpi::apps::graph500

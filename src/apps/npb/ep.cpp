@@ -1,0 +1,63 @@
+// EP: generate Gaussian deviates by the polar method, tally the annulus
+// counts, and combine with one allreduce — the NPB "embarrassingly parallel"
+// kernel. Communication is a single reduction, so EP is the near-zero-overhead
+// control case of Fig. 12.
+#include "apps/npb/npb.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace cbmpi::apps::npb {
+
+KernelResult run_ep(mpi::Process& p, const EpParams& params) {
+  auto& comm = p.world();
+  comm.barrier();
+  p.sync_time();
+  const Micros start = p.now();
+
+  auto rng = p.make_rng(0xE9);
+  std::array<std::int64_t, 10> bins{};
+  double sum_x = 0.0, sum_y = 0.0;
+  std::int64_t accepted = 0;
+
+  for (std::uint64_t i = 0; i < params.pairs_per_rank; ++i) {
+    const double x = 2.0 * rng.uniform() - 1.0;
+    const double y = 2.0 * rng.uniform() - 1.0;
+    const double t = x * x + y * y;
+    if (t <= 1.0 && t > 0.0) {
+      const double factor = std::sqrt(-2.0 * std::log(t) / t);
+      const double gx = x * factor;
+      const double gy = y * factor;
+      sum_x += gx;
+      sum_y += gy;
+      const auto bin = static_cast<std::size_t>(
+          std::min(9.0, std::floor(std::max(std::abs(gx), std::abs(gy)))));
+      ++bins[bin];
+      ++accepted;
+    }
+  }
+  p.compute(static_cast<double>(params.pairs_per_rank) * params.ops_per_pair);
+
+  std::array<double, 2> sums{sum_x, sum_y};
+  std::array<double, 2> global_sums{};
+  comm.allreduce(std::span<const double>(sums), std::span<double>(global_sums),
+                 mpi::ReduceOp::Sum);
+
+  std::array<std::int64_t, 11> counts{};
+  std::copy(bins.begin(), bins.end(), counts.begin());
+  counts[10] = accepted;
+  std::array<std::int64_t, 11> global_counts{};
+  comm.allreduce(std::span<const std::int64_t>(counts),
+                 std::span<std::int64_t>(global_counts), mpi::ReduceOp::Sum);
+
+  KernelResult result;
+  result.name = "EP";
+  result.time = comm.allreduce_value(p.now() - start, mpi::ReduceOp::Max);
+  std::int64_t bin_total = 0;
+  for (std::size_t b = 0; b < 10; ++b) bin_total += global_counts[b];
+  result.verified = bin_total == global_counts[10] && global_counts[10] > 0;
+  result.checksum = global_sums[0] + global_sums[1];
+  return result;
+}
+
+}  // namespace cbmpi::apps::npb

@@ -1,0 +1,267 @@
+// FT: 3-D FFT time stepping, slab-partitioned along z.
+//
+// Forward transform: per-slab 2-D FFTs (x then y), a global z<->x transpose
+// via MPI_Alltoall, then 1-D FFTs along z. Each timestep evolves the spectrum
+// and inverse-transforms it (another alltoall), producing the alltoall-heavy
+// communication profile of NPB FT. Verification: timestep 0 uses unit evolve
+// factors, so the inverse transform must reproduce the initial field.
+#include "apps/npb/npb.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace cbmpi::apps::npb {
+
+void fft_inplace(std::span<std::complex<double>> data, bool inverse) {
+  const std::size_t n = data.size();
+  CBMPI_REQUIRE(n != 0 && (n & (n - 1)) == 0, "FFT length must be a power of two");
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const auto u = data[i + k];
+        const auto v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (auto& value : data) value *= scale;
+  }
+}
+
+namespace {
+
+using Complex = std::complex<double>;
+
+struct FtGrid {
+  int nx, ny, nz;
+  int local_nz;  ///< z slab on this rank (z layout)
+  int local_nx;  ///< x slab on this rank (x layout, after transpose)
+};
+
+/// z-layout index: [z][y][x] with z local.
+std::size_t zidx(const FtGrid& g, int z, int y, int x) {
+  return (static_cast<std::size_t>(z) * static_cast<std::size_t>(g.ny) +
+          static_cast<std::size_t>(y)) *
+             static_cast<std::size_t>(g.nx) +
+         static_cast<std::size_t>(x);
+}
+
+/// x-layout index: [x][y][z] with x local.
+std::size_t xidx(const FtGrid& g, int x, int y, int z) {
+  return (static_cast<std::size_t>(x) * static_cast<std::size_t>(g.ny) +
+          static_cast<std::size_t>(y)) *
+             static_cast<std::size_t>(g.nz) +
+         static_cast<std::size_t>(z);
+}
+
+class FtTransposer {
+ public:
+  FtTransposer(mpi::Process& p, const FtGrid& g) : p_(&p), g_(g) {
+    const auto n = static_cast<std::size_t>(p.world().size());
+    const std::size_t block = static_cast<std::size_t>(g.local_nz) *
+                              static_cast<std::size_t>(g.local_nx) *
+                              static_cast<std::size_t>(g.ny);
+    send_.resize(block * n);
+    recv_.resize(block * n);
+  }
+
+  /// z-layout -> x-layout.
+  void forward(const std::vector<Complex>& zdata, std::vector<Complex>& xdata) {
+    auto& comm = p_->world();
+    const int nranks = comm.size();
+    const std::size_t block = send_.size() / static_cast<std::size_t>(nranks);
+    // Pack: destination r gets my z-planes restricted to its x-slab.
+    for (int r = 0; r < nranks; ++r) {
+      std::size_t cursor = block * static_cast<std::size_t>(r);
+      const int x0 = r * g_.local_nx;
+      for (int z = 0; z < g_.local_nz; ++z)
+        for (int y = 0; y < g_.ny; ++y)
+          for (int x = 0; x < g_.local_nx; ++x)
+            send_[cursor++] = zdata[zidx(g_, z, y, x0 + x)];
+    }
+    comm.alltoall(std::span<const Complex>(send_), std::span<Complex>(recv_));
+    // Unpack: block from rank r holds its z-planes of my x-slab.
+    for (int r = 0; r < nranks; ++r) {
+      std::size_t cursor = block * static_cast<std::size_t>(r);
+      const int z0 = r * g_.local_nz;
+      for (int z = 0; z < g_.local_nz; ++z)
+        for (int y = 0; y < g_.ny; ++y)
+          for (int x = 0; x < g_.local_nx; ++x)
+            xdata[xidx(g_, x, y, z0 + z)] = recv_[cursor++];
+    }
+    p_->compute(static_cast<double>(send_.size()) * 2.0);
+  }
+
+  /// x-layout -> z-layout.
+  void backward(const std::vector<Complex>& xdata, std::vector<Complex>& zdata) {
+    auto& comm = p_->world();
+    const int nranks = comm.size();
+    const std::size_t block = send_.size() / static_cast<std::size_t>(nranks);
+    for (int r = 0; r < nranks; ++r) {
+      std::size_t cursor = block * static_cast<std::size_t>(r);
+      const int z0 = r * g_.local_nz;
+      for (int z = 0; z < g_.local_nz; ++z)
+        for (int y = 0; y < g_.ny; ++y)
+          for (int x = 0; x < g_.local_nx; ++x)
+            send_[cursor++] = xdata[xidx(g_, x, y, z0 + z)];
+    }
+    comm.alltoall(std::span<const Complex>(send_), std::span<Complex>(recv_));
+    for (int r = 0; r < nranks; ++r) {
+      std::size_t cursor = block * static_cast<std::size_t>(r);
+      const int x0 = r * g_.local_nx;
+      for (int z = 0; z < g_.local_nz; ++z)
+        for (int y = 0; y < g_.ny; ++y)
+          for (int x = 0; x < g_.local_nx; ++x)
+            zdata[zidx(g_, z, y, x0 + x)] = recv_[cursor++];
+    }
+    p_->compute(static_cast<double>(send_.size()) * 2.0);
+  }
+
+ private:
+  mpi::Process* p_;
+  FtGrid g_;
+  std::vector<Complex> send_, recv_;
+};
+
+/// 2-D FFTs over each local z-plane (x rows, then y columns).
+void fft_planes_xy(mpi::Process& p, const FtGrid& g, std::vector<Complex>& zdata,
+                   bool inverse, double ops_per_point) {
+  std::vector<Complex> column(static_cast<std::size_t>(g.ny));
+  for (int z = 0; z < g.local_nz; ++z) {
+    for (int y = 0; y < g.ny; ++y)
+      fft_inplace(std::span<Complex>(&zdata[zidx(g, z, y, 0)],
+                                     static_cast<std::size_t>(g.nx)),
+                  inverse);
+    for (int x = 0; x < g.nx; ++x) {
+      for (int y = 0; y < g.ny; ++y) column[static_cast<std::size_t>(y)] =
+          zdata[zidx(g, z, y, x)];
+      fft_inplace(std::span<Complex>(column), inverse);
+      for (int y = 0; y < g.ny; ++y)
+        zdata[zidx(g, z, y, x)] = column[static_cast<std::size_t>(y)];
+    }
+  }
+  p.compute(static_cast<double>(g.local_nz) * static_cast<double>(g.nx) *
+            static_cast<double>(g.ny) * ops_per_point);
+}
+
+/// 1-D FFTs along z in x-layout (z contiguous).
+void fft_lines_z(mpi::Process& p, const FtGrid& g, std::vector<Complex>& xdata,
+                 bool inverse, double ops_per_point) {
+  for (int x = 0; x < g.local_nx; ++x)
+    for (int y = 0; y < g.ny; ++y)
+      fft_inplace(std::span<Complex>(&xdata[xidx(g, x, y, 0)],
+                                     static_cast<std::size_t>(g.nz)),
+                  inverse);
+  p.compute(static_cast<double>(g.local_nx) * static_cast<double>(g.ny) *
+            static_cast<double>(g.nz) * ops_per_point);
+}
+
+}  // namespace
+
+KernelResult run_ft(mpi::Process& p, const FtParams& params) {
+  auto& comm = p.world();
+  const int nranks = comm.size();
+  CBMPI_REQUIRE(params.nz % nranks == 0 && params.nx % nranks == 0,
+                "FT nx and nz must divide evenly across ranks");
+
+  FtGrid g{params.nx, params.ny, params.nz, params.nz / nranks,
+           params.nx / nranks};
+  const std::size_t local_points = static_cast<std::size_t>(g.local_nz) *
+                                   static_cast<std::size_t>(g.ny) *
+                                   static_cast<std::size_t>(g.nx);
+
+  // Deterministic initial field.
+  std::vector<Complex> original(local_points);
+  {
+    auto rng = p.make_rng(0xF7);
+    for (auto& value : original)
+      value = Complex(rng.uniform() - 0.5, rng.uniform() - 0.5);
+  }
+
+  comm.barrier();
+  p.sync_time();
+  const Micros start = p.now();
+
+  FtTransposer transposer(p, g);
+  std::vector<Complex> zdata = original;
+  std::vector<Complex> spectrum(static_cast<std::size_t>(g.local_nx) *
+                                static_cast<std::size_t>(g.ny) *
+                                static_cast<std::size_t>(g.nz));
+
+  // Forward 3-D FFT.
+  fft_planes_xy(p, g, zdata, false, params.ops_per_point);
+  transposer.forward(zdata, spectrum);
+  fft_lines_z(p, g, spectrum, false, params.ops_per_point);
+
+  double checksum = 0.0;
+  bool roundtrip_ok = true;
+  std::vector<Complex> work(spectrum.size());
+  std::vector<Complex> field(local_points);
+
+  for (int t = 0; t < params.timesteps; ++t) {
+    // Evolve in frequency space; t = 0 keeps the spectrum intact so the
+    // inverse transform must reproduce the original field.
+    work = spectrum;
+    if (t > 0) {
+      const double alpha = 1e-4 * static_cast<double>(t);
+      for (int x = 0; x < g.local_nx; ++x) {
+        const int gx = comm.rank() * g.local_nx + x;
+        for (int y = 0; y < g.ny; ++y) {
+          for (int z = 0; z < g.nz; ++z) {
+            const double k2 = static_cast<double>(gx * gx + y * y + z * z);
+            work[xidx(g, x, y, z)] *= std::exp(-alpha * k2);
+          }
+        }
+      }
+      p.compute(static_cast<double>(work.size()) * 6.0);
+    }
+
+    // Inverse 3-D FFT.
+    fft_lines_z(p, g, work, true, params.ops_per_point);
+    transposer.backward(work, field);
+    fft_planes_xy(p, g, field, true, params.ops_per_point);
+
+    if (t == 0) {
+      double err = 0.0;
+      for (std::size_t i = 0; i < local_points; ++i)
+        err = std::max(err, std::abs(field[i] - original[i]));
+      roundtrip_ok = comm.allreduce_value(err, mpi::ReduceOp::Max) < 1e-9;
+    }
+
+    Complex local_sum = 0.0;
+    for (const auto& value : field) local_sum += value;
+    double parts[2] = {local_sum.real(), local_sum.imag()};
+    double total[2] = {};
+    comm.allreduce(std::span<const double>(parts, 2), std::span<double>(total, 2),
+                   mpi::ReduceOp::Sum);
+    checksum += std::abs(Complex(total[0], total[1]));
+  }
+
+  KernelResult result;
+  result.name = "FT";
+  result.time = comm.allreduce_value(p.now() - start, mpi::ReduceOp::Max);
+  result.checksum = checksum;
+  result.verified = roundtrip_ok && std::isfinite(checksum);
+  return result;
+}
+
+}  // namespace cbmpi::apps::npb

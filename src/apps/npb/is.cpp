@@ -1,0 +1,110 @@
+// IS: integer bucket sort. Keys are binned by value range, bucket counts are
+// exchanged with MPI_Alltoall, keys with MPI_Alltoallv, and each rank sorts
+// its bucket locally — NPB IS's all-to-all-dominated profile. Verification:
+// local sortedness, global boundary ordering between neighbouring ranks, and
+// key-count conservation.
+#include "apps/npb/npb.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cbmpi::apps::npb {
+
+KernelResult run_is(mpi::Process& p, const IsParams& params) {
+  auto& comm = p.world();
+  const int nranks = comm.size();
+  const int me = comm.rank();
+  CBMPI_REQUIRE(params.key_bits > 0 && params.key_bits < 32, "bad key_bits");
+  const std::uint32_t key_range = std::uint32_t{1} << params.key_bits;
+
+  // Deterministic local keys.
+  std::vector<std::uint32_t> keys(params.keys_per_rank);
+  {
+    auto rng = p.make_rng(0x15);
+    for (auto& key : keys) key = static_cast<std::uint32_t>(rng.below(key_range));
+  }
+
+  comm.barrier();
+  p.sync_time();
+  const Micros start = p.now();
+
+  // Bin keys: bucket r covers [r*range/P, (r+1)*range/P).
+  auto bucket_of = [&](std::uint32_t key) {
+    return static_cast<int>((static_cast<std::uint64_t>(key) *
+                             static_cast<std::uint64_t>(nranks)) /
+                            key_range);
+  };
+
+  std::vector<int> send_counts(static_cast<std::size_t>(nranks), 0);
+  for (const auto key : keys) ++send_counts[static_cast<std::size_t>(bucket_of(key))];
+  p.compute(static_cast<double>(keys.size()) * params.ops_per_key);
+
+  std::vector<int> send_displs(static_cast<std::size_t>(nranks), 0);
+  for (int r = 1; r < nranks; ++r)
+    send_displs[static_cast<std::size_t>(r)] =
+        send_displs[static_cast<std::size_t>(r - 1)] +
+        send_counts[static_cast<std::size_t>(r - 1)];
+
+  std::vector<std::uint32_t> send_buf(keys.size());
+  {
+    std::vector<int> cursor = send_displs;
+    for (const auto key : keys)
+      send_buf[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(bucket_of(key))]++)] = key;
+  }
+  p.compute(static_cast<double>(keys.size()) * 2.0);
+
+  std::vector<int> recv_counts(static_cast<std::size_t>(nranks), 0);
+  comm.alltoall(std::span<const int>(send_counts), std::span<int>(recv_counts));
+  std::vector<int> recv_displs(static_cast<std::size_t>(nranks), 0);
+  for (int r = 1; r < nranks; ++r)
+    recv_displs[static_cast<std::size_t>(r)] =
+        recv_displs[static_cast<std::size_t>(r - 1)] +
+        recv_counts[static_cast<std::size_t>(r - 1)];
+  std::vector<std::uint32_t> bucket(
+      static_cast<std::size_t>(recv_displs.back() + recv_counts.back()));
+
+  comm.alltoallv(std::span<const std::uint32_t>(send_buf),
+                 std::span<const int>(send_counts), std::span<const int>(send_displs),
+                 std::span<std::uint32_t>(bucket), std::span<const int>(recv_counts),
+                 std::span<const int>(recv_displs));
+
+  std::sort(bucket.begin(), bucket.end());
+  p.compute(static_cast<double>(bucket.size()) * params.ops_per_key * 2.0);
+
+  // --- verification ---------------------------------------------------------
+  bool ok = std::is_sorted(bucket.begin(), bucket.end());
+
+  // Boundary order with neighbours: my max <= next rank's min.
+  std::uint32_t my_min = bucket.empty() ? key_range : bucket.front();
+  std::uint32_t my_max = bucket.empty() ? 0 : bucket.back();
+  if (nranks > 1) {
+    std::uint32_t prev_max = 0;
+    std::vector<mpi::Request> reqs;
+    if (me + 1 < nranks)
+      reqs.push_back(comm.isend(std::span<const std::uint32_t>(&my_max, 1), me + 1, 31));
+    if (me > 0)
+      reqs.push_back(comm.irecv(std::span<std::uint32_t>(&prev_max, 1), me - 1, 31));
+    comm.wait_all(reqs);
+    if (me > 0 && !bucket.empty() && prev_max > my_min) ok = false;
+  }
+
+  const auto global_keys = static_cast<std::uint64_t>(comm.allreduce_value(
+      static_cast<std::int64_t>(bucket.size()), mpi::ReduceOp::Sum));
+  if (global_keys !=
+      params.keys_per_rank * static_cast<std::uint64_t>(nranks))
+    ok = false;
+  const auto all_ok =
+      comm.allreduce_value(static_cast<std::int32_t>(ok), mpi::ReduceOp::LogicalAnd);
+
+  KernelResult result;
+  result.name = "IS";
+  result.time = comm.allreduce_value(p.now() - start, mpi::ReduceOp::Max);
+  result.checksum = static_cast<double>(global_keys);
+  result.verified = all_ok != 0;
+  return result;
+}
+
+}  // namespace cbmpi::apps::npb

@@ -1,0 +1,82 @@
+// NAS Parallel Benchmarks — scaled-down but communication-faithful kernels.
+//
+//   EP  embarrassingly parallel Gaussian-pair tally  (allreduce at the end)
+//   CG  conjugate gradient on a 2-D Poisson operator (halo sendrecv + dots)
+//   MG  multigrid V-cycles on a 3-D grid             (plane halos per level)
+//   FT  3-D FFT time stepping                        (alltoall transposes)
+//   IS  integer bucket sort                          (alltoall + alltoallv)
+//
+// Each kernel runs real arithmetic on real data (results are verifiable) and
+// charges modelled compute time so virtual-clock breakdowns behave like the
+// paper's (computation identical across deployment scenarios, communication
+// varying with the channel mix).
+#pragma once
+
+#include <complex>
+#include <span>
+#include <string>
+
+#include "common/units.hpp"
+#include "mpi/runtime.hpp"
+
+namespace cbmpi::apps::npb {
+
+struct KernelResult {
+  std::string name;
+  Micros time = 0.0;     ///< max-over-ranks kernel time (virtual)
+  bool verified = false;
+  double checksum = 0.0; ///< kernel-specific figure of merit
+};
+
+// ---- EP --------------------------------------------------------------------
+struct EpParams {
+  std::uint64_t pairs_per_rank = 1 << 14;
+  double ops_per_pair = 18.0;
+};
+KernelResult run_ep(mpi::Process& p, const EpParams& params = {});
+
+// ---- CG --------------------------------------------------------------------
+struct CgParams {
+  int grid = 64;          ///< global grid is grid x grid (5-point Poisson)
+  int iterations = 15;
+  double ops_per_row = 12.0;
+};
+KernelResult run_cg(mpi::Process& p, const CgParams& params = {});
+
+// ---- MG --------------------------------------------------------------------
+struct MgParams {
+  int nx = 32, ny = 32, nz = 32;  ///< global grid; nz splits across ranks
+  int vcycles = 4;
+  int smooth_steps = 2;
+  double ops_per_cell = 10.0;
+};
+KernelResult run_mg(mpi::Process& p, const MgParams& params = {});
+
+// ---- FT --------------------------------------------------------------------
+struct FtParams {
+  int nx = 32, ny = 32, nz = 32;  ///< powers of two; nz splits across ranks
+  int timesteps = 3;
+  double ops_per_point = 24.0;    ///< per point per FFT pass
+};
+KernelResult run_ft(mpi::Process& p, const FtParams& params = {});
+
+/// Radix-2 in-place FFT (exposed for unit tests).
+void fft_inplace(std::span<std::complex<double>> data, bool inverse);
+
+// ---- LU --------------------------------------------------------------------
+struct LuParams {
+  int grid = 64;      ///< n x n domain, column blocks across ranks
+  int sweeps = 3;     ///< SSOR-style forward sweeps
+  double ops_per_cell = 8.0;
+};
+KernelResult run_lu(mpi::Process& p, const LuParams& params = {});
+
+// ---- IS --------------------------------------------------------------------
+struct IsParams {
+  std::uint64_t keys_per_rank = 1 << 15;
+  int key_bits = 20;
+  double ops_per_key = 4.0;
+};
+KernelResult run_is(mpi::Process& p, const IsParams& params = {});
+
+}  // namespace cbmpi::apps::npb

@@ -1,0 +1,246 @@
+#include "apps/osu/microbench.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace cbmpi::apps::osu {
+
+namespace {
+
+constexpr int kTag = 101;
+
+/// Measures `iters` repetitions of `body` on this rank in virtual time,
+/// aligning all clocks before the measured region.
+template <typename F>
+Micros timed_region(mpi::Process& p, int warmup, int iters, F&& body) {
+  for (int i = 0; i < warmup; ++i) body();
+  p.sync_time();
+  const Micros start = p.now();
+  for (int i = 0; i < iters; ++i) body();
+  return (p.now() - start) / static_cast<double>(iters);
+}
+
+bool is_pair_rank(mpi::Process& p) { return p.rank() <= 1; }
+
+}  // namespace
+
+Micros pt2pt_latency(mpi::Process& p, Bytes size, const PairOptions& opt) {
+  auto& comm = p.world();
+  if (!is_pair_rank(p)) {
+    p.sync_time();
+    return 0.0;
+  }
+  std::vector<std::byte> buf(std::max<Bytes>(size, 1));
+  const std::span<const std::byte> out(buf.data(), size);
+  const std::span<std::byte> in(buf.data(), size);
+  const int peer = 1 - p.rank();
+
+  const Micros round = timed_region(p, opt.warmup, opt.iterations, [&] {
+    if (p.rank() == 0) {
+      comm.send(out, peer, kTag);
+      comm.recv(in, peer, kTag);
+    } else {
+      comm.recv(in, peer, kTag);
+      comm.send(out, peer, kTag);
+    }
+  });
+  return round / 2.0;
+}
+
+double pt2pt_bandwidth(mpi::Process& p, Bytes size, const PairOptions& opt) {
+  auto& comm = p.world();
+  if (!is_pair_rank(p)) {
+    p.sync_time();
+    return 0.0;
+  }
+  std::vector<std::byte> buf(std::max<Bytes>(size, 1));
+  std::vector<std::vector<std::byte>> recv_bufs(
+      static_cast<std::size_t>(opt.window),
+      std::vector<std::byte>(std::max<Bytes>(size, 1)));
+  std::uint8_t ack = 0;
+  const int peer = 1 - p.rank();
+
+  const Micros per_window = timed_region(p, opt.warmup, opt.iterations, [&] {
+    std::vector<mpi::Request> reqs;
+    reqs.reserve(static_cast<std::size_t>(opt.window));
+    if (p.rank() == 0) {
+      for (int w = 0; w < opt.window; ++w)
+        reqs.push_back(comm.isend(std::span<const std::byte>(buf.data(), size), peer,
+                                  kTag));
+      comm.wait_all(reqs);
+      comm.recv(std::span<std::uint8_t>(&ack, 1), peer, kTag + 1);
+    } else {
+      for (int w = 0; w < opt.window; ++w)
+        reqs.push_back(comm.irecv(
+            std::span<std::byte>(recv_bufs[static_cast<std::size_t>(w)].data(), size),
+            peer, kTag));
+      comm.wait_all(reqs);
+      comm.send(std::span<const std::uint8_t>(&ack, 1), peer, kTag + 1);
+    }
+  });
+  const double bytes_per_window =
+      static_cast<double>(size) * static_cast<double>(opt.window);
+  return bytes_per_window / per_window;  // B/us == MB/s
+}
+
+double pt2pt_bi_bandwidth(mpi::Process& p, Bytes size, const PairOptions& opt) {
+  auto& comm = p.world();
+  if (!is_pair_rank(p)) {
+    p.sync_time();
+    return 0.0;
+  }
+  std::vector<std::byte> send_buf(std::max<Bytes>(size, 1));
+  std::vector<std::vector<std::byte>> recv_bufs(
+      static_cast<std::size_t>(opt.window),
+      std::vector<std::byte>(std::max<Bytes>(size, 1)));
+  std::uint8_t ack = 0;
+  const int peer = 1 - p.rank();
+
+  const Micros per_window = timed_region(p, opt.warmup, opt.iterations, [&] {
+    std::vector<mpi::Request> reqs;
+    reqs.reserve(2 * static_cast<std::size_t>(opt.window));
+    for (int w = 0; w < opt.window; ++w)
+      reqs.push_back(comm.irecv(
+          std::span<std::byte>(recv_bufs[static_cast<std::size_t>(w)].data(), size),
+          peer, kTag));
+    for (int w = 0; w < opt.window; ++w)
+      reqs.push_back(comm.isend(std::span<const std::byte>(send_buf.data(), size),
+                                peer, kTag));
+    comm.wait_all(reqs);
+    // Cross acks close the window in both directions.
+    if (p.rank() == 0) {
+      comm.recv(std::span<std::uint8_t>(&ack, 1), peer, kTag + 1);
+      comm.send(std::span<const std::uint8_t>(&ack, 1), peer, kTag + 2);
+    } else {
+      comm.send(std::span<const std::uint8_t>(&ack, 1), peer, kTag + 1);
+      comm.recv(std::span<std::uint8_t>(&ack, 1), peer, kTag + 2);
+    }
+  });
+  const double bytes_per_window =
+      2.0 * static_cast<double>(size) * static_cast<double>(opt.window);
+  return bytes_per_window / per_window;
+}
+
+double pt2pt_message_rate(mpi::Process& p, Bytes size, const PairOptions& opt) {
+  const double bw = pt2pt_bandwidth(p, size, opt);  // B/us
+  if (size == 0) return 0.0;
+  return bw / static_cast<double>(size) * 1e6;  // messages per second
+}
+
+Micros one_sided_latency(mpi::Process& p, OneSidedOp op, Bytes size,
+                         const PairOptions& opt) {
+  auto& comm = p.world();
+  std::vector<std::byte> window_mem(std::max<Bytes>(size, 1) * 2);
+  mpi::Window<std::byte> window(comm, std::span<std::byte>(window_mem));
+  window.fence();
+
+  Micros result = 0.0;
+  if (is_pair_rank(p)) {
+    std::vector<std::byte> origin(std::max<Bytes>(size, 1));
+    const int peer = 1 - p.rank();
+    if (p.rank() == 0) {
+      result = timed_region(p, opt.warmup, opt.iterations, [&] {
+        if (op == OneSidedOp::Put)
+          window.put(std::span<const std::byte>(origin.data(), size), peer, 0);
+        else
+          window.get(std::span<std::byte>(origin.data(), size), peer, 0);
+        window.flush(peer);
+      });
+    } else {
+      p.sync_time();
+    }
+  } else {
+    p.sync_time();
+  }
+  window.fence();
+  return result;
+}
+
+double one_sided_bandwidth(mpi::Process& p, OneSidedOp op, Bytes size,
+                           const PairOptions& opt) {
+  auto& comm = p.world();
+  std::vector<std::byte> window_mem(std::max<Bytes>(size, 1) *
+                                    static_cast<std::size_t>(opt.window));
+  mpi::Window<std::byte> window(comm, std::span<std::byte>(window_mem));
+  window.fence();
+
+  double result = 0.0;
+  if (p.rank() == 0) {
+    std::vector<std::byte> origin(std::max<Bytes>(size, 1));
+    const int peer = 1;
+    const Micros per_window = timed_region(p, opt.warmup, opt.iterations, [&] {
+      for (int w = 0; w < opt.window; ++w) {
+        const auto offset = static_cast<std::size_t>(w) * size;
+        if (op == OneSidedOp::Put)
+          window.put(std::span<const std::byte>(origin.data(), size), peer, offset);
+        else
+          window.get(std::span<std::byte>(origin.data(), size), peer, offset);
+      }
+      window.flush(peer);
+    });
+    result = static_cast<double>(size) * static_cast<double>(opt.window) / per_window;
+  } else {
+    p.sync_time();
+  }
+  window.fence();
+  return result;
+}
+
+const char* to_string(Collective collective) {
+  switch (collective) {
+    case Collective::Bcast: return "MPI_Bcast";
+    case Collective::Allreduce: return "MPI_Allreduce";
+    case Collective::Allgather: return "MPI_Allgather";
+    case Collective::Alltoall: return "MPI_Alltoall";
+  }
+  return "?";
+}
+
+Micros collective_latency(mpi::Process& p, Collective collective, Bytes size,
+                          const PairOptions& opt) {
+  auto& comm = p.world();
+  const auto n = static_cast<std::size_t>(comm.size());
+  const Bytes per_rank = std::max<Bytes>(size, 1);
+  std::vector<std::byte> mine(per_rank);
+  std::vector<std::byte> all(per_rank * n);
+  std::vector<double> reduce_in(std::max<Bytes>(size / sizeof(double), 1));
+  std::vector<double> reduce_out(reduce_in.size());
+
+  auto one = [&] {
+    switch (collective) {
+      case Collective::Bcast:
+        comm.bcast(std::span<std::byte>(mine), 0);
+        break;
+      case Collective::Allreduce:
+        comm.allreduce(std::span<const double>(reduce_in),
+                       std::span<double>(reduce_out), mpi::ReduceOp::Sum);
+        break;
+      case Collective::Allgather:
+        comm.allgather(std::span<const std::byte>(mine), std::span<std::byte>(all));
+        break;
+      case Collective::Alltoall: {
+        // OSU alltoall: `size` bytes exchanged with each peer.
+        std::vector<std::byte> send_all(per_rank * n);
+        comm.alltoall(std::span<const std::byte>(send_all), std::span<std::byte>(all));
+        break;
+      }
+    }
+  };
+
+  for (int i = 0; i < opt.warmup; ++i) one();
+  OnlineStats stats;
+  for (int i = 0; i < opt.iterations; ++i) {
+    p.sync_time();  // aligned start: the collective's cost is its makespan
+    const Micros start = p.now();
+    one();
+    const Micros mine_elapsed = p.now() - start;
+    const Micros max_elapsed =
+        comm.allreduce_value(mine_elapsed, mpi::ReduceOp::Max);
+    stats.add(max_elapsed);
+  }
+  return stats.mean();
+}
+
+}  // namespace cbmpi::apps::osu

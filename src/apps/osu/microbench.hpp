@@ -1,0 +1,61 @@
+// OSU-micro-benchmark-style measurement kernels (osu-micro-benchmarks v5.0
+// analogues), run inside a job body. All timing is virtual.
+//
+// Conventions follow the OSU suite:
+//   * latency: ping-pong, half round-trip, averaged over iterations;
+//   * bandwidth: windowed back-to-back non-blocking sends + one ack;
+//   * bi-bandwidth: both directions simultaneously;
+//   * message rate: bandwidth harness reporting messages/s;
+//   * one-sided latency: put (or get) + flush per iteration;
+//   * one-sided bandwidth: window of puts (gets) + one flush;
+//   * collective latency: per-iteration barrier-separated operation time,
+//     reported as the maximum across ranks (the completion time that
+//     matters), averaged over iterations.
+//
+// Pair benchmarks run between comm ranks 0 and 1; other ranks idle.
+#pragma once
+
+#include "common/units.hpp"
+#include "mpi/runtime.hpp"
+#include "mpi/window.hpp"
+
+namespace cbmpi::apps::osu {
+
+struct PairOptions {
+  int warmup = 2;
+  int iterations = 20;
+  int window = 64;  ///< outstanding ops per bandwidth window
+};
+
+/// Two-sided ping-pong latency in us (valid on every participating rank).
+Micros pt2pt_latency(mpi::Process& p, Bytes size, const PairOptions& opt = {});
+
+/// Uni-directional bandwidth in MB/s.
+double pt2pt_bandwidth(mpi::Process& p, Bytes size, const PairOptions& opt = {});
+
+/// Bi-directional bandwidth in MB/s.
+double pt2pt_bi_bandwidth(mpi::Process& p, Bytes size, const PairOptions& opt = {});
+
+/// Messages per second for back-to-back sends of `size`.
+double pt2pt_message_rate(mpi::Process& p, Bytes size, const PairOptions& opt = {});
+
+enum class OneSidedOp { Put, Get };
+
+/// One-sided op + flush latency in us.
+Micros one_sided_latency(mpi::Process& p, OneSidedOp op, Bytes size,
+                         const PairOptions& opt = {});
+
+/// One-sided windowed bandwidth in MB/s.
+double one_sided_bandwidth(mpi::Process& p, OneSidedOp op, Bytes size,
+                           const PairOptions& opt = {});
+
+enum class Collective { Bcast, Allreduce, Allgather, Alltoall };
+
+const char* to_string(Collective collective);
+
+/// Average (over iterations) of the max-across-ranks collective time, us.
+/// `size` is the per-rank message size in bytes (OSU convention).
+Micros collective_latency(mpi::Process& p, Collective collective, Bytes size,
+                          const PairOptions& opt = {});
+
+}  // namespace cbmpi::apps::osu

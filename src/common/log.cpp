@@ -1,0 +1,33 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace cbmpi::logging {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_mutex;
+
+const char* name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel level() { return g_level.load(std::memory_order_relaxed); }
+
+void emit(LogLevel lvl, const std::string& message) {
+  const std::scoped_lock lock(g_mutex);
+  std::fprintf(stderr, "[cbmpi %s] %s\n", name(lvl), message.c_str());
+}
+
+}  // namespace cbmpi::logging

@@ -1,0 +1,48 @@
+// Tiny leveled logger. Disabled by default (Warn); benches/examples can turn
+// on Info/Debug with --verbose-style flags. Thread-safe line-at-a-time output.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cbmpi {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Off = 3 };
+
+namespace logging {
+void set_level(LogLevel level);
+LogLevel level();
+void emit(LogLevel level, const std::string& message);
+}  // namespace logging
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { logging::emit(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace cbmpi
+
+#define CBMPI_LOG(level)                                     \
+  if (static_cast<int>(::cbmpi::LogLevel::level) <           \
+      static_cast<int>(::cbmpi::logging::level())) {         \
+  } else                                                     \
+    ::cbmpi::detail::LogLine(::cbmpi::LogLevel::level)
+
+#define CBMPI_DEBUG CBMPI_LOG(Debug)
+#define CBMPI_INFO CBMPI_LOG(Info)
+#define CBMPI_WARN CBMPI_LOG(Warn)

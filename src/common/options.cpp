@@ -1,0 +1,74 @@
+#include "common/options.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace cbmpi {
+
+Options::Options(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    CBMPI_REQUIRE(arg.rfind("--", 0) == 0, "unexpected positional argument: ", arg);
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      given_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      given_[arg] = argv[++i];
+    } else {
+      given_[arg] = "true";  // bare flag
+    }
+  }
+}
+
+std::string Options::get(const std::string& key, const std::string& def,
+                         const std::string& help) {
+  declared_.push_back({key, def, help});
+  const auto it = given_.find(key);
+  return it == given_.end() ? def : it->second;
+}
+
+std::int64_t Options::get_int(const std::string& key, std::int64_t def,
+                              const std::string& help) {
+  const std::string v = get(key, std::to_string(def), help);
+  return std::strtoll(v.c_str(), nullptr, 10);
+}
+
+double Options::get_double(const std::string& key, double def, const std::string& help) {
+  const std::string v = get(key, std::to_string(def), help);
+  return std::strtod(v.c_str(), nullptr);
+}
+
+bool Options::get_flag(const std::string& key, const std::string& help) {
+  const std::string v = get(key, "false", help);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+bool Options::finish(const std::string& program_description) {
+  for (const auto& [key, value] : given_) {
+    bool known = false;
+    for (const auto& d : declared_)
+      if (d.key == key) known = true;
+    if (!known) {
+      std::fprintf(stderr, "unknown option --%s (value '%s'); try --help\n", key.c_str(),
+                   value.c_str());
+      std::exit(2);
+    }
+  }
+  if (help_requested_) {
+    std::printf("%s\n\noptions:\n", program_description.c_str());
+    for (const auto& d : declared_)
+      std::printf("  --%-24s %s (default: %s)\n", d.key.c_str(), d.help.c_str(),
+                  d.def.c_str());
+    return true;
+  }
+  return false;
+}
+
+}  // namespace cbmpi

@@ -1,0 +1,41 @@
+// Minimal CLI option parser for bench/example binaries.
+//
+// Accepts "--key=value", "--key value" and boolean "--flag" forms. Unknown
+// options raise an error listing what is accepted, so every bench documents
+// itself through --help.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cbmpi {
+
+class Options {
+ public:
+  Options(int argc, const char* const* argv);
+
+  /// Declares an option with a default; returns the parsed value.
+  std::string get(const std::string& key, const std::string& def, const std::string& help);
+  std::int64_t get_int(const std::string& key, std::int64_t def, const std::string& help);
+  double get_double(const std::string& key, double def, const std::string& help);
+  bool get_flag(const std::string& key, const std::string& help);
+
+  /// Call after all get*() declarations: handles --help and unknown options.
+  /// Returns true if the program should exit (help was printed).
+  bool finish(const std::string& program_description);
+
+ private:
+  struct Declared {
+    std::string key;
+    std::string def;
+    std::string help;
+  };
+
+  std::map<std::string, std::string> given_;
+  std::vector<Declared> declared_;
+  bool help_requested_ = false;
+};
+
+}  // namespace cbmpi

@@ -1,0 +1,46 @@
+// Deterministic pseudo-random number generation.
+//
+// Simulation results must be reproducible across runs and machines, so all
+// randomness flows through these generators with explicit seeds; std::rand /
+// std::random_device are never used. Xoshiro256** is the workhorse; SplitMix64
+// seeds it and supplies cheap stateless hashing (used e.g. by the Kronecker
+// graph generator to generate edge-local randomness without communication).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace cbmpi {
+
+/// Stateless 64-bit mix; also usable as a hash of a counter.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// One-shot mix of a value (does not mutate an external state).
+std::uint64_t mix64(std::uint64_t value);
+
+/// xoshiro256** — fast, high-quality, deterministic PRNG.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  result_type operator()();
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire reduction).
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Jump ahead by 2^128 states; used to derive independent per-rank streams.
+  void jump();
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace cbmpi

@@ -1,0 +1,45 @@
+// Summary statistics used by bench harnesses and the profiler.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cbmpi {
+
+/// Streaming accumulator (Welford) — O(1) memory, no percentiles.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Batch summary with percentiles; copies and sorts its input once.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double stddev = 0.0;
+
+  static Summary of(std::vector<double> samples);
+};
+
+}  // namespace cbmpi

@@ -1,0 +1,59 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace cbmpi {
+
+std::string format_size(Bytes n) {
+  if (n >= 1_MiB && n % 1_MiB == 0) return std::to_string(n / 1_MiB) + "M";
+  if (n >= 1_KiB && n % 1_KiB == 0) return std::to_string(n / 1_KiB) + "K";
+  return std::to_string(n);
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  CBMPI_REQUIRE(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  CBMPI_REQUIRE(cells.size() == headers_.size(), "row arity ", cells.size(),
+                " != header arity ", headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << "  ";
+      if (c == 0)
+        os << std::left << std::setw(static_cast<int>(width[c])) << row[c];
+      else
+        os << std::right << std::setw(static_cast<int>(width[c])) << row[c];
+    }
+    os << '\n';
+  };
+
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace cbmpi

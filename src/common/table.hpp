@@ -1,0 +1,29 @@
+// ASCII table writer: the bench harnesses print paper-style rows/series with
+// it so EXPERIMENTS.md can quote output verbatim.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cbmpi {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Renders with column alignment; first column left-aligned, rest right.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cbmpi

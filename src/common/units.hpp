@@ -1,0 +1,40 @@
+// Units and literals shared across the library.
+//
+// Time inside the simulation is *virtual* and measured in microseconds as a
+// double; wall-clock time never enters measured results. Sizes are bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cbmpi {
+
+/// Virtual time in microseconds.
+using Micros = double;
+
+/// Message / buffer sizes in bytes.
+using Bytes = std::uint64_t;
+
+inline constexpr Bytes operator""_KiB(unsigned long long v) { return Bytes{v} * 1024; }
+inline constexpr Bytes operator""_MiB(unsigned long long v) { return Bytes{v} * 1024 * 1024; }
+inline constexpr Bytes operator""_GiB(unsigned long long v) { return Bytes{v} * 1024 * 1024 * 1024; }
+
+/// Bandwidths are bytes per microsecond (== MB/s in decimal-ish units).
+/// 1 GB/s == 1000 B/us.
+using BytesPerMicro = double;
+
+inline constexpr BytesPerMicro gb_per_s(double gbps) { return gbps * 1000.0; }
+inline constexpr BytesPerMicro mb_per_s(double mbps) { return mbps; }
+
+/// Converts a bandwidth in B/us to MB/s for reporting (1 MB = 1e6 B).
+inline constexpr double to_mb_per_s(BytesPerMicro b) { return b; }
+
+inline constexpr Micros millis(double ms) { return ms * 1000.0; }
+inline constexpr Micros seconds(double s) { return s * 1e6; }
+inline constexpr double to_millis(Micros us) { return us / 1000.0; }
+inline constexpr double to_seconds(Micros us) { return us / 1e6; }
+
+/// Human-readable size, e.g. "8K", "1M", "64", used in bench tables.
+std::string format_size(Bytes n);
+
+}  // namespace cbmpi

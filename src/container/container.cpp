@@ -1,0 +1,61 @@
+#include "container/container.hpp"
+
+#include "common/error.hpp"
+
+namespace cbmpi::container {
+
+Container::Container(int id, ContainerSpec spec, osl::HostOs& host)
+    : id_(id), spec_(std::move(spec)), host_(&host) {
+  CBMPI_REQUIRE(!spec_.name.empty(), "container needs a name");
+  const auto& root = host_->root_namespaces();
+
+  // UTS namespace is always fresh: the container owns its hostname.
+  const osl::NamespaceId uts = host_->make_namespace(osl::NamespaceType::Uts);
+  namespaces_.set(osl::NamespaceType::Uts, uts);
+  host_->set_hostname(uts, spec_.name);
+
+  if (spec_.virtual_machine) {
+    // A guest kernel: nothing can be shared with the host. The only bridge
+    // is the optional IVSHMEM device, which surfaces as a shared IPC
+    // namespace between co-resident VMs that attach it.
+    namespaces_.set(osl::NamespaceType::Ipc,
+                    spec_.ivshmem ? host_->ivshmem_namespace()
+                                  : host_->make_namespace(osl::NamespaceType::Ipc));
+    namespaces_.set(osl::NamespaceType::Pid,
+                    host_->make_namespace(osl::NamespaceType::Pid));
+    namespaces_.set(osl::NamespaceType::Net,
+                    host_->make_namespace(osl::NamespaceType::Net));
+  } else {
+    namespaces_.set(osl::NamespaceType::Ipc,
+                    spec_.share_host_ipc
+                        ? root.get(osl::NamespaceType::Ipc)
+                        : host_->make_namespace(osl::NamespaceType::Ipc));
+    namespaces_.set(osl::NamespaceType::Pid,
+                    spec_.share_host_pid
+                        ? root.get(osl::NamespaceType::Pid)
+                        : host_->make_namespace(osl::NamespaceType::Pid));
+    namespaces_.set(osl::NamespaceType::Net,
+                    spec_.share_host_net
+                        ? root.get(osl::NamespaceType::Net)
+                        : host_->make_namespace(osl::NamespaceType::Net));
+  }
+
+  const int total = host_->hardware().shape().total_cores();
+  for (int c : spec_.cpuset)
+    CBMPI_REQUIRE(c >= 0 && c < total, "cpuset core ", c, " out of range on ",
+                  host_->hardware().name());
+}
+
+std::string Container::hostname() const {
+  return host_->hostname(namespaces_.get(osl::NamespaceType::Uts));
+}
+
+topo::CoreId Container::core_for(int slot) const {
+  CBMPI_REQUIRE(slot >= 0, "negative core slot");
+  if (spec_.cpuset.empty())
+    return host_->hardware().core_at(slot % host_->hardware().shape().total_cores());
+  const auto idx = static_cast<std::size_t>(slot) % spec_.cpuset.size();
+  return host_->hardware().core_at(spec_.cpuset[idx]);
+}
+
+}  // namespace cbmpi::container

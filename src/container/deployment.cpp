@@ -1,0 +1,148 @@
+#include "container/deployment.hpp"
+
+#include "common/error.hpp"
+
+namespace cbmpi::container {
+
+std::string DeploymentSpec::label() const {
+  if (native()) return "Native";
+  if (isolation == IsolationKind::VirtualMachine) {
+    std::string name = std::to_string(containers_per_host) + "-VM" +
+                       (containers_per_host > 1 ? "s" : "");
+    if (ivshmem) name += "+ivshmem";
+    return name;
+  }
+  if (containers_per_host == 1) return "1-Container";
+  return std::to_string(containers_per_host) + "-Containers";
+}
+
+DeploymentSpec DeploymentSpec::native_hosts(int hosts, int procs_per_host) {
+  DeploymentSpec spec;
+  spec.num_hosts = hosts;
+  spec.containers_per_host = 0;
+  spec.procs_per_host = procs_per_host;
+  return spec;
+}
+
+DeploymentSpec DeploymentSpec::containers(int hosts, int containers_per_host,
+                                          int procs_per_host) {
+  DeploymentSpec spec;
+  spec.num_hosts = hosts;
+  spec.containers_per_host = containers_per_host;
+  spec.procs_per_host = procs_per_host;
+  return spec;
+}
+
+DeploymentSpec DeploymentSpec::virtual_machines(int hosts, int vms_per_host,
+                                                int procs_per_host,
+                                                bool with_ivshmem) {
+  DeploymentSpec spec;
+  spec.num_hosts = hosts;
+  spec.containers_per_host = vms_per_host;
+  spec.procs_per_host = procs_per_host;
+  spec.isolation = IsolationKind::VirtualMachine;
+  spec.ivshmem = with_ivshmem;
+  return spec;
+}
+
+namespace {
+
+/// Assigns each container a contiguous run of cores subject to the socket
+/// policy. Containers never share cores (the paper pins containers to
+/// disjoint cores to avoid competition).
+std::vector<std::vector<int>> carve_cpusets(const topo::HostShape& shape,
+                                            const DeploymentSpec& spec) {
+  const int n_cont = spec.containers_per_host;
+  const int per_cont = spec.procs_per_container();
+  std::vector<std::vector<int>> sets(static_cast<std::size_t>(n_cont));
+
+  auto flat = [&](int socket, int core) { return socket * shape.cores_per_socket + core; };
+
+  switch (spec.socket_policy) {
+    case SocketPolicy::Pack: {
+      int next = 0;
+      for (int c = 0; c < n_cont; ++c) {
+        for (int p = 0; p < per_cont; ++p)
+          sets[static_cast<std::size_t>(c)].push_back(next++ % shape.total_cores());
+      }
+      break;
+    }
+    case SocketPolicy::SameSocket: {
+      int next = 0;
+      for (int c = 0; c < n_cont; ++c)
+        for (int p = 0; p < per_cont; ++p)
+          sets[static_cast<std::size_t>(c)].push_back(
+              flat(0, next++ % shape.cores_per_socket));
+      break;
+    }
+    case SocketPolicy::DistinctSockets: {
+      std::vector<int> next_core(static_cast<std::size_t>(shape.sockets), 0);
+      for (int c = 0; c < n_cont; ++c) {
+        const int socket = c % shape.sockets;
+        auto& cursor = next_core[static_cast<std::size_t>(socket)];
+        for (int p = 0; p < per_cont; ++p)
+          sets[static_cast<std::size_t>(c)].push_back(
+              flat(socket, cursor++ % shape.cores_per_socket));
+      }
+      break;
+    }
+  }
+  return sets;
+}
+
+}  // namespace
+
+JobPlacement plan_deployment(const topo::Cluster& cluster, const DeploymentSpec& spec) {
+  CBMPI_REQUIRE(spec.num_hosts > 0 && spec.num_hosts <= cluster.num_hosts(),
+                "deployment needs ", spec.num_hosts, " hosts, cluster has ",
+                cluster.num_hosts());
+  CBMPI_REQUIRE(spec.procs_per_host > 0, "procs_per_host must be positive");
+  if (!spec.native()) {
+    CBMPI_REQUIRE(spec.procs_per_host % spec.containers_per_host == 0,
+                  "procs_per_host (", spec.procs_per_host,
+                  ") must divide evenly among ", spec.containers_per_host,
+                  " containers");
+  }
+
+  const auto& shape = cluster.host(0).shape();
+  JobPlacement placement;
+  placement.spec = spec;
+  if (!spec.native()) placement.container_cpusets = carve_cpusets(shape, spec);
+
+  placement.slots.reserve(static_cast<std::size_t>(spec.total_ranks()));
+  for (int h = 0; h < spec.num_hosts; ++h) {
+    for (int p = 0; p < spec.procs_per_host; ++p) {
+      RankSlot slot;
+      slot.host = h;
+      if (spec.native()) {
+        slot.container_index = -1;
+        slot.core_slot = p;
+        int flat = p % shape.total_cores();
+        switch (spec.socket_policy) {
+          case SocketPolicy::Pack:
+            break;  // consecutive cores fill socket 0 first
+          case SocketPolicy::SameSocket:
+            flat = p % shape.cores_per_socket;
+            break;
+          case SocketPolicy::DistinctSockets:
+            flat = (p % shape.sockets) * shape.cores_per_socket +
+                   (p / shape.sockets) % shape.cores_per_socket;
+            break;
+        }
+        slot.core = cluster.host(h).core_at(flat);
+      } else {
+        const int per_cont = spec.procs_per_container();
+        slot.container_index = p / per_cont;
+        slot.core_slot = p % per_cont;
+        const auto& cpuset =
+            placement.container_cpusets[static_cast<std::size_t>(slot.container_index)];
+        slot.core = cluster.host(h).core_at(
+            cpuset[static_cast<std::size_t>(slot.core_slot) % cpuset.size()]);
+      }
+      placement.slots.push_back(slot);
+    }
+  }
+  return placement;
+}
+
+}  // namespace cbmpi::container

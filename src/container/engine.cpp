@@ -1,0 +1,23 @@
+#include "container/engine.hpp"
+
+namespace cbmpi::container {
+
+Container& Engine::run(topo::HostId host, ContainerSpec spec) {
+  auto& host_os = machine_->host_os(host);
+  const int id = static_cast<int>(containers_.size());
+  containers_.push_back(std::make_unique<Container>(id, std::move(spec), host_os));
+  return *containers_.back();
+}
+
+std::unique_ptr<osl::SimProcess> Engine::spawn(Container& cont, int core_slot) const {
+  return std::make_unique<osl::SimProcess>(cont.host(), cont.namespaces(),
+                                           cont.core_for(core_slot));
+}
+
+std::unique_ptr<osl::SimProcess> Engine::spawn_native(topo::HostId host,
+                                                      topo::CoreId core) const {
+  auto& host_os = machine_->host_os(host);
+  return std::make_unique<osl::SimProcess>(host_os, host_os.root_namespaces(), core);
+}
+
+}  // namespace cbmpi::container

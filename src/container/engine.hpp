@@ -1,0 +1,42 @@
+// Container engine (docker-run analogue) and native process spawning.
+//
+// The Engine owns the containers it starts; processes are returned to the
+// caller (the MPI launcher owns rank processes for the duration of a job).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "container/container.hpp"
+#include "osl/process.hpp"
+
+namespace cbmpi::container {
+
+class Engine {
+ public:
+  explicit Engine(osl::Machine& machine) : machine_(&machine) {}
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Starts a container on a host (docker run).
+  Container& run(topo::HostId host, ContainerSpec spec);
+
+  /// Spawns a process inside a container, pinned to the slot-th cpuset core.
+  std::unique_ptr<osl::SimProcess> spawn(Container& cont, int core_slot) const;
+
+  /// Spawns a process directly on the host (native, root namespaces).
+  std::unique_ptr<osl::SimProcess> spawn_native(topo::HostId host,
+                                                topo::CoreId core) const;
+
+  osl::Machine& machine() const { return *machine_; }
+  const std::vector<std::unique_ptr<Container>>& containers() const {
+    return containers_;
+  }
+
+ private:
+  osl::Machine* machine_;
+  std::vector<std::unique_ptr<Container>> containers_;
+};
+
+}  // namespace cbmpi::container

@@ -1,0 +1,41 @@
+// Cost structures shared by all channels.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace cbmpi::fabric {
+
+/// Cost decomposition of one eager transfer.
+struct EagerCosts {
+  /// Added to the sender's clock (staging copy, descriptor post, stalls).
+  /// The bandwidth term lives here: back-to-back sends serialize on it,
+  /// which is what produces realistic windowed-bandwidth behaviour.
+  Micros sender = 0.0;
+  /// Pure latency from send completion until the payload is visible at the
+  /// receiver (queue flag propagation / wire time).
+  Micros delivery = 0.0;
+  /// Added to the receiver's clock at completion (copy-out of the queue or
+  /// eager ring into the user buffer).
+  Micros receiver = 0.0;
+};
+
+/// Completion times of one rendezvous transfer, computed at match time from
+/// the RTS send time and the receiver-side match time.
+struct RndvTimes {
+  Micros receiver_done = 0.0;
+  Micros sender_done = 0.0;
+  /// When the receiver's serialized resource (CPU copy engine / PCIe) frees
+  /// up — excludes trailing pure-latency terms. 0 means "same as
+  /// receiver_done".
+  Micros receiver_busy_until = 0.0;
+};
+
+/// Cost of one pipelined one-sided op (put/get) within an epoch.
+struct OneSidedCosts {
+  /// Minimum spacing between back-to-back ops (message-rate limit).
+  Micros gap = 0.0;
+  /// Full completion latency of a single op (used by flush / latency tests).
+  Micros latency = 0.0;
+};
+
+}  // namespace cbmpi::fabric

@@ -1,0 +1,46 @@
+#include "fabric/cma_channel.hpp"
+
+#include <algorithm>
+
+namespace cbmpi::fabric {
+
+Micros CmaChannel::control_latency(bool same_socket) const {
+  const auto& p = *profile_;
+  return p.shm_cell_overhead + p.shm_base_latency +
+         (same_socket ? 0.0 : p.inter_socket_hop);
+}
+
+Micros CmaChannel::transfer_cost(Bytes size, bool same_socket) const {
+  const auto& p = *profile_;
+  const BytesPerMicro memcpy_bw =
+      same_socket ? p.memcpy_bw_intra_socket : p.memcpy_bw_inter_socket;
+  const BytesPerMicro bw = memcpy_bw * p.cma_bw_fraction;
+  return p.cma_syscall_overhead + static_cast<double>(size) / bw;
+}
+
+RndvTimes CmaChannel::rndv_times(Bytes size, bool same_socket, Micros rts_sent_at,
+                                 Micros match_at) const {
+  const Micros ctrl = control_latency(same_socket);
+  const Micros start = std::max(match_at, rts_sent_at + ctrl);
+  RndvTimes times;
+  times.receiver_done = start + transfer_cost(size, same_socket);
+  times.sender_done = times.receiver_done + ctrl;  // FIN notification
+  return times;
+}
+
+OneSidedCosts CmaChannel::one_sided_costs(Bytes size, bool same_socket) const {
+  const auto& p = *profile_;
+  OneSidedCosts costs;
+  const Micros xfer = transfer_cost(size, same_socket);
+  // Syscalls cannot be pipelined away: the gap is the full syscall+copy.
+  costs.gap = std::max(p.shm_pipelined_gap, xfer);
+  costs.latency = xfer;
+  return costs;
+}
+
+osl::cma::Result CmaChannel::pull(const osl::SimProcess& receiver, const RndvState& rndv,
+                                  std::span<std::byte> dst) const {
+  return osl::cma::read(receiver, rndv.sender_process(), dst, rndv.source());
+}
+
+}  // namespace cbmpi::fabric

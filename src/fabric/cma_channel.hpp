@@ -1,0 +1,47 @@
+// CMA channel: single-copy transfers via simulated process_vm_readv.
+//
+// Always a rendezvous protocol: the receiver matches the RTS and pulls the
+// payload straight out of the sender's address space with one copy. The
+// syscall's fixed cost is why CMA loses to SHM below ~8 KiB (Fig. 3) — and
+// why SMP_EAGER_SIZE = 8 K is the optimal switch point (Fig. 7a).
+//
+// Requires a shared PID namespace; the data move goes through osl::cma which
+// enforces that, so a mis-selected CMA transfer surfaces as EPERM exactly
+// like the real syscall would.
+#pragma once
+
+#include <span>
+
+#include "fabric/channel_costs.hpp"
+#include "fabric/message.hpp"
+#include "osl/cma.hpp"
+#include "topo/calibration.hpp"
+
+namespace cbmpi::fabric {
+
+class CmaChannel {
+ public:
+  explicit CmaChannel(const topo::MachineProfile& profile) : profile_(&profile) {}
+
+  /// Completion times for a transfer of `size` bytes given when the RTS was
+  /// sent and when the receiver matched it. Control messages (RTS/FIN) ride
+  /// the shared-memory queue, so their latency is SHM-like.
+  RndvTimes rndv_times(Bytes size, bool same_socket, Micros rts_sent_at,
+                       Micros match_at) const;
+
+  OneSidedCosts one_sided_costs(Bytes size, bool same_socket) const;
+
+  /// Performs the actual single-copy pull on behalf of the receiver.
+  osl::cma::Result pull(const osl::SimProcess& receiver, const RndvState& rndv,
+                        std::span<std::byte> dst) const;
+
+  /// Single-copy cost (syscall + copy), exposed for calibration tests.
+  Micros transfer_cost(Bytes size, bool same_socket) const;
+
+ private:
+  Micros control_latency(bool same_socket) const;
+
+  const topo::MachineProfile* profile_;
+};
+
+}  // namespace cbmpi::fabric

@@ -1,0 +1,69 @@
+// HCA channel: InfiniBand verbs-level communication.
+//
+// Paths:
+//   * inter-host — NIC injection, wire, one switch hop;
+//   * intra-host loopback — the path the default (hostname-based) runtime
+//     forces co-resident containers onto: payload crosses PCIe down to the
+//     NIC and back up, so both latency and bandwidth are far worse than SHM.
+//
+// Protocols:
+//   * eager (size < MV2_IBA_EAGER_THRESHOLD): sender injects into the
+//     receiver's eager ring, receiver pays a copy into the user buffer;
+//   * rendezvous: RTS/CTS handshake, then zero-copy RDMA of the payload.
+// The threshold trade-off (receiver copy grows with size vs. two extra
+// handshake trips) is what produces the Fig. 7(c) optimum near 17 K.
+//
+// Queue pairs are created lazily per connected process pair, mirroring
+// MVAPICH2's on-demand connection management.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <utility>
+
+#include "fabric/channel_costs.hpp"
+#include "fabric/tuning.hpp"
+#include "topo/calibration.hpp"
+
+namespace cbmpi::fabric {
+
+class HcaChannel {
+ public:
+  HcaChannel(const topo::MachineProfile& profile, const TuningParams& tuning)
+      : profile_(&profile), tuning_(tuning) {}
+
+  /// Lazily establishes the queue pair between two world ranks.
+  void ensure_connected(int a, int b);
+
+  /// Number of queue pairs created so far.
+  std::size_t queue_pairs() const;
+
+  EagerCosts eager_costs(Bytes size, bool loopback, bool sriov = false) const;
+
+  /// `posted_at` is when the receive was posted; `busy_until` is when the
+  /// receiver finished its previous incoming transfer. When the receiver is
+  /// transfer-bound (busy_until dominates) the RTS/CTS handshake of this
+  /// message overlapped with the previous transfer and only a small residue
+  /// remains on the critical path.
+  RndvTimes rndv_times(Bytes size, bool loopback, Micros rts_sent_at,
+                       Micros posted_at, Micros busy_until = 0.0,
+                       bool sriov = false) const;
+
+  OneSidedCosts one_sided_costs(Bytes size, bool loopback,
+                                bool sriov = false) const;
+
+  /// One-way latency of a header-only control message.
+  Micros control_latency(bool loopback) const;
+
+ private:
+  BytesPerMicro injection_bw(bool loopback, bool sriov) const;
+
+  const topo::MachineProfile* profile_;
+  TuningParams tuning_;
+
+  mutable std::mutex mutex_;
+  std::set<std::pair<int, int>> queue_pairs_;
+};
+
+}  // namespace cbmpi::fabric

@@ -1,0 +1,126 @@
+// Message envelopes and rendezvous handshake state.
+//
+// One Envelope is what a sender deposits into the receiver's matcher. Eager
+// envelopes carry the payload (already staged through the channel). A
+// rendezvous envelope is the RTS: it carries a shared RndvState pointing at
+// the sender's buffer; the *receiver* performs the transfer at match time
+// (exactly how CMA works: process_vm_readv is issued by the destination) and
+// then reports the sender's completion time back through the state.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/units.hpp"
+#include "osl/cma.hpp"
+
+namespace cbmpi::fabric {
+
+enum class ChannelKind : std::uint8_t { Shm = 0, Cma = 1, Hca = 2 };
+inline constexpr std::size_t kChannelKinds = 3;
+
+const char* to_string(ChannelKind kind);
+
+enum class Protocol : std::uint8_t { Eager, Rendezvous };
+
+/// Shared sender/receiver state of one rendezvous transfer.
+class RndvState {
+ public:
+  RndvState(std::span<const std::byte> src_view, const osl::SimProcess* sender,
+            Micros rts_sent_at)
+      : src_view_(src_view), sender_(sender), rts_sent_at_(rts_sent_at) {}
+
+  std::span<const std::byte> source() const { return src_view_; }
+  const osl::SimProcess& sender_process() const { return *sender_; }
+  Micros rts_sent_at() const { return rts_sent_at_; }
+
+  /// Receiver side: publish the outcome and wake the sender.
+  void complete(Micros sender_complete_at, osl::cma::Result result) {
+    {
+      const std::scoped_lock lock(mutex_);
+      sender_complete_at_ = sender_complete_at;
+      result_ = result;
+      done_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Sender side: block (wall-clock) until the receiver finished the pull;
+  /// returns the sender's virtual completion time.
+  Micros wait_sender_complete() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return done_; });
+    return sender_complete_at_;
+  }
+
+  /// Bounded wait; returns true once done. Lets blocked senders poll an
+  /// abort flag between waits.
+  bool wait_done_for(std::chrono::milliseconds timeout) {
+    std::unique_lock lock(mutex_);
+    return cv_.wait_for(lock, timeout, [&] { return done_; });
+  }
+
+  bool done() const {
+    const std::scoped_lock lock(mutex_);
+    return done_;
+  }
+
+  /// Valid once done(): how the data move went (CMA can be refused).
+  osl::cma::Result result() const {
+    const std::scoped_lock lock(mutex_);
+    return result_;
+  }
+
+ private:
+  std::span<const std::byte> src_view_;
+  const osl::SimProcess* sender_;
+  Micros rts_sent_at_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  Micros sender_complete_at_ = 0.0;
+  osl::cma::Result result_ = osl::cma::Result::Ok;
+};
+
+struct Envelope {
+  int src = -1;  ///< world rank of the sender
+  int dst = -1;  ///< world rank of the receiver
+  int tag = 0;
+  std::uint64_t comm_id = 0;
+  std::uint64_t seq = 0;  ///< per-(src,dst) send order
+
+  ChannelKind channel = ChannelKind::Shm;
+  Protocol protocol = Protocol::Eager;
+  Bytes size = 0;
+
+  /// Physical path attributes captured at selection time (cost inputs).
+  bool same_socket = false;
+  bool loopback = false;
+  bool sriov = false;
+  /// Eager only: receiver-side completion cost, precomputed by the sender.
+  Micros receiver_cost = 0.0;
+
+  /// Eager: virtual time at which the payload is available receiver-side.
+  /// Rendezvous: virtual time at which the RTS arrives.
+  Micros available_at = 0.0;
+
+  std::vector<std::byte> payload;    ///< eager only
+  std::shared_ptr<RndvState> rndv;   ///< rendezvous only
+};
+
+inline const char* to_string(ChannelKind kind) {
+  switch (kind) {
+    case ChannelKind::Shm: return "SHM";
+    case ChannelKind::Cma: return "CMA";
+    case ChannelKind::Hca: return "HCA";
+  }
+  return "?";
+}
+
+}  // namespace cbmpi::fabric

@@ -1,0 +1,111 @@
+#include "fabric/selector.hpp"
+
+#include "common/error.hpp"
+
+namespace cbmpi::fabric {
+
+const char* to_string(LocalityPolicy policy) {
+  switch (policy) {
+    case LocalityPolicy::HostnameBased: return "hostname-based (default)";
+    case LocalityPolicy::ContainerAware: return "container-aware (proposed)";
+  }
+  return "?";
+}
+
+ChannelSelector::ChannelSelector(LocalityPolicy policy, TuningParams tuning,
+                                 std::vector<RankEndpoint> endpoints)
+    : policy_(policy), tuning_(tuning), endpoints_(std::move(endpoints)) {
+  CBMPI_REQUIRE(!endpoints_.empty(), "selector needs at least one endpoint");
+  for (const auto& ep : endpoints_)
+    CBMPI_REQUIRE(ep.process != nullptr, "endpoint without a process");
+}
+
+void ChannelSelector::set_detected_locality(
+    std::vector<std::vector<std::uint8_t>> co_resident) {
+  CBMPI_REQUIRE(co_resident.size() == endpoints_.size(),
+                "locality matrix rank count mismatch");
+  detected_ = std::move(co_resident);
+}
+
+const RankEndpoint& ChannelSelector::endpoint(int rank) const {
+  CBMPI_REQUIRE(rank >= 0 && rank < num_ranks(), "rank out of range: ", rank);
+  return endpoints_[static_cast<std::size_t>(rank)];
+}
+
+bool ChannelSelector::same_host(int a, int b) const {
+  return endpoint(a).process->same_host(*endpoint(b).process);
+}
+
+bool ChannelSelector::same_socket(int a, int b) const {
+  return endpoint(a).process->same_socket(*endpoint(b).process);
+}
+
+bool ChannelSelector::co_resident(int a, int b) const {
+  if (a == b) return true;
+  switch (policy_) {
+    case LocalityPolicy::HostnameBased:
+      return endpoint(a).hostname == endpoint(b).hostname;
+    case LocalityPolicy::ContainerAware: {
+      CBMPI_REQUIRE(!detected_.empty(),
+                    "ContainerAware policy used before locality detection ran");
+      return detected_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] != 0;
+    }
+  }
+  return false;
+}
+
+bool ChannelSelector::cma_usable(int a, int b) const {
+  if (!tuning_.use_cma) return false;
+  return endpoint(a).process->namespaces().shares(osl::NamespaceType::Pid,
+                                                  endpoint(b).process->namespaces());
+}
+
+ChannelSelector::Decision ChannelSelector::select(int src, int dst, Bytes size) const {
+  Decision d;
+  d.same_socket = same_socket(src, dst);
+  d.loopback = same_host(src, dst);
+  d.sriov = endpoint(src).sriov || endpoint(dst).sriov;
+
+  if (forced_) {
+    d.channel = *forced_;
+    switch (*forced_) {
+      case ChannelKind::Shm:
+        d.protocol = size < tuning_.smp_eager_size ? Protocol::Eager
+                                                   : Protocol::Rendezvous;
+        break;
+      case ChannelKind::Cma:
+        d.protocol = Protocol::Rendezvous;  // CMA is always rendezvous
+        break;
+      case ChannelKind::Hca:
+        d.protocol = size < tuning_.iba_eager_threshold ? Protocol::Eager
+                                                        : Protocol::Rendezvous;
+        break;
+    }
+    return d;
+  }
+
+  if (tuning_.use_shm && co_resident(src, dst)) {
+    if (size < tuning_.smp_eager_size) {
+      d.channel = ChannelKind::Shm;
+      d.protocol = Protocol::Eager;
+    } else if (cma_usable(src, dst)) {
+      d.channel = ChannelKind::Cma;
+      d.protocol = Protocol::Rendezvous;
+    } else {
+      d.channel = ChannelKind::Shm;
+      d.protocol = Protocol::Rendezvous;
+    }
+    return d;
+  }
+
+  CBMPI_REQUIRE(endpoint(src).hca_accessible && endpoint(dst).hca_accessible,
+                "ranks ", src, " and ", dst,
+                " must communicate over the HCA but at least one container "
+                "was started without --privileged");
+  d.channel = ChannelKind::Hca;
+  d.protocol = size < tuning_.iba_eager_threshold ? Protocol::Eager
+                                                  : Protocol::Rendezvous;
+  return d;
+}
+
+}  // namespace cbmpi::fabric

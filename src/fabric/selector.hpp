@@ -1,0 +1,89 @@
+// Channel selection policy.
+//
+// This is the decision the whole paper hinges on. For every (src, dst) pair
+// the runtime must decide which channel carries the message:
+//
+//   * HostnameBased (default MVAPICH2 behaviour): peers are "local" iff their
+//     hostnames match. Every container has a unique hostname, so co-resident
+//     containers are misclassified as remote and fall onto the HCA loopback
+//     path — the bottleneck identified in Sec. III.
+//
+//   * ContainerAware (the paper's design): peers are local iff the Container
+//     Locality Detector found them in the same shared-memory container list,
+//     which works across containers whenever the host's IPC namespace is
+//     shared.
+//
+// Local traffic is split by SMP_EAGER_SIZE between the SHM eager path and
+// the CMA rendezvous path (when the PID namespace is shared); remote traffic
+// is split by MV2_IBA_EAGER_THRESHOLD between HCA eager and HCA rendezvous.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fabric/message.hpp"
+#include "fabric/tuning.hpp"
+#include "osl/process.hpp"
+
+namespace cbmpi::fabric {
+
+enum class LocalityPolicy { HostnameBased, ContainerAware };
+
+const char* to_string(LocalityPolicy policy);
+
+/// What the runtime knows about one rank at selection time.
+struct RankEndpoint {
+  const osl::SimProcess* process = nullptr;
+  std::string hostname;         ///< gethostname() inside the rank's container
+  bool hca_accessible = true;   ///< container started with --privileged
+  bool sriov = false;           ///< HCA reached through an SR-IOV VF (VMs)
+};
+
+class ChannelSelector {
+ public:
+  ChannelSelector(LocalityPolicy policy, TuningParams tuning,
+                  std::vector<RankEndpoint> endpoints);
+
+  /// Installs the Container Locality Detector's result (required before the
+  /// first select() under ContainerAware). co[i][j] != 0 iff ranks i and j
+  /// found each other in the same container list.
+  void set_detected_locality(std::vector<std::vector<std::uint8_t>> co_resident);
+
+  struct Decision {
+    ChannelKind channel = ChannelKind::Hca;
+    Protocol protocol = Protocol::Eager;
+    bool same_socket = false;  ///< physical, for SHM/CMA copy costs
+    bool loopback = false;     ///< physical, for the HCA path
+    bool sriov = false;        ///< either endpoint behind an SR-IOV VF
+  };
+
+  Decision select(int src, int dst, Bytes size) const;
+
+  /// Does the policy consider these ranks co-resident?
+  bool co_resident(int a, int b) const;
+
+  /// Physical truth, independent of policy.
+  bool same_host(int a, int b) const;
+  bool same_socket(int a, int b) const;
+
+  /// Forces every selection onto one channel (Fig. 3 channel comparison).
+  void force_channel(std::optional<ChannelKind> kind) { forced_ = kind; }
+
+  LocalityPolicy policy() const { return policy_; }
+  const TuningParams& tuning() const { return tuning_; }
+  int num_ranks() const { return static_cast<int>(endpoints_.size()); }
+  const RankEndpoint& endpoint(int rank) const;
+
+ private:
+  bool cma_usable(int a, int b) const;
+
+  LocalityPolicy policy_;
+  TuningParams tuning_;
+  std::vector<RankEndpoint> endpoints_;
+  std::vector<std::vector<std::uint8_t>> detected_;
+  std::optional<ChannelKind> forced_;
+};
+
+}  // namespace cbmpi::fabric

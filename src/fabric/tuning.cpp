@@ -1,0 +1,7 @@
+#include "fabric/tuning.hpp"
+
+namespace cbmpi::fabric {
+static_assert(TuningParams{}.smp_eager_size == 8_KiB);
+static_assert(TuningParams{}.smpi_length_queue == 128_KiB);
+static_assert(TuningParams{}.iba_eager_threshold == 17_KiB);
+}  // namespace cbmpi::fabric

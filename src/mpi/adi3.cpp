@@ -1,0 +1,288 @@
+#include "mpi/adi3.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace cbmpi::mpi {
+
+namespace {
+/// CPU cost of posting an RTS descriptor.
+constexpr Micros kRtsPostOverhead = 0.10;
+}  // namespace
+
+// A note on MPI_Test/MPI_Iprobe time: an idle poll advances *no* virtual
+// time. A wall-clock polling loop may spin thousands of times waiting for a
+// peer thread to be scheduled, and charging each spin would couple virtual
+// time to host scheduling noise. The true waiting cost is captured exactly
+// once, by the advance_to() jump to the request's completion time — which the
+// profiler attributes to the MPI_Test/MPI_Wait call that observed completion,
+// just like mpiP attributes polling time in the real library.
+
+Adi3Engine::Adi3Engine(JobState& job, int world_rank, osl::SimProcess& proc)
+    : job_(&job), rank_(world_rank), proc_(&proc) {
+  CBMPI_REQUIRE(world_rank >= 0 && world_rank < job.nranks, "bad world rank");
+}
+
+std::uint64_t Adi3Engine::queue_pair_key(int dst_world) const {
+  return static_cast<std::uint64_t>(rank_) * static_cast<std::uint64_t>(job_->nranks) +
+         static_cast<std::uint64_t>(dst_world);
+}
+
+Request Adi3Engine::start_send(std::span<const std::byte> data, int dst_world, int tag,
+                               std::uint64_t comm_id) {
+  CBMPI_REQUIRE(dst_world >= 0 && dst_world < job_->nranks,
+                "send to invalid rank ", dst_world);
+  const Bytes size = data.size();
+  const auto decision = job_->selector->select(rank_, dst_world, size);
+  profile().add_channel_op(decision.channel, size);
+  if (decision.channel == fabric::ChannelKind::Hca)
+    job_->hca->ensure_connected(rank_, dst_world);
+
+  fabric::Envelope env;
+  env.src = rank_;
+  env.dst = dst_world;
+  env.tag = tag;
+  env.comm_id = comm_id;
+  env.seq = next_seq_++;
+  env.channel = decision.channel;
+  env.protocol = decision.protocol;
+  env.size = size;
+  env.same_socket = decision.same_socket;
+  env.loopback = decision.loopback;
+  env.sriov = decision.sriov;
+
+  auto request = std::make_shared<RequestState>();
+
+  if (decision.protocol == fabric::Protocol::Eager) {
+    fabric::EagerCosts costs;
+    switch (decision.channel) {
+      case fabric::ChannelKind::Shm: {
+        costs = job_->shm->eager_costs(size, decision.same_socket);
+        const auto* peer = job_->selector->endpoint(dst_world).process;
+        job_->shm->stage(*proc_, *peer, queue_pair_key(dst_world), data, env.payload);
+        break;
+      }
+      case fabric::ChannelKind::Hca: {
+        costs = job_->hca->eager_costs(size, decision.loopback, decision.sriov);
+        env.payload.assign(data.begin(), data.end());
+        break;
+      }
+      case fabric::ChannelKind::Cma:
+        // The selector never routes eager traffic onto CMA.
+        CBMPI_REQUIRE(false, "eager protocol on CMA channel — selector bug");
+    }
+    clock().advance(costs.sender);
+    env.available_at = clock().now() + costs.delivery;
+    env.receiver_cost = costs.receiver;
+
+    if (job_->trace)
+      job_->trace->record({sim::TraceKind::SendEager, rank_, dst_world, size,
+                           clock().now(), fabric::to_string(decision.channel)});
+
+    request->kind = RequestState::Kind::SendEager;
+    request->complete = true;
+    request->complete_at = clock().now();
+    job_->matcher(dst_world).deliver(std::move(env));
+    return request;
+  }
+
+  // Rendezvous: post the RTS carrying a view of the user buffer; the
+  // receiver performs the transfer and reports our completion time back.
+  clock().advance(kRtsPostOverhead);
+  auto rndv = std::make_shared<fabric::RndvState>(data, proc_, clock().now());
+  env.available_at = clock().now();
+  env.rndv = rndv;
+
+  if (job_->trace)
+    job_->trace->record({sim::TraceKind::SendRndvRts, rank_, dst_world, size,
+                         clock().now(), fabric::to_string(decision.channel)});
+
+  request->kind = RequestState::Kind::SendRndv;
+  request->rndv = std::move(rndv);
+  job_->matcher(dst_world).deliver(std::move(env));
+  return request;
+}
+
+Request Adi3Engine::post_recv(std::span<std::byte> buffer, int src_world, int tag,
+                              std::uint64_t comm_id) {
+  auto request = std::make_shared<RequestState>();
+  request->kind = RequestState::Kind::Recv;
+  request->buffer = buffer;
+  request->src_world = src_world;
+  request->tag = tag;
+  request->comm_id = comm_id;
+  request->posted_at = clock().now();
+  posted_.push_back(request);
+  // A matching message may already be waiting in the unexpected queue.
+  try_complete_recv(*request);
+  if (request->complete)
+    posted_.erase(std::remove(posted_.begin(), posted_.end(), request), posted_.end());
+  return request;
+}
+
+void Adi3Engine::complete_eager(RequestState& request, fabric::Envelope& env) {
+  CBMPI_REQUIRE(env.size <= request.buffer.size(),
+                "message truncation: incoming ", env.size, " bytes into ",
+                request.buffer.size(), "-byte receive buffer");
+  if (env.size > 0)
+    std::memcpy(request.buffer.data(), env.payload.data(), env.size);
+  const Micros start =
+      std::max({request.posted_at, env.available_at, recv_busy_until_});
+  request.complete_at = start + env.receiver_cost;
+  recv_busy_until_ = request.complete_at;
+  request.status = Status{env.src, env.tag, env.size};
+  request.complete = true;
+  if (job_->trace)
+    job_->trace->record({sim::TraceKind::RecvComplete, env.src, rank_, env.size,
+                         request.complete_at, fabric::to_string(env.channel)});
+}
+
+void Adi3Engine::complete_rendezvous(RequestState& request, fabric::Envelope& env) {
+  CBMPI_REQUIRE(env.size <= request.buffer.size(),
+                "message truncation: incoming ", env.size, " bytes into ",
+                request.buffer.size(), "-byte receive buffer");
+  auto& rndv = *env.rndv;
+  std::span<std::byte> dst = request.buffer.subspan(0, env.size);
+
+  // Back-to-back rendezvous pulls serialize on the receiving CPU/NIC.
+  const Micros match_at = std::max(request.posted_at, recv_busy_until_);
+  (void)match_at;
+
+  fabric::RndvTimes times{};
+  auto result = osl::cma::Result::Ok;
+  switch (env.channel) {
+    case fabric::ChannelKind::Cma:
+      times = job_->cma->rndv_times(env.size, env.same_socket, env.available_at,
+                                    match_at);
+      result = job_->cma->pull(*proc_, rndv, dst);
+      CBMPI_REQUIRE(result == osl::cma::Result::Ok,
+                    "CMA transfer failed: ", osl::cma::to_string(result),
+                    " — containers must share the host PID namespace "
+                    "(--pid=host) for the CMA channel");
+      break;
+    case fabric::ChannelKind::Shm:
+      times = job_->shm->rndv_times(env.size, env.same_socket, env.available_at,
+                                    match_at);
+      if (env.size > 0) std::memcpy(dst.data(), rndv.source().data(), env.size);
+      break;
+    case fabric::ChannelKind::Hca:
+      times = job_->hca->rndv_times(env.size, env.loopback, env.available_at,
+                                    request.posted_at, recv_busy_until_, env.sriov);
+      if (env.size > 0) std::memcpy(dst.data(), rndv.source().data(), env.size);
+      break;
+  }
+
+  request.complete_at = times.receiver_done;
+  recv_busy_until_ = times.receiver_busy_until > 0.0 ? times.receiver_busy_until
+                                                     : times.receiver_done;
+  request.status = Status{env.src, env.tag, env.size};
+  request.complete = true;
+  rndv.complete(times.sender_done, result);
+
+  if (job_->trace) {
+    job_->trace->record({sim::TraceKind::RecvRndvCts, rank_, env.src, 0,
+                         request.posted_at, fabric::to_string(env.channel)});
+    job_->trace->record({sim::TraceKind::SendRndvData, env.src, rank_, env.size,
+                         times.receiver_done, fabric::to_string(env.channel)});
+  }
+}
+
+bool Adi3Engine::try_complete_recv(RequestState& request) {
+  if (request.complete) return true;
+  auto env = job_->matcher(rank_).try_match(request.src_world, request.tag,
+                                            request.comm_id);
+  if (!env) return false;
+  if (env->protocol == fabric::Protocol::Eager)
+    complete_eager(request, *env);
+  else
+    complete_rendezvous(request, *env);
+  return true;
+}
+
+void Adi3Engine::progress_posted() {
+  auto it = posted_.begin();
+  while (it != posted_.end()) {
+    if (try_complete_recv(**it))
+      it = posted_.erase(it);
+    else
+      ++it;
+  }
+}
+
+bool Adi3Engine::test(const Request& request) {
+  CBMPI_REQUIRE(request != nullptr, "test on null request");
+  switch (request->kind) {
+    case RequestState::Kind::SendEager:
+      break;  // complete since start_send
+    case RequestState::Kind::SendRndv:
+      if (!request->complete && request->rndv->done()) {
+        request->complete_at = request->rndv->wait_sender_complete();
+        request->complete = true;
+      }
+      break;
+    case RequestState::Kind::Recv:
+      progress_posted();
+      break;
+  }
+  if (request->complete) clock().advance_to(request->complete_at);
+  return request->complete;
+}
+
+Status Adi3Engine::wait(const Request& request) {
+  CBMPI_REQUIRE(request != nullptr, "wait on null request");
+  switch (request->kind) {
+    case RequestState::Kind::SendEager:
+      break;
+    case RequestState::Kind::SendRndv:
+      while (!request->complete) {
+        check_abort();
+        if (request->rndv->wait_done_for(std::chrono::milliseconds(20))) {
+          request->complete_at = request->rndv->wait_sender_complete();
+          request->complete = true;
+        }
+        // While blocked in a rendezvous send, keep progressing posted
+        // receives so head-to-head large transfers cannot deadlock the way
+        // a progress-less implementation would.
+        progress_posted();
+      }
+      break;
+    case RequestState::Kind::Recv: {
+      while (!request->complete) {
+        check_abort();
+        const std::uint64_t seen = job_->matcher(rank_).version();
+        progress_posted();
+        if (request->complete) break;
+        job_->matcher(rank_).wait_past(seen);
+      }
+      break;
+    }
+  }
+  clock().advance_to(request->complete_at);
+  return request->status;
+}
+
+void Adi3Engine::check_abort() const {
+  if (job_->aborted.load(std::memory_order_acquire))
+    throw Error("job aborted: another rank raised an error");
+}
+
+void Adi3Engine::wait_all(std::span<const Request> requests) {
+  for (const auto& request : requests) wait(request);
+}
+
+void Adi3Engine::cancel(const Request& request) {
+  CBMPI_REQUIRE(request != nullptr, "cancel on null request");
+  CBMPI_REQUIRE(request->kind == RequestState::Kind::Recv,
+                "only receive requests can be cancelled");
+  posted_.erase(std::remove(posted_.begin(), posted_.end(), request), posted_.end());
+}
+
+std::optional<Status> Adi3Engine::iprobe(int src_world, int tag,
+                                         std::uint64_t comm_id) {
+  progress_posted();
+  return job_->matcher(rank_).peek(src_world, tag, comm_id);
+}
+
+}  // namespace cbmpi::mpi

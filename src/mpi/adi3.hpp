@@ -1,0 +1,91 @@
+// ADI3-like progress engine: byte-level point-to-point protocols.
+//
+// One engine per rank, driven by that rank's thread. It owns the list of
+// posted (pending) receives and implements the eager and rendezvous
+// protocols over whichever channel the selector picked.
+//
+// Progress semantics mirror a single-threaded MPI library without an async
+// progress thread: transfers advance only inside MPI calls. Any blocking
+// call (and every test) progresses *all* posted receives, not just the one
+// being waited on — that is what lets a peer's blocking rendezvous send
+// complete while this rank waits on an unrelated request, exactly like a
+// real progress engine.
+//
+// Virtual-time rules:
+//   * eager completion  = max(posted_at, available_at) + receiver_cost
+//   * rendezvous times come from the channel's rndv_times(rts_sent, posted_at)
+// Completion times depend only on post/send times (not on when the thread
+// happens to run), which keeps results reproducible.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "mpi/job_state.hpp"
+#include "mpi/types.hpp"
+#include "osl/process.hpp"
+
+namespace cbmpi::mpi {
+
+class Adi3Engine {
+ public:
+  Adi3Engine(JobState& job, int world_rank, osl::SimProcess& proc);
+
+  Adi3Engine(const Adi3Engine&) = delete;
+  Adi3Engine& operator=(const Adi3Engine&) = delete;
+
+  int world_rank() const { return rank_; }
+  osl::SimProcess& process() { return *proc_; }
+  sim::VirtualClock& clock() { return proc_->clock(); }
+  JobState& job() { return *job_; }
+  const JobState& job() const { return *job_; }
+  prof::RankProfile& profile() { return job_->rank_profile(rank_); }
+
+  /// Starts a send; the returned request is complete immediately for eager
+  /// transfers and completes via the receiver for rendezvous ones. The data
+  /// span must stay valid until the request completes.
+  Request start_send(std::span<const std::byte> data, int dst_world, int tag,
+                     std::uint64_t comm_id);
+
+  /// Posts a receive. The buffer must stay valid until completion.
+  Request post_recv(std::span<std::byte> buffer, int src_world, int tag,
+                    std::uint64_t comm_id);
+
+  /// Non-blocking progress + completion check (MPI_Test).
+  bool test(const Request& request);
+
+  /// Blocks until the request completes (MPI_Wait); returns its status.
+  Status wait(const Request& request);
+
+  void wait_all(std::span<const Request> requests);
+
+  /// MPI_Cancel analogue for receive requests: withdraws a posted receive
+  /// that has not completed. No-op if it already completed.
+  void cancel(const Request& request);
+
+  /// MPI_Iprobe: is a matching message pending? (world-relative source)
+  std::optional<Status> iprobe(int src_world, int tag, std::uint64_t comm_id);
+
+ private:
+  void check_abort() const;
+  void progress_posted();
+  bool try_complete_recv(RequestState& request);
+  void complete_eager(RequestState& request, fabric::Envelope& env);
+  void complete_rendezvous(RequestState& request, fabric::Envelope& env);
+  std::uint64_t queue_pair_key(int dst_world) const;
+
+  JobState* job_;
+  int rank_;
+  osl::SimProcess* proc_;
+  std::uint64_t next_seq_ = 0;
+  std::vector<Request> posted_;
+  /// Receiver-side copies/pulls serialize on this rank's CPU: the next
+  /// incoming payload cannot start processing before the previous one
+  /// finished. This is what bounds windowed bandwidth to the per-message
+  /// receive cost (instead of letting a window of receives complete in
+  /// parallel virtual time).
+  Micros recv_busy_until_ = 0.0;
+};
+
+}  // namespace cbmpi::mpi

@@ -1,0 +1,281 @@
+#include "mpi/communicator.hpp"
+
+#include <numeric>
+
+#include "common/rng.hpp"
+
+namespace cbmpi::mpi {
+
+std::shared_ptr<const CommGroup> CommGroup::make(std::vector<int> world_ranks) {
+  auto group = std::make_shared<CommGroup>();
+  group->world_ranks = std::move(world_ranks);
+  group->to_comm.reserve(group->world_ranks.size());
+  for (std::size_t i = 0; i < group->world_ranks.size(); ++i) {
+    const bool inserted =
+        group->to_comm.emplace(group->world_ranks[i], static_cast<int>(i)).second;
+    CBMPI_REQUIRE(inserted, "duplicate world rank in communicator group");
+  }
+  return group;
+}
+
+int position_of(const std::vector<int>& list, int rank) {
+  const auto it = std::find(list.begin(), list.end(), rank);
+  return it == list.end() ? -1 : static_cast<int>(it - list.begin());
+}
+
+Communicator::Communicator(Adi3Engine& engine, std::shared_ptr<const CommGroup> group,
+                           std::uint64_t id)
+    : engine_(&engine), group_(std::move(group)), id_(id) {
+  const auto it = group_->to_comm.find(engine_->world_rank());
+  CBMPI_REQUIRE(it != group_->to_comm.end(),
+                "rank ", engine_->world_rank(), " is not in this communicator");
+  my_rank_ = it->second;
+}
+
+int Communicator::to_world(int comm_rank) const {
+  CBMPI_REQUIRE(comm_rank >= 0 && comm_rank < size(),
+                "communicator rank out of range: ", comm_rank);
+  return group_->world_ranks[static_cast<std::size_t>(comm_rank)];
+}
+
+int Communicator::from_world(int world_rank) const {
+  const auto it = group_->to_comm.find(world_rank);
+  CBMPI_REQUIRE(it != group_->to_comm.end(), "world rank ", world_rank,
+                " not in communicator");
+  return it->second;
+}
+
+bool Communicator::test(const Request& request) {
+  const ProfiledCall prof_scope(*engine_, prof::CallKind::Test);
+  return engine_->test(request);
+}
+
+Status Communicator::wait(const Request& request) {
+  const ProfiledCall prof_scope(*engine_, prof::CallKind::Wait);
+  Status status = engine_->wait(request);
+  if (request->kind == RequestState::Kind::Recv && status.source != kAnySource)
+    status.source = from_world(status.source);
+  return status;
+}
+
+void Communicator::wait_all(std::span<const Request> requests) {
+  const ProfiledCall prof_scope(*engine_, prof::CallKind::Wait);
+  engine_->wait_all(requests);
+}
+
+std::size_t Communicator::wait_any(std::span<const Request> requests) {
+  CBMPI_REQUIRE(!requests.empty(), "wait_any on an empty request set");
+  const ProfiledCall prof_scope(*engine_, prof::CallKind::Wait);
+  while (true) {
+    const std::uint64_t seen = engine_->job().matcher(engine_->world_rank()).version();
+    for (std::size_t i = 0; i < requests.size(); ++i)
+      if (engine_->test(requests[i])) return i;
+    engine_->job().matcher(engine_->world_rank()).wait_past(seen);
+    if (engine_->job().aborted.load(std::memory_order_acquire))
+      throw Error("job aborted: another rank raised an error");
+  }
+}
+
+std::optional<std::size_t> Communicator::test_any(std::span<const Request> requests) {
+  const ProfiledCall prof_scope(*engine_, prof::CallKind::Test);
+  for (std::size_t i = 0; i < requests.size(); ++i)
+    if (engine_->test(requests[i])) return i;
+  return std::nullopt;
+}
+
+bool Communicator::test_all(std::span<const Request> requests) {
+  const ProfiledCall prof_scope(*engine_, prof::CallKind::Test);
+  bool all = true;
+  for (const auto& request : requests)
+    all = engine_->test(request) && all;
+  return all;
+}
+
+Status Communicator::probe(int src, int tag) {
+  const ProfiledCall prof_scope(*engine_, prof::CallKind::Probe);
+  const int src_world = src == kAnySource ? kAnySource : to_world(src);
+  while (true) {
+    const std::uint64_t seen = engine_->job().matcher(engine_->world_rank()).version();
+    auto status = engine_->iprobe(src_world, tag, id_);
+    if (status) {
+      status->source = from_world(status->source);
+      return *status;
+    }
+    engine_->job().matcher(engine_->world_rank()).wait_past(seen);
+    if (engine_->job().aborted.load(std::memory_order_acquire))
+      throw Error("job aborted: another rank raised an error");
+  }
+}
+
+std::optional<Status> Communicator::iprobe(int src, int tag) {
+  const ProfiledCall prof_scope(*engine_, prof::CallKind::Probe);
+  const int src_world = src == kAnySource ? kAnySource : to_world(src);
+  auto status = engine_->iprobe(src_world, tag, id_);
+  if (status) status->source = from_world(status->source);
+  return status;
+}
+
+int Communicator::begin_collective() {
+  constexpr std::uint64_t kEpochs =
+      (std::uint64_t{1} << 30) / static_cast<std::uint64_t>(kSubTags);
+  const auto epoch = next_coll_seq_++ % kEpochs;
+  return kCollectiveTagBase + static_cast<int>(epoch * kSubTags);
+}
+
+std::vector<int> Communicator::all_ranks() const {
+  std::vector<int> list(static_cast<std::size_t>(size()));
+  std::iota(list.begin(), list.end(), 0);
+  return list;
+}
+
+int Communicator::position_in(const std::vector<int>& list) const {
+  const int pos = position_of(list, my_rank_);
+  CBMPI_REQUIRE(pos >= 0, "rank ", my_rank_, " not in collective rank list");
+  return pos;
+}
+
+bool Communicator::two_level_enabled() const {
+  return engine_->job().tuning.two_level_collectives;
+}
+
+void Communicator::barrier_over(const std::vector<int>& list, int tag) {
+  const int m = static_cast<int>(list.size());
+  if (m <= 1) return;
+  const int pos = position_in(list);
+  std::uint8_t token = 1;
+  // Dissemination: log2(m) rounds; distances are distinct modulo m, so one
+  // tag per round pair is unnecessary — but rounds reuse partners only with
+  // distinct distances, so a single tag is safe under per-sender FIFO.
+  for (int dist = 1; dist < m; dist <<= 1) {
+    const int to = list[static_cast<std::size_t>((pos + dist) % m)];
+    const int from = list[static_cast<std::size_t>((pos - dist % m + m) % m)];
+    std::uint8_t incoming = 0;
+    raw_sendrecv(std::span<const std::uint8_t>(&token, 1), to,
+                 std::span<std::uint8_t>(&incoming, 1), from, tag);
+  }
+}
+
+void Communicator::barrier() {
+  const ProfiledCall prof_scope(*engine_, prof::CallKind::Barrier);
+  const int tag = begin_collective();
+  const auto& groups = locality_groups();
+  if (!two_level_enabled() || groups.trivial()) {
+    barrier_over(all_ranks(), tag);
+    return;
+  }
+  // Local gather to the leader, leader dissemination, local release.
+  std::uint8_t token = 1;
+  if (rank() == groups.my_leader) {
+    std::uint8_t incoming = 0;
+    for (int member : groups.my_group) {
+      if (member == rank()) continue;
+      raw_recv(std::span<std::uint8_t>(&incoming, 1), member, tag);
+    }
+    barrier_over(groups.leaders, tag + 4);
+    for (int member : groups.my_group) {
+      if (member == rank()) continue;
+      raw_send(std::span<const std::uint8_t>(&token, 1), member, tag + 8);
+    }
+  } else {
+    raw_send(std::span<const std::uint8_t>(&token, 1), groups.my_leader, tag);
+    std::uint8_t incoming = 0;
+    raw_recv(std::span<std::uint8_t>(&incoming, 1), groups.my_leader, tag + 8);
+  }
+}
+
+void Communicator::raw_barrier() { barrier_over(all_ranks(), begin_collective()); }
+
+const LocalityGroups& Communicator::locality_groups() {
+  if (locality_) return *locality_;
+
+  const auto& selector = *engine_->job().selector;
+  const int n = size();
+  LocalityGroups groups;
+  groups.leader_of.resize(static_cast<std::size_t>(n));
+
+  // leader_of[j] = smallest comm rank co-resident with j. Co-residency under
+  // any policy is transitive here (same hostname / same container list), so
+  // "smallest co-resident rank" is a consistent group representative.
+  for (int j = 0; j < n; ++j) {
+    int leader = j;
+    for (int k = 0; k < n; ++k) {
+      if (selector.co_resident(to_world(j), to_world(k))) {
+        leader = k;
+        break;  // ranks scanned ascending: first hit is the minimum
+      }
+    }
+    groups.leader_of[static_cast<std::size_t>(j)] = leader;
+  }
+
+  for (int j = 0; j < n; ++j)
+    if (selector.co_resident(to_world(my_rank_), to_world(j)))
+      groups.my_group.push_back(j);
+  groups.my_leader = groups.my_group.front();
+  groups.group_size = static_cast<int>(groups.my_group.size());
+
+  std::vector<int> group_sizes(static_cast<std::size_t>(n), 0);
+  for (int j = 0; j < n; ++j) {
+    const int leader = groups.leader_of[static_cast<std::size_t>(j)];
+    if (leader == j) groups.leaders.push_back(j);
+    ++group_sizes[static_cast<std::size_t>(leader)];
+  }
+
+  groups.uniform = true;
+  for (int leader : groups.leaders)
+    if (group_sizes[static_cast<std::size_t>(leader)] !=
+        group_sizes[static_cast<std::size_t>(groups.leaders.front())])
+      groups.uniform = false;
+
+  // Contiguity: each group occupies the rank range [leader, leader + size).
+  groups.contiguous = true;
+  for (int j = 0; j < n; ++j) {
+    const int leader = groups.leader_of[static_cast<std::size_t>(j)];
+    if (j - leader >= group_sizes[static_cast<std::size_t>(leader)])
+      groups.contiguous = false;
+  }
+
+  locality_ = std::move(groups);
+  return *locality_;
+}
+
+std::optional<Communicator> Communicator::split(int color, int key) {
+  const int tag = begin_collective();
+  const std::uint64_t ordinal = next_child_ordinal_++;
+
+  struct Triple {
+    int color;
+    int key;
+    int comm_rank;
+  };
+  const Triple mine{color, key, my_rank_};
+  std::vector<Triple> all(static_cast<std::size_t>(size()));
+  allgather_over(all_ranks(), std::span<const Triple>(&mine, 1), std::span<Triple>(all),
+                 tag);
+
+  if (color < 0) return std::nullopt;
+
+  std::vector<Triple> members;
+  for (const auto& t : all)
+    if (t.color == color) members.push_back(t);
+  std::sort(members.begin(), members.end(), [](const Triple& a, const Triple& b) {
+    return std::tie(a.key, a.comm_rank) < std::tie(b.key, b.comm_rank);
+  });
+
+  std::vector<int> world_ranks;
+  world_ranks.reserve(members.size());
+  for (const auto& t : members) world_ranks.push_back(to_world(t.comm_rank));
+
+  std::uint64_t child_id = mix64(id_ ^ mix64(ordinal));
+  child_id = mix64(child_id ^ static_cast<std::uint64_t>(color));
+  return Communicator(*engine_, CommGroup::make(std::move(world_ranks)), child_id);
+}
+
+Communicator Communicator::dup() {
+  const std::uint64_t ordinal = next_child_ordinal_++;
+  // Collective by contract; no data exchange needed — the id derivation is
+  // deterministic and identical on all ranks.
+  const std::uint64_t child_id = mix64(id_ ^ mix64(ordinal ^ 0x5bd1e995ULL));
+  return Communicator(*engine_, group_, child_id);
+}
+
+}  // namespace cbmpi::mpi

@@ -1,0 +1,1047 @@
+// Communicator: the user-facing MPI-like API.
+//
+// Typed point-to-point and collective operations over contiguous spans of
+// trivially-copyable elements. Collective algorithms are written once over an
+// arbitrary *list* of communicator ranks, which lets the hierarchical
+// (two-level, leader-based) variants reuse the flat algorithms: the local
+// phase runs over the detected co-resident group, the global phase over the
+// group leaders. Which ranks count as "co-resident" comes from the channel
+// selector's policy — hostname-based (default) or container-aware (the
+// paper's design) — so the benefit of locality awareness flows through both
+// point-to-point channel selection and collective topology.
+//
+// Algorithms:
+//   barrier     dissemination                   (2-level: gather + release)
+//   bcast       binomial tree                   (2-level: leaders then local)
+//   reduce      binomial tree (commutative ops)
+//   allreduce   recursive doubling on power-of-two lists, reduce+bcast else
+//               (2-level: local reduce, leader allreduce, local bcast)
+//   gather      linear to root
+//   scatter     linear from root
+//   allgather   ring (bandwidth-optimal)        (2-level when groups are
+//                                                uniform and contiguous)
+//   alltoall    pairwise exchange (no 2-level variant — consistent with the
+//               paper, where alltoall shows the smallest collective gain)
+//   alltoallv   pairwise exchange with per-peer counts
+//
+// Tag discipline: every user-level collective reserves a block of reserved
+// tags (same sequence on every rank, because collectives are called in the
+// same order); each internal phase uses a fixed offset within the block, so
+// ranks that skip a phase (non-leaders) stay tag-consistent with ranks that
+// do not.
+//
+// All internal traffic uses unprofiled "raw" transfers so the mpiP-style
+// profile counts user-level MPI calls exactly once.
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "mpi/adi3.hpp"
+#include "mpi/types.hpp"
+
+namespace cbmpi::mpi {
+
+/// Tags at or above this value are reserved for collective internals.
+inline constexpr int kCollectiveTagBase = 1 << 20;
+
+struct CommGroup {
+  std::vector<int> world_ranks;            ///< comm rank -> world rank
+  std::unordered_map<int, int> to_comm;    ///< world rank -> comm rank
+
+  static std::shared_ptr<const CommGroup> make(std::vector<int> world_ranks);
+};
+
+/// Locality structure of one communicator under the active policy.
+struct LocalityGroups {
+  std::vector<int> my_group;   ///< comm ranks co-resident with me (sorted)
+  int my_leader = 0;           ///< smallest rank of my group
+  std::vector<int> leaders;    ///< sorted leaders of all groups
+  std::vector<int> leader_of;  ///< comm rank -> leader of its group
+  bool uniform = false;        ///< all groups have equal size
+  bool contiguous = false;     ///< every group is a contiguous rank range
+  int group_size = 1;          ///< size of *my* group
+
+  bool trivial() const { return group_size <= 1 || leaders.size() <= 1; }
+};
+
+/// Index of `rank` within a rank list; -1 if absent.
+int position_of(const std::vector<int>& list, int rank);
+
+class Communicator {
+ public:
+  Communicator(Adi3Engine& engine, std::shared_ptr<const CommGroup> group,
+               std::uint64_t id);
+
+  int rank() const { return my_rank_; }
+  int size() const { return static_cast<int>(group_->world_ranks.size()); }
+  std::uint64_t id() const { return id_; }
+
+  int to_world(int comm_rank) const;
+  int from_world(int world_rank) const;
+
+  Adi3Engine& engine() { return *engine_; }
+
+  // ---- point-to-point ------------------------------------------------------
+
+  template <typename T>
+  void send(std::span<const T> data, int dst, int tag = 0);
+
+  template <typename T>
+  Status recv(std::span<T> buffer, int src = kAnySource, int tag = kAnyTag);
+
+  template <typename T>
+  Request isend(std::span<const T> data, int dst, int tag = 0);
+
+  template <typename T>
+  Request irecv(std::span<T> buffer, int src = kAnySource, int tag = kAnyTag);
+
+  bool test(const Request& request);
+  Status wait(const Request& request);
+  void wait_all(std::span<const Request> requests);
+
+  /// Blocks until at least one request completes; returns its index
+  /// (MPI_Waitany; lowest completed index when several are ready).
+  std::size_t wait_any(std::span<const Request> requests);
+
+  /// Non-blocking: index of a completed request, if any (MPI_Testany).
+  std::optional<std::size_t> test_any(std::span<const Request> requests);
+
+  /// Non-blocking: true iff every request has completed (MPI_Testall).
+  bool test_all(std::span<const Request> requests);
+
+  void cancel(const Request& request) { engine_->cancel(request); }
+  std::optional<Status> iprobe(int src = kAnySource, int tag = kAnyTag);
+
+  /// Blocking probe: waits until a matching message is pending and returns
+  /// its status without receiving it (MPI_Probe).
+  Status probe(int src = kAnySource, int tag = kAnyTag);
+
+  template <typename T>
+  void sendrecv(std::span<const T> send_data, int dst, std::span<T> recv_buffer,
+                int src, int tag = 0);
+
+  /// Single-value conveniences.
+  template <typename T>
+  void send_value(const T& value, int dst, int tag = 0);
+  template <typename T>
+  T recv_value(int src = kAnySource, int tag = kAnyTag);
+
+  // ---- collectives ---------------------------------------------------------
+
+  void barrier();
+
+  template <typename T>
+  void bcast(std::span<T> data, int root = 0);
+
+  template <typename T>
+  void reduce(std::span<const T> in, std::span<T> out, ReduceOp op, int root = 0);
+
+  template <typename T>
+  void allreduce(std::span<const T> in, std::span<T> out, ReduceOp op);
+
+  template <typename T>
+  T allreduce_value(T value, ReduceOp op);
+
+  template <typename T>
+  void gather(std::span<const T> mine, std::span<T> all, int root = 0);
+
+  template <typename T>
+  void allgather(std::span<const T> mine, std::span<T> all);
+
+  template <typename T>
+  void scatter(std::span<const T> all, std::span<T> mine, int root = 0);
+
+  template <typename T>
+  void alltoall(std::span<const T> send_data, std::span<T> recv_data);
+
+  template <typename T>
+  void alltoallv(std::span<const T> send_data, std::span<const int> send_counts,
+                 std::span<const int> send_displs, std::span<T> recv_data,
+                 std::span<const int> recv_counts, std::span<const int> recv_displs);
+
+  /// Variable-count gather/scatter/allgather (counts/displs in elements,
+  /// indexed by communicator rank).
+  template <typename T>
+  void gatherv(std::span<const T> mine, std::span<T> all, std::span<const int> counts,
+               std::span<const int> displs, int root = 0);
+
+  template <typename T>
+  void scatterv(std::span<const T> all, std::span<const int> counts,
+                std::span<const int> displs, std::span<T> mine, int root = 0);
+
+  template <typename T>
+  void allgatherv(std::span<const T> mine, std::span<T> all,
+                  std::span<const int> counts, std::span<const int> displs);
+
+  /// MPI_Reduce_scatter_block: `in` holds size() equal blocks; every rank
+  /// receives the reduction of its own block.
+  template <typename T>
+  void reduce_scatter_block(std::span<const T> in, std::span<T> out, ReduceOp op);
+
+  /// Inclusive prefix reduction: out on rank r = reduce of ranks 0..r.
+  template <typename T>
+  void scan(std::span<const T> in, std::span<T> out, ReduceOp op);
+
+  /// Exclusive prefix reduction: out on rank r = reduce of ranks 0..r-1
+  /// (value-initialized on rank 0, as MPI leaves it undefined).
+  template <typename T>
+  void exscan(std::span<const T> in, std::span<T> out, ReduceOp op);
+
+  template <typename T>
+  T scan_value(T value, ReduceOp op);
+  template <typename T>
+  T exscan_value(T value, ReduceOp op);
+
+  // ---- communicator management ---------------------------------------------
+
+  /// Collective. Ranks passing a negative color receive std::nullopt
+  /// (the MPI_COMM_NULL analogue).
+  std::optional<Communicator> split(int color, int key);
+
+  Communicator dup();
+
+  /// Locality structure under the active policy; computed lazily, cached.
+  const LocalityGroups& locality_groups();
+
+  /// Internal: next window ordinal (same sequence on all ranks).
+  std::uint64_t next_window_ordinal() { return next_window_ordinal_++; }
+
+  /// Internal: an unprofiled barrier for window synchronisation.
+  void raw_barrier();
+
+ private:
+  /// Number of reserved tags per user-level collective call. Each internal
+  /// phase gets a stride-4 slice so composite algorithms (e.g. scatter +
+  /// ring-allgather inside one bcast phase) have room.
+  static constexpr int kSubTags = 16;
+
+  /// Reserves a tag block; returns its base. Same sequence on every rank.
+  int begin_collective();
+
+  // Unprofiled raw transfers used by collective internals.
+  template <typename T>
+  Request raw_isend(std::span<const T> data, int dst, int tag);
+  template <typename T>
+  Request raw_irecv(std::span<T> buffer, int src, int tag);
+  template <typename T>
+  void raw_send(std::span<const T> data, int dst, int tag);
+  template <typename T>
+  void raw_recv(std::span<T> buffer, int src, int tag);
+  template <typename T>
+  void raw_sendrecv(std::span<const T> send_data, int dst, std::span<T> recv_buffer,
+                    int src, int tag);
+
+  // Collective algorithms over an arbitrary sorted list of comm ranks; `list`
+  // must contain rank() exactly once and be identical on all listed ranks.
+  void barrier_over(const std::vector<int>& list, int tag);
+  template <typename T>
+  void bcast_over(const std::vector<int>& list, std::span<T> data, int root_pos,
+                  int tag);
+  template <typename T>
+  void reduce_over(const std::vector<int>& list, std::span<const T> in,
+                   std::span<T> out, ReduceOp op, int root_pos, int tag);
+  template <typename T>
+  void allreduce_over(const std::vector<int>& list, std::span<const T> in,
+                      std::span<T> out, ReduceOp op, int tag);
+  template <typename T>
+  void allgather_over(const std::vector<int>& list, std::span<const T> mine,
+                      std::span<T> all, int tag);
+  /// counts/displs indexed by *position* in the list.
+  template <typename T>
+  void allgatherv_over(const std::vector<int>& list, std::span<const T> mine,
+                       std::span<T> all, std::span<const int> counts,
+                       std::span<const int> displs, int tag);
+  /// van de Geijn large-message broadcast: scatter + ring allgather.
+  /// Uses tags [tag, tag+2).
+  template <typename T>
+  void bcast_vandegeijn_over(const std::vector<int>& list, std::span<T> data,
+                             int root_pos, int tag);
+  /// Recursive-halving reduce-scatter over a power-of-two list; `in` holds
+  /// list.size() equal blocks, `block_out` receives this rank's block.
+  template <typename T>
+  void reduce_scatter_halving_over(const std::vector<int>& list,
+                                   std::span<const T> in, std::span<T> block_out,
+                                   ReduceOp op, int tag);
+  /// Rabenseifner large-message allreduce over a power-of-two list.
+  /// Uses tags [tag, tag+2).
+  template <typename T>
+  void allreduce_rabenseifner_over(const std::vector<int>& list,
+                                   std::span<const T> in, std::span<T> out,
+                                   ReduceOp op, int tag);
+
+  std::vector<int> all_ranks() const;
+  int position_in(const std::vector<int>& list) const;
+  bool two_level_enabled() const;
+
+  Adi3Engine* engine_;
+  std::shared_ptr<const CommGroup> group_;
+  std::uint64_t id_;
+  int my_rank_;
+  std::uint64_t next_child_ordinal_ = 0;
+  std::uint64_t next_coll_seq_ = 0;
+  std::uint64_t next_window_ordinal_ = 0;
+  std::optional<LocalityGroups> locality_;
+};
+
+/// RAII profiling scope for one user-level MPI call.
+class ProfiledCall {
+ public:
+  ProfiledCall(Adi3Engine& engine, prof::CallKind kind)
+      : engine_(&engine), kind_(kind), start_(engine.clock().now()) {}
+  ~ProfiledCall() {
+    engine_->profile().add_call(kind_, engine_->clock().now() - start_);
+  }
+  ProfiledCall(const ProfiledCall&) = delete;
+  ProfiledCall& operator=(const ProfiledCall&) = delete;
+
+ private:
+  Adi3Engine* engine_;
+  prof::CallKind kind_;
+  Micros start_;
+};
+
+// ===========================================================================
+// implementation
+// ===========================================================================
+
+namespace detail {
+
+template <typename T>
+std::span<const std::byte> as_bytes_checked(std::span<const T> data) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "cbmpi transfers require trivially copyable element types");
+  return std::as_bytes(data);
+}
+
+template <typename T>
+std::span<std::byte> as_writable_bytes_checked(std::span<T> data) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "cbmpi transfers require trivially copyable element types");
+  return std::as_writable_bytes(data);
+}
+
+inline bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+}  // namespace detail
+
+// ---- raw transfers ----------------------------------------------------------
+
+template <typename T>
+Request Communicator::raw_isend(std::span<const T> data, int dst, int tag) {
+  return engine_->start_send(detail::as_bytes_checked(data), to_world(dst), tag, id_);
+}
+
+template <typename T>
+Request Communicator::raw_irecv(std::span<T> buffer, int src, int tag) {
+  const int src_world = src == kAnySource ? kAnySource : to_world(src);
+  return engine_->post_recv(detail::as_writable_bytes_checked(buffer), src_world,
+                            tag, id_);
+}
+
+template <typename T>
+void Communicator::raw_send(std::span<const T> data, int dst, int tag) {
+  engine_->wait(raw_isend(data, dst, tag));
+}
+
+template <typename T>
+void Communicator::raw_recv(std::span<T> buffer, int src, int tag) {
+  engine_->wait(raw_irecv(buffer, src, tag));
+}
+
+template <typename T>
+void Communicator::raw_sendrecv(std::span<const T> send_data, int dst,
+                                std::span<T> recv_buffer, int src, int tag) {
+  const Request recv_request = raw_irecv(recv_buffer, src, tag);
+  const Request send_request = raw_isend(send_data, dst, tag);
+  engine_->wait(recv_request);
+  engine_->wait(send_request);
+}
+
+// ---- point-to-point -----------------------------------------------------------
+
+template <typename T>
+void Communicator::send(std::span<const T> data, int dst, int tag) {
+  CBMPI_REQUIRE(tag >= 0 && tag < kCollectiveTagBase, "user tag out of range: ", tag);
+  const ProfiledCall prof_scope(*engine_, prof::CallKind::Send);
+  raw_send(data, dst, tag);
+}
+
+template <typename T>
+Status Communicator::recv(std::span<T> buffer, int src, int tag) {
+  const ProfiledCall prof_scope(*engine_, prof::CallKind::Recv);
+  const Request request = raw_irecv(buffer, src, tag);
+  Status status = engine_->wait(request);
+  status.source = from_world(status.source);
+  return status;
+}
+
+template <typename T>
+Request Communicator::isend(std::span<const T> data, int dst, int tag) {
+  CBMPI_REQUIRE(tag >= 0 && tag < kCollectiveTagBase, "user tag out of range: ", tag);
+  const ProfiledCall prof_scope(*engine_, prof::CallKind::Isend);
+  return raw_isend(data, dst, tag);
+}
+
+template <typename T>
+Request Communicator::irecv(std::span<T> buffer, int src, int tag) {
+  const ProfiledCall prof_scope(*engine_, prof::CallKind::Irecv);
+  return raw_irecv(buffer, src, tag);
+}
+
+template <typename T>
+void Communicator::sendrecv(std::span<const T> send_data, int dst,
+                            std::span<T> recv_buffer, int src, int tag) {
+  const ProfiledCall prof_scope(*engine_, prof::CallKind::Send);
+  raw_sendrecv(send_data, dst, recv_buffer, src, tag);
+}
+
+template <typename T>
+void Communicator::send_value(const T& value, int dst, int tag) {
+  send(std::span<const T>(&value, 1), dst, tag);
+}
+
+template <typename T>
+T Communicator::recv_value(int src, int tag) {
+  T value{};
+  recv(std::span<T>(&value, 1), src, tag);
+  return value;
+}
+
+// ---- collective algorithms over rank lists -------------------------------------
+
+template <typename T>
+void Communicator::bcast_over(const std::vector<int>& list, std::span<T> data,
+                              int root_pos, int tag) {
+  const int m = static_cast<int>(list.size());
+  if (m <= 1) return;
+  if (data.size() * sizeof(T) >= engine_->job().tuning.bcast_large_threshold &&
+      m >= 4 && data.size() >= static_cast<std::size_t>(m)) {
+    bcast_vandegeijn_over(list, data, root_pos, tag);
+    return;
+  }
+  const int pos = position_in(list);
+  const int vrank = (pos - root_pos + m) % m;
+
+  auto real = [&](int v) { return list[static_cast<std::size_t>((v + root_pos) % m)]; };
+
+  int mask = 1;
+  while (mask < m) {
+    if (vrank & mask) {
+      raw_recv(data, real(vrank - mask), tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < m)
+      raw_send(std::span<const T>(data.data(), data.size()), real(vrank + mask), tag);
+    mask >>= 1;
+  }
+}
+
+template <typename T>
+void Communicator::reduce_over(const std::vector<int>& list, std::span<const T> in,
+                               std::span<T> out, ReduceOp op, int root_pos, int tag) {
+  const int m = static_cast<int>(list.size());
+  const int pos = position_in(list);
+  const int vrank = (pos - root_pos + m) % m;
+
+  std::vector<T> acc(in.begin(), in.end());
+  if (m > 1) {
+    auto real = [&](int v) { return list[static_cast<std::size_t>((v + root_pos) % m)]; };
+    std::vector<T> incoming(in.size());
+
+    int mask = 1;
+    while (mask < m) {
+      if (vrank & mask) {
+        raw_send(std::span<const T>(acc), real(vrank - mask), tag);
+        break;
+      }
+      const int child = vrank + mask;
+      if (child < m) {
+        raw_recv(std::span<T>(incoming), real(child), tag);
+        apply_reduce<T>(op, incoming, acc);
+      }
+      mask <<= 1;
+    }
+  }
+  if (vrank == 0) {
+    CBMPI_REQUIRE(out.size() >= in.size(), "reduce output buffer too small");
+    std::copy(acc.begin(), acc.end(), out.begin());
+  }
+}
+
+template <typename T>
+void Communicator::allreduce_over(const std::vector<int>& list, std::span<const T> in,
+                                  std::span<T> out, ReduceOp op, int tag) {
+  const int m = static_cast<int>(list.size());
+  CBMPI_REQUIRE(out.size() >= in.size(), "allreduce output buffer too small");
+  if (m == 1) {
+    std::copy(in.begin(), in.end(), out.begin());
+    return;
+  }
+  if (detail::is_power_of_two(static_cast<std::size_t>(m))) {
+    // Rabenseifner pads the vector with value-initialized elements, which is
+    // only an identity for zero-identity operators.
+    const bool zero_identity = op == ReduceOp::Sum || op == ReduceOp::BitOr ||
+                               op == ReduceOp::LogicalOr;
+    if (zero_identity &&
+        in.size() * sizeof(T) >= engine_->job().tuning.allreduce_large_threshold &&
+        m >= 4) {
+      allreduce_rabenseifner_over(list, in, out, op, tag);
+      return;
+    }
+    const int pos = position_in(list);
+    std::vector<T> acc(in.begin(), in.end());
+    std::vector<T> incoming(in.size());
+    for (int mask = 1; mask < m; mask <<= 1) {
+      const int partner = list[static_cast<std::size_t>(pos ^ mask)];
+      raw_sendrecv(std::span<const T>(acc), partner, std::span<T>(incoming), partner,
+                   tag);
+      apply_reduce<T>(op, incoming, acc);
+    }
+    std::copy(acc.begin(), acc.end(), out.begin());
+    return;
+  }
+  reduce_over(list, in, out, op, 0, tag);
+  bcast_over(list, out.subspan(0, in.size()), 0, tag + 1);
+}
+
+template <typename T>
+void Communicator::allgather_over(const std::vector<int>& list, std::span<const T> mine,
+                                  std::span<T> all, int tag) {
+  const int m = static_cast<int>(list.size());
+  const std::size_t block = mine.size();
+  CBMPI_REQUIRE(all.size() >= block * static_cast<std::size_t>(m),
+                "allgather output buffer too small");
+  const int pos = position_in(list);
+  T* const my_slot = all.data() + block * static_cast<std::size_t>(pos);
+  if (my_slot != mine.data()) std::copy(mine.begin(), mine.end(), my_slot);
+  if (m == 1) return;
+
+  // Ring: in step s we forward the block received in step s-1. Per-sender
+  // FIFO matching makes one tag safe for all steps.
+  const int right = list[static_cast<std::size_t>((pos + 1) % m)];
+  const int left = list[static_cast<std::size_t>((pos - 1 + m) % m)];
+  for (int s = 0; s < m - 1; ++s) {
+    const std::size_t send_pos = static_cast<std::size_t>((pos - s + m) % m);
+    const std::size_t recv_pos = static_cast<std::size_t>((pos - s - 1 + m) % m);
+    raw_sendrecv(std::span<const T>(all.data() + block * send_pos, block), right,
+                 std::span<T>(all.data() + block * recv_pos, block), left, tag);
+  }
+}
+
+// ---- user-level collectives -----------------------------------------------------
+
+template <typename T>
+void Communicator::bcast(std::span<T> data, int root) {
+  const ProfiledCall prof_scope(*engine_, prof::CallKind::Bcast);
+  const int tag = begin_collective();
+  const auto& groups = locality_groups();
+  if (!two_level_enabled() || groups.trivial()) {
+    bcast_over(all_ranks(), data, root, tag);
+    return;
+  }
+  const int root_leader = groups.leader_of[static_cast<std::size_t>(root)];
+  // Phase 1: if the root is not its group's leader, hand the data to it.
+  if (root != root_leader) {
+    if (rank() == root)
+      raw_send(std::span<const T>(data.data(), data.size()), root_leader, tag);
+    else if (rank() == root_leader)
+      raw_recv(data, root, tag);
+  }
+  // Phase 2: broadcast across leaders, rooted at the root's leader.
+  if (rank() == groups.my_leader)
+    bcast_over(groups.leaders, data, position_of(groups.leaders, root_leader),
+               tag + 1);
+  // Phase 3: each leader broadcasts within its group.
+  bcast_over(groups.my_group, data, position_of(groups.my_group, groups.my_leader),
+             tag + 2);
+}
+
+template <typename T>
+void Communicator::reduce(std::span<const T> in, std::span<T> out, ReduceOp op,
+                          int root) {
+  const ProfiledCall prof_scope(*engine_, prof::CallKind::Reduce);
+  const int tag = begin_collective();
+  reduce_over(all_ranks(), in, out, op, root, tag);
+}
+
+template <typename T>
+void Communicator::allreduce(std::span<const T> in, std::span<T> out, ReduceOp op) {
+  const ProfiledCall prof_scope(*engine_, prof::CallKind::Allreduce);
+  const int tag = begin_collective();
+  const auto& groups = locality_groups();
+  if (!two_level_enabled() || groups.trivial()) {
+    allreduce_over(all_ranks(), in, out, op, tag);
+    return;
+  }
+  // Local reduce to the leader, allreduce across leaders, local bcast.
+  const int leader_pos = position_of(groups.my_group, groups.my_leader);
+  reduce_over(groups.my_group, in, out, op, leader_pos, tag);
+  if (rank() == groups.my_leader) {
+    std::vector<T> tmp(out.begin(),
+                       out.begin() + static_cast<std::ptrdiff_t>(in.size()));
+    allreduce_over(groups.leaders, std::span<const T>(tmp), out, op, tag + 4);
+  }
+  bcast_over(groups.my_group, out.subspan(0, in.size()), leader_pos, tag + 8);
+}
+
+template <typename T>
+T Communicator::allreduce_value(T value, ReduceOp op) {
+  T out{};
+  allreduce(std::span<const T>(&value, 1), std::span<T>(&out, 1), op);
+  return out;
+}
+
+template <typename T>
+void Communicator::gather(std::span<const T> mine, std::span<T> all, int root) {
+  const ProfiledCall prof_scope(*engine_, prof::CallKind::Gather);
+  const int tag = begin_collective();
+  const std::size_t block = mine.size();
+  if (rank() == root) {
+    CBMPI_REQUIRE(all.size() >= block * static_cast<std::size_t>(size()),
+                  "gather output buffer too small");
+    std::copy(mine.begin(), mine.end(),
+              all.begin() +
+                  static_cast<std::ptrdiff_t>(block * static_cast<std::size_t>(root)));
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      raw_recv(std::span<T>(all.data() + block * static_cast<std::size_t>(r), block),
+               r, tag);
+    }
+  } else {
+    raw_send(mine, root, tag);
+  }
+}
+
+template <typename T>
+void Communicator::allgather(std::span<const T> mine, std::span<T> all) {
+  const ProfiledCall prof_scope(*engine_, prof::CallKind::Allgather);
+  const int tag = begin_collective();
+  const auto& groups = locality_groups();
+  const std::size_t block = mine.size();
+  if (!two_level_enabled() || groups.trivial() || !groups.uniform ||
+      !groups.contiguous) {
+    allgather_over(all_ranks(), mine, all, tag);
+    return;
+  }
+  // Two-level with contiguous uniform groups: gather locally to the leader,
+  // ring-allgather the concatenated group blocks across leaders, then bcast
+  // the full result locally. Group contiguity makes the concatenation land
+  // in rank order (each group's block starts at its leader's rank offset).
+  const std::size_t group_block = block * static_cast<std::size_t>(groups.group_size);
+  if (rank() == groups.my_leader) {
+    std::copy(mine.begin(), mine.end(),
+              all.begin() +
+                  static_cast<std::ptrdiff_t>(block * static_cast<std::size_t>(rank())));
+    for (int member : groups.my_group) {
+      if (member == rank()) continue;
+      raw_recv(
+          std::span<T>(all.data() + block * static_cast<std::size_t>(member), block),
+          member, tag);
+    }
+    const std::size_t my_leader_pos =
+        static_cast<std::size_t>(position_of(groups.leaders, groups.my_leader));
+    std::vector<T> packed(group_block * groups.leaders.size());
+    std::copy(all.data() + block * static_cast<std::size_t>(rank()),
+              all.data() + block * static_cast<std::size_t>(rank()) + group_block,
+              packed.data() + group_block * my_leader_pos);
+    allgather_over(groups.leaders,
+                   std::span<const T>(packed.data() + group_block * my_leader_pos,
+                                      group_block),
+                   std::span<T>(packed), tag + 4);
+    for (std::size_t g = 0; g < groups.leaders.size(); ++g) {
+      const std::size_t offset = block * static_cast<std::size_t>(groups.leaders[g]);
+      std::copy(packed.begin() + static_cast<std::ptrdiff_t>(group_block * g),
+                packed.begin() + static_cast<std::ptrdiff_t>(group_block * (g + 1)),
+                all.begin() + static_cast<std::ptrdiff_t>(offset));
+    }
+  } else {
+    raw_send(mine, groups.my_leader, tag);
+  }
+  bcast_over(groups.my_group, all, position_of(groups.my_group, groups.my_leader),
+             tag + 8);
+}
+
+template <typename T>
+void Communicator::scatter(std::span<const T> all, std::span<T> mine, int root) {
+  const ProfiledCall prof_scope(*engine_, prof::CallKind::Scatter);
+  const int tag = begin_collective();
+  const std::size_t block = mine.size();
+  if (rank() == root) {
+    CBMPI_REQUIRE(all.size() >= block * static_cast<std::size_t>(size()),
+                  "scatter input buffer too small");
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      raw_send(
+          std::span<const T>(all.data() + block * static_cast<std::size_t>(r), block),
+          r, tag);
+    }
+    std::copy(all.data() + block * static_cast<std::size_t>(root),
+              all.data() + block * static_cast<std::size_t>(root) + block, mine.data());
+  } else {
+    raw_recv(mine, root, tag);
+  }
+}
+
+template <typename T>
+void Communicator::alltoall(std::span<const T> send_data, std::span<T> recv_data) {
+  const ProfiledCall prof_scope(*engine_, prof::CallKind::Alltoall);
+  const int tag = begin_collective();
+  const int n = size();
+  const std::size_t block = send_data.size() / static_cast<std::size_t>(n);
+  CBMPI_REQUIRE(send_data.size() == block * static_cast<std::size_t>(n) &&
+                    recv_data.size() >= send_data.size(),
+                "alltoall buffer size mismatch");
+  const auto my = static_cast<std::size_t>(rank());
+  std::copy(send_data.data() + block * my, send_data.data() + block * (my + 1),
+            recv_data.data() + block * my);
+  const bool pow2 = detail::is_power_of_two(static_cast<std::size_t>(n));
+  for (int step = 1; step < n; ++step) {
+    const int send_to = pow2 ? (rank() ^ step) : (rank() + step) % n;
+    const int recv_from = pow2 ? (rank() ^ step) : (rank() - step + n) % n;
+    raw_sendrecv(
+        std::span<const T>(send_data.data() + block * static_cast<std::size_t>(send_to),
+                           block),
+        send_to,
+        std::span<T>(recv_data.data() + block * static_cast<std::size_t>(recv_from),
+                     block),
+        recv_from, tag);
+  }
+}
+
+template <typename T>
+void Communicator::alltoallv(std::span<const T> send_data,
+                             std::span<const int> send_counts,
+                             std::span<const int> send_displs, std::span<T> recv_data,
+                             std::span<const int> recv_counts,
+                             std::span<const int> recv_displs) {
+  const ProfiledCall prof_scope(*engine_, prof::CallKind::Alltoallv);
+  const int tag = begin_collective();
+  const int n = size();
+  CBMPI_REQUIRE(send_counts.size() == static_cast<std::size_t>(n) &&
+                    recv_counts.size() == static_cast<std::size_t>(n) &&
+                    send_displs.size() == static_cast<std::size_t>(n) &&
+                    recv_displs.size() == static_cast<std::size_t>(n),
+                "alltoallv count/displ arrays must have comm-size entries");
+  auto send_block = [&](int r) {
+    const auto i = static_cast<std::size_t>(r);
+    return std::span<const T>(
+        send_data.data() + static_cast<std::size_t>(send_displs[i]),
+        static_cast<std::size_t>(send_counts[i]));
+  };
+  auto recv_block = [&](int r) {
+    const auto i = static_cast<std::size_t>(r);
+    return std::span<T>(recv_data.data() + static_cast<std::size_t>(recv_displs[i]),
+                        static_cast<std::size_t>(recv_counts[i]));
+  };
+  {
+    auto src = send_block(rank());
+    auto dst = recv_block(rank());
+    CBMPI_REQUIRE(dst.size() >= src.size(), "alltoallv self block mismatch");
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  const bool pow2 = detail::is_power_of_two(static_cast<std::size_t>(n));
+  for (int step = 1; step < n; ++step) {
+    const int send_to = pow2 ? (rank() ^ step) : (rank() + step) % n;
+    const int recv_from = pow2 ? (rank() ^ step) : (rank() - step + n) % n;
+    raw_sendrecv(send_block(send_to), send_to, recv_block(recv_from), recv_from, tag);
+  }
+}
+
+// ---- v-variants, reduce_scatter, prefix scans -----------------------------------
+
+template <typename T>
+void Communicator::allgatherv_over(const std::vector<int>& list,
+                                   std::span<const T> mine, std::span<T> all,
+                                   std::span<const int> counts,
+                                   std::span<const int> displs, int tag) {
+  const int m = static_cast<int>(list.size());
+  const int pos = position_in(list);
+  CBMPI_REQUIRE(counts.size() == static_cast<std::size_t>(m) &&
+                    displs.size() == static_cast<std::size_t>(m),
+                "allgatherv counts/displs must have one entry per position");
+  CBMPI_REQUIRE(mine.size() == static_cast<std::size_t>(counts[static_cast<std::size_t>(pos)]),
+                "allgatherv input size mismatch");
+  T* const my_slot = all.data() + static_cast<std::size_t>(displs[static_cast<std::size_t>(pos)]);
+  if (my_slot != mine.data()) std::copy(mine.begin(), mine.end(), my_slot);
+  if (m == 1) return;
+
+  const int right = list[static_cast<std::size_t>((pos + 1) % m)];
+  const int left = list[static_cast<std::size_t>((pos - 1 + m) % m)];
+  for (int s = 0; s < m - 1; ++s) {
+    const auto send_pos = static_cast<std::size_t>((pos - s + m) % m);
+    const auto recv_pos = static_cast<std::size_t>((pos - s - 1 + m) % m);
+    raw_sendrecv(std::span<const T>(all.data() + static_cast<std::size_t>(displs[send_pos]),
+                                    static_cast<std::size_t>(counts[send_pos])),
+                 right,
+                 std::span<T>(all.data() + static_cast<std::size_t>(displs[recv_pos]),
+                              static_cast<std::size_t>(counts[recv_pos])),
+                 left, tag);
+  }
+}
+
+template <typename T>
+void Communicator::bcast_vandegeijn_over(const std::vector<int>& list,
+                                         std::span<T> data, int root_pos, int tag) {
+  const int m = static_cast<int>(list.size());
+  const int pos = position_in(list);
+  const std::size_t n = data.size();
+  // Block partition of the payload by position.
+  std::vector<int> counts(static_cast<std::size_t>(m));
+  std::vector<int> displs(static_cast<std::size_t>(m));
+  const std::size_t base = n / static_cast<std::size_t>(m);
+  const std::size_t rem = n % static_cast<std::size_t>(m);
+  std::size_t offset = 0;
+  for (int q = 0; q < m; ++q) {
+    const std::size_t c = base + (static_cast<std::size_t>(q) < rem ? 1 : 0);
+    counts[static_cast<std::size_t>(q)] = static_cast<int>(c);
+    displs[static_cast<std::size_t>(q)] = static_cast<int>(offset);
+    offset += c;
+  }
+  // Scatter phase (linear from the root).
+  if (pos == root_pos) {
+    for (int q = 0; q < m; ++q) {
+      if (q == root_pos) continue;
+      raw_send(std::span<const T>(data.data() + static_cast<std::size_t>(
+                                                    displs[static_cast<std::size_t>(q)]),
+                                  static_cast<std::size_t>(counts[static_cast<std::size_t>(q)])),
+               list[static_cast<std::size_t>(q)], tag);
+    }
+  } else {
+    raw_recv(std::span<T>(data.data() + static_cast<std::size_t>(
+                                            displs[static_cast<std::size_t>(pos)]),
+                          static_cast<std::size_t>(counts[static_cast<std::size_t>(pos)])),
+             list[static_cast<std::size_t>(root_pos)], tag);
+  }
+  // Ring allgather of the blocks completes the broadcast.
+  allgatherv_over(list,
+                  std::span<const T>(data.data() + static_cast<std::size_t>(
+                                                       displs[static_cast<std::size_t>(pos)]),
+                                     static_cast<std::size_t>(counts[static_cast<std::size_t>(pos)])),
+                  data, counts, displs, tag + 1);
+}
+
+template <typename T>
+void Communicator::reduce_scatter_halving_over(const std::vector<int>& list,
+                                               std::span<const T> in,
+                                               std::span<T> block_out, ReduceOp op,
+                                               int tag) {
+  const int m = static_cast<int>(list.size());
+  CBMPI_REQUIRE(detail::is_power_of_two(static_cast<std::size_t>(m)),
+                "recursive halving requires a power-of-two list");
+  const std::size_t block = in.size() / static_cast<std::size_t>(m);
+  CBMPI_REQUIRE(in.size() == block * static_cast<std::size_t>(m) &&
+                    block_out.size() >= block,
+                "reduce_scatter buffer size mismatch");
+  const int pos = position_in(list);
+
+  std::vector<T> acc(in.begin(), in.end());
+  std::vector<T> incoming(in.size() / 2 + 1);
+  std::size_t start = 0;        // in blocks
+  std::size_t count = static_cast<std::size_t>(m);
+  for (int mask = m >> 1; mask > 0; mask >>= 1) {
+    const int partner = list[static_cast<std::size_t>(pos ^ mask)];
+    const std::size_t half = count / 2;
+    const bool upper = (pos & mask) != 0;
+    const std::size_t keep_start = upper ? start + half : start;
+    const std::size_t send_start = upper ? start : start + half;
+    raw_sendrecv(std::span<const T>(acc.data() + send_start * block, half * block),
+                 partner, std::span<T>(incoming.data(), half * block), partner, tag);
+    apply_reduce<T>(op, std::span<const T>(incoming.data(), half * block),
+                    std::span<T>(acc.data() + keep_start * block, half * block));
+    start = keep_start;
+    count = half;
+  }
+  // After log2(m) rounds this rank holds the reduction of block `pos`.
+  std::copy(acc.data() + start * block, acc.data() + (start + 1) * block,
+            block_out.data());
+}
+
+template <typename T>
+void Communicator::allreduce_rabenseifner_over(const std::vector<int>& list,
+                                               std::span<const T> in, std::span<T> out,
+                                               ReduceOp op, int tag) {
+  const int m = static_cast<int>(list.size());
+  const std::size_t block =
+      (in.size() + static_cast<std::size_t>(m) - 1) / static_cast<std::size_t>(m);
+  // Pad to m equal blocks with identity-ish zeros (safe for Sum/Or; Min/Max
+  // and Prod fall back to recursive doubling at the dispatch site).
+  std::vector<T> padded(block * static_cast<std::size_t>(m), T{});
+  std::copy(in.begin(), in.end(), padded.begin());
+  std::vector<T> my_block(block);
+  reduce_scatter_halving_over(list, std::span<const T>(padded),
+                              std::span<T>(my_block), op, tag);
+  allgather_over(list, std::span<const T>(my_block), std::span<T>(padded), tag + 1);
+  std::copy(padded.begin(), padded.begin() + static_cast<std::ptrdiff_t>(in.size()),
+            out.begin());
+}
+
+template <typename T>
+void Communicator::gatherv(std::span<const T> mine, std::span<T> all,
+                           std::span<const int> counts, std::span<const int> displs,
+                           int root) {
+  const ProfiledCall prof_scope(*engine_, prof::CallKind::Gatherv);
+  const int tag = begin_collective();
+  CBMPI_REQUIRE(counts.size() == static_cast<std::size_t>(size()) &&
+                    displs.size() == static_cast<std::size_t>(size()),
+                "gatherv counts/displs must have comm-size entries");
+  if (rank() == root) {
+    for (int r = 0; r < size(); ++r) {
+      auto slot = std::span<T>(
+          all.data() + static_cast<std::size_t>(displs[static_cast<std::size_t>(r)]),
+          static_cast<std::size_t>(counts[static_cast<std::size_t>(r)]));
+      if (r == root)
+        std::copy(mine.begin(), mine.end(), slot.begin());
+      else
+        raw_recv(slot, r, tag);
+    }
+  } else {
+    raw_send(mine, root, tag);
+  }
+}
+
+template <typename T>
+void Communicator::scatterv(std::span<const T> all, std::span<const int> counts,
+                            std::span<const int> displs, std::span<T> mine, int root) {
+  const ProfiledCall prof_scope(*engine_, prof::CallKind::Scatterv);
+  const int tag = begin_collective();
+  CBMPI_REQUIRE(counts.size() == static_cast<std::size_t>(size()) &&
+                    displs.size() == static_cast<std::size_t>(size()),
+                "scatterv counts/displs must have comm-size entries");
+  if (rank() == root) {
+    for (int r = 0; r < size(); ++r) {
+      auto slot = std::span<const T>(
+          all.data() + static_cast<std::size_t>(displs[static_cast<std::size_t>(r)]),
+          static_cast<std::size_t>(counts[static_cast<std::size_t>(r)]));
+      if (r == root)
+        std::copy(slot.begin(), slot.end(), mine.begin());
+      else
+        raw_send(slot, r, tag);
+    }
+  } else {
+    raw_recv(mine.subspan(0, static_cast<std::size_t>(
+                                 counts[static_cast<std::size_t>(rank())])),
+             root, tag);
+  }
+}
+
+template <typename T>
+void Communicator::allgatherv(std::span<const T> mine, std::span<T> all,
+                              std::span<const int> counts,
+                              std::span<const int> displs) {
+  const ProfiledCall prof_scope(*engine_, prof::CallKind::AllgatherV);
+  const int tag = begin_collective();
+  // Flat ring; counts/displs are rank-indexed which equals position-indexed
+  // over the all-ranks list.
+  allgatherv_over(all_ranks(), mine, all, counts, displs, tag);
+}
+
+template <typename T>
+void Communicator::reduce_scatter_block(std::span<const T> in, std::span<T> out,
+                                        ReduceOp op) {
+  const ProfiledCall prof_scope(*engine_, prof::CallKind::ReduceScatter);
+  const int tag = begin_collective();
+  const int n = size();
+  const std::size_t block = in.size() / static_cast<std::size_t>(n);
+  CBMPI_REQUIRE(in.size() == block * static_cast<std::size_t>(n) &&
+                    out.size() >= block,
+                "reduce_scatter_block buffer size mismatch");
+  if (detail::is_power_of_two(static_cast<std::size_t>(n)) && n > 1) {
+    reduce_scatter_halving_over(all_ranks(), in, out, op, tag);
+    return;
+  }
+  // Fallback: reduce to rank 0, then scatter (uses the tag block's tail).
+  std::vector<T> full(rank() == 0 ? in.size() : 0);
+  reduce_over(all_ranks(), in, std::span<T>(full), op, 0, tag);
+  const int stag = tag + 1;
+  if (rank() == 0) {
+    for (int r = 1; r < n; ++r)
+      raw_send(std::span<const T>(full.data() + block * static_cast<std::size_t>(r),
+                                  block),
+               r, stag);
+    std::copy(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(block),
+              out.begin());
+  } else {
+    raw_recv(out.subspan(0, block), 0, stag);
+  }
+}
+
+template <typename T>
+void Communicator::scan(std::span<const T> in, std::span<T> out, ReduceOp op) {
+  const ProfiledCall prof_scope(*engine_, prof::CallKind::Scan);
+  const int tag = begin_collective();
+  const int n = size();
+  CBMPI_REQUIRE(out.size() >= in.size(), "scan output buffer too small");
+  std::copy(in.begin(), in.end(), out.begin());
+  std::vector<T> partial(in.begin(), in.end());
+  std::vector<T> incoming(in.size());
+  for (int mask = 1; mask < n; mask <<= 1) {
+    const int dst = rank() + mask;
+    const int src = rank() - mask;
+    const std::vector<T> snapshot = partial;  // value sent this round
+    Request send_req;
+    if (dst < n) send_req = raw_isend(std::span<const T>(snapshot), dst, tag);
+    if (src >= 0) {
+      raw_recv(std::span<T>(incoming), src, tag);
+      apply_reduce<T>(op, incoming, std::span<T>(partial));
+      apply_reduce<T>(op, incoming, out.subspan(0, in.size()));
+    }
+    if (send_req) engine_->wait(send_req);
+  }
+}
+
+template <typename T>
+void Communicator::exscan(std::span<const T> in, std::span<T> out, ReduceOp op) {
+  const ProfiledCall prof_scope(*engine_, prof::CallKind::Exscan);
+  const int tag = begin_collective();
+  const int n = size();
+  CBMPI_REQUIRE(out.size() >= in.size(), "exscan output buffer too small");
+  std::fill(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(in.size()), T{});
+  std::vector<T> partial(in.begin(), in.end());
+  std::vector<T> incoming(in.size());
+  bool have_result = false;
+  for (int mask = 1; mask < n; mask <<= 1) {
+    const int dst = rank() + mask;
+    const int src = rank() - mask;
+    const std::vector<T> snapshot = partial;
+    Request send_req;
+    if (dst < n) send_req = raw_isend(std::span<const T>(snapshot), dst, tag);
+    if (src >= 0) {
+      raw_recv(std::span<T>(incoming), src, tag);
+      apply_reduce<T>(op, incoming, std::span<T>(partial));
+      if (have_result) {
+        apply_reduce<T>(op, incoming, out.subspan(0, in.size()));
+      } else {
+        std::copy(incoming.begin(), incoming.end(), out.begin());
+        have_result = true;
+      }
+    }
+    if (send_req) engine_->wait(send_req);
+  }
+}
+
+template <typename T>
+T Communicator::scan_value(T value, ReduceOp op) {
+  T out{};
+  scan(std::span<const T>(&value, 1), std::span<T>(&out, 1), op);
+  return out;
+}
+
+template <typename T>
+T Communicator::exscan_value(T value, ReduceOp op) {
+  T out{};
+  exscan(std::span<const T>(&value, 1), std::span<T>(&out, 1), op);
+  return out;
+}
+
+}  // namespace cbmpi::mpi

@@ -1,0 +1,178 @@
+// Derived datatypes (MPI_Type_vector subset): strided layouts with
+// pack/unpack, plus Communicator helpers that transfer a strided region of
+// memory as one message (pack - send - unpack, the way MPI implementations
+// handle non-contiguous types without RDMA gather support).
+//
+// The pack/unpack copies advance virtual time like any other memory copy, so
+// using a derived datatype is not free — matching real MPI behaviour where
+// non-contiguous transfers pay packing costs.
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "mpi/communicator.hpp"
+
+namespace cbmpi::mpi {
+
+/// MPI_Type_vector analogue: `count` blocks of `blocklen` elements, block
+/// starts `stride` elements apart. stride >= blocklen.
+struct VectorLayout {
+  std::size_t count = 0;
+  std::size_t blocklen = 1;
+  std::size_t stride = 1;
+
+  /// Number of elements actually transferred.
+  std::size_t elements() const { return count * blocklen; }
+
+  /// Span of memory the layout touches (in elements).
+  std::size_t extent() const {
+    return count == 0 ? 0 : (count - 1) * stride + blocklen;
+  }
+
+  void validate() const {
+    CBMPI_REQUIRE(blocklen > 0 && stride >= blocklen,
+                  "invalid vector layout: blocklen=", blocklen, " stride=", stride);
+  }
+};
+
+/// Gathers a strided region into contiguous storage.
+template <typename T>
+void pack(std::span<const T> source, const VectorLayout& layout, std::span<T> packed) {
+  layout.validate();
+  CBMPI_REQUIRE(source.size() >= layout.extent(), "pack source too small");
+  CBMPI_REQUIRE(packed.size() >= layout.elements(), "pack destination too small");
+  std::size_t out = 0;
+  for (std::size_t b = 0; b < layout.count; ++b) {
+    const T* block = source.data() + b * layout.stride;
+    std::copy(block, block + layout.blocklen, packed.data() + out);
+    out += layout.blocklen;
+  }
+}
+
+/// Scatters contiguous storage back into a strided region.
+template <typename T>
+void unpack(std::span<const T> packed, const VectorLayout& layout,
+            std::span<T> destination) {
+  layout.validate();
+  CBMPI_REQUIRE(packed.size() >= layout.elements(), "unpack source too small");
+  CBMPI_REQUIRE(destination.size() >= layout.extent(), "unpack destination too small");
+  std::size_t in = 0;
+  for (std::size_t b = 0; b < layout.count; ++b) {
+    std::copy(packed.data() + in, packed.data() + in + layout.blocklen,
+              destination.data() + b * layout.stride);
+    in += layout.blocklen;
+  }
+}
+
+namespace detail {
+/// Virtual cost of packing `bytes` through the cache (one extra copy).
+inline void charge_pack_cost(Adi3Engine& engine, Bytes bytes) {
+  const auto& profile = *engine.job().profile;
+  BytesPerMicro bw = profile.memcpy_bw_intra_socket;
+  if (bytes < profile.memcpy_cached_limit) bw *= profile.memcpy_cached_boost;
+  engine.clock().advance(static_cast<double>(bytes) / bw);
+}
+}  // namespace detail
+
+/// Sends a strided region as one message (blocking).
+template <typename T>
+void send_strided(Communicator& comm, std::span<const T> source,
+                  const VectorLayout& layout, int dst, int tag = 0) {
+  std::vector<T> packed(layout.elements());
+  pack(source, layout, std::span<T>(packed));
+  detail::charge_pack_cost(comm.engine(), packed.size() * sizeof(T));
+  comm.send(std::span<const T>(packed), dst, tag);
+}
+
+/// Receives into a strided region (blocking). The incoming message must hold
+/// exactly layout.elements() elements.
+template <typename T>
+Status recv_strided(Communicator& comm, std::span<T> destination,
+                    const VectorLayout& layout, int src = kAnySource,
+                    int tag = kAnyTag) {
+  std::vector<T> packed(layout.elements());
+  const Status status = comm.recv(std::span<T>(packed), src, tag);
+  CBMPI_REQUIRE(status.count<T>() == layout.elements(),
+                "strided receive size mismatch: got ", status.count<T>(),
+                " elements, layout needs ", layout.elements());
+  detail::charge_pack_cost(comm.engine(), packed.size() * sizeof(T));
+  unpack(std::span<const T>(packed), layout, destination);
+  return status;
+}
+
+// ---- persistent requests (MPI_Send_init / MPI_Recv_init / MPI_Start) -------
+
+/// A reusable communication plan bound to fixed buffer/peer/tag arguments.
+/// start() may be called repeatedly; each started operation must complete
+/// (wait/test) before the next start(), as in MPI.
+class PersistentRequest {
+ public:
+  enum class Kind { Send, Recv };
+
+  static PersistentRequest send_init(Communicator& comm,
+                                     std::span<const std::byte> data, int dst,
+                                     int tag) {
+    PersistentRequest plan;
+    plan.comm_ = &comm;
+    plan.kind_ = Kind::Send;
+    plan.send_view_ = data;
+    plan.peer_ = dst;
+    plan.tag_ = tag;
+    return plan;
+  }
+
+  static PersistentRequest recv_init(Communicator& comm, std::span<std::byte> buffer,
+                                     int src, int tag) {
+    PersistentRequest plan;
+    plan.comm_ = &comm;
+    plan.kind_ = Kind::Recv;
+    plan.recv_view_ = buffer;
+    plan.peer_ = src;
+    plan.tag_ = tag;
+    return plan;
+  }
+
+  /// Starts one operation; returns the active request.
+  Request start() {
+    CBMPI_REQUIRE(active_ == nullptr || active_->complete,
+                  "previous started operation has not completed");
+    auto& engine = comm_->engine();
+    if (kind_ == Kind::Send) {
+      active_ = engine.start_send(send_view_, comm_->to_world(peer_), tag_,
+                                  comm_->id());
+    } else {
+      const int src_world = peer_ == kAnySource ? kAnySource : comm_->to_world(peer_);
+      active_ = engine.post_recv(recv_view_, src_world, tag_, comm_->id());
+    }
+    return active_;
+  }
+
+  Kind kind() const { return kind_; }
+
+ private:
+  PersistentRequest() = default;
+
+  Communicator* comm_ = nullptr;
+  Kind kind_ = Kind::Send;
+  std::span<const std::byte> send_view_{};
+  std::span<std::byte> recv_view_{};
+  int peer_ = 0;
+  int tag_ = 0;
+  Request active_;
+};
+
+/// Typed conveniences mirroring MPI_Send_init / MPI_Recv_init.
+template <typename T>
+PersistentRequest send_init(Communicator& comm, std::span<const T> data, int dst,
+                            int tag = 0) {
+  return PersistentRequest::send_init(comm, std::as_bytes(data), dst, tag);
+}
+
+template <typename T>
+PersistentRequest recv_init(Communicator& comm, std::span<T> buffer,
+                            int src = kAnySource, int tag = kAnyTag) {
+  return PersistentRequest::recv_init(comm, std::as_writable_bytes(buffer), src, tag);
+}
+
+}  // namespace cbmpi::mpi

@@ -1,0 +1,71 @@
+// Internal per-job shared state: channels, selector, matchers, profiles.
+//
+// Created by the runtime before rank threads start; immutable topology-wise
+// while the job runs. Matchers and profiles are per-rank; channels and the
+// selector are shared (internally synchronized where needed).
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <vector>
+
+#include "fabric/cma_channel.hpp"
+#include "fabric/hca_channel.hpp"
+#include "fabric/selector.hpp"
+#include "fabric/shm_channel.hpp"
+#include "fabric/tuning.hpp"
+#include "mpi/matcher.hpp"
+#include "prof/profile.hpp"
+#include "sim/trace.hpp"
+#include "topo/calibration.hpp"
+
+namespace cbmpi::mpi {
+
+/// Shared registry entry of one RMA window: each comm rank's exposed memory
+/// plus a lock serializing concurrent remote accesses to it.
+struct WindowInfo {
+  Bytes elem_size = 1;
+  std::vector<std::span<std::byte>> spans;          // indexed by comm rank
+  std::vector<std::unique_ptr<std::mutex>> locks;   // per-op serialization
+  /// Passive-target epoch locks (MPI_Win_lock): EXCLUSIVE takes the writer
+  /// side, SHARED the reader side.
+  std::vector<std::unique_ptr<std::shared_mutex>> epoch_locks;
+};
+
+struct JobState {
+  const topo::MachineProfile* profile = nullptr;
+  fabric::TuningParams tuning;
+
+  std::unique_ptr<fabric::ShmChannel> shm;
+  std::unique_ptr<fabric::CmaChannel> cma;
+  std::unique_ptr<fabric::HcaChannel> hca;
+  std::unique_ptr<fabric::ChannelSelector> selector;
+
+  std::vector<std::unique_ptr<Matcher>> matchers;   // one per world rank
+  std::vector<prof::RankProfile> rank_profiles;     // one per world rank
+
+  sim::TraceRecorder* trace = nullptr;              // optional, may be null
+
+  std::mutex windows_mutex;
+  std::map<std::uint64_t, std::shared_ptr<WindowInfo>> windows;
+
+  int nranks = 0;
+  std::uint64_t seed = 0;
+
+  /// Set when any rank raised; blocking waits observe it and abort too, so a
+  /// failing rank cannot deadlock the job.
+  std::atomic<bool> aborted{false};
+
+  Matcher& matcher(int world_rank) {
+    return *matchers[static_cast<std::size_t>(world_rank)];
+  }
+  prof::RankProfile& rank_profile(int world_rank) {
+    return rank_profiles[static_cast<std::size_t>(world_rank)];
+  }
+};
+
+}  // namespace cbmpi::mpi

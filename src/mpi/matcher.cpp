@@ -1,0 +1,91 @@
+#include "mpi/matcher.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <tuple>
+#include <vector>
+
+namespace cbmpi::mpi {
+
+void Matcher::deliver(fabric::Envelope envelope) {
+  {
+    const std::scoped_lock lock(mutex_);
+    unexpected_.push_back(std::move(envelope));
+    ++version_;
+  }
+  cv_.notify_all();
+}
+
+namespace {
+bool matches(const fabric::Envelope& env, int src_world, int tag, std::uint64_t comm_id) {
+  if (env.comm_id != comm_id) return false;
+  if (src_world != kAnySource && env.src != src_world) return false;
+  if (tag != kAnyTag && env.tag != tag) return false;
+  return true;
+}
+}  // namespace
+
+std::optional<fabric::Envelope> Matcher::try_match(int src_world, int tag,
+                                                   std::uint64_t comm_id) {
+  const std::scoped_lock lock(mutex_);
+  auto best = unexpected_.end();
+  // Per-sender candidates are the *first* matching envelope from each sender
+  // (delivery order == sender program order, so taking the first preserves
+  // the non-overtaking rule). Among candidates, the earliest virtual
+  // availability wins; ties break by source rank then sequence number.
+  std::vector<int> seen_sources;
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (!matches(*it, src_world, tag, comm_id)) continue;
+    if (src_world != kAnySource) {
+      best = it;
+      break;
+    }
+    if (std::find(seen_sources.begin(), seen_sources.end(), it->src) !=
+        seen_sources.end())
+      continue;
+    seen_sources.push_back(it->src);
+    if (best == unexpected_.end() ||
+        std::tie(it->available_at, it->src, it->seq) <
+            std::tie(best->available_at, best->src, best->seq)) {
+      best = it;
+    }
+  }
+  if (best == unexpected_.end()) return std::nullopt;
+  fabric::Envelope env = std::move(*best);
+  unexpected_.erase(best);
+  return env;
+}
+
+std::optional<Status> Matcher::peek(int src_world, int tag, std::uint64_t comm_id) const {
+  const std::scoped_lock lock(mutex_);
+  for (const auto& env : unexpected_) {
+    if (matches(env, src_world, tag, comm_id))
+      return Status{env.src, env.tag, env.size};
+  }
+  return std::nullopt;
+}
+
+std::uint64_t Matcher::version() const {
+  const std::scoped_lock lock(mutex_);
+  return version_;
+}
+
+void Matcher::wait_past(std::uint64_t seen) const {
+  std::unique_lock lock(mutex_);
+  cv_.wait_for(lock, std::chrono::milliseconds(20), [&] { return version_ != seen; });
+}
+
+void Matcher::poke() {
+  {
+    const std::scoped_lock lock(mutex_);
+    ++version_;
+  }
+  cv_.notify_all();
+}
+
+std::size_t Matcher::pending() const {
+  const std::scoped_lock lock(mutex_);
+  return unexpected_.size();
+}
+
+}  // namespace cbmpi::mpi

@@ -1,0 +1,56 @@
+// Per-rank message matcher: the unexpected-message queue.
+//
+// Senders (other threads) deliver envelopes; the owning rank matches them
+// against receives by (source, tag, communicator). Matching preserves the
+// MPI non-overtaking rule: envelopes from one sender are scanned in delivery
+// order, which equals that sender's program order. For wildcard receives the
+// match picks the candidate with the earliest virtual availability (ties
+// broken by source rank, then sequence number) to keep simulations as
+// deterministic as possible.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "fabric/message.hpp"
+#include "mpi/types.hpp"
+
+namespace cbmpi::mpi {
+
+class Matcher {
+ public:
+  /// Called by sender threads.
+  void deliver(fabric::Envelope envelope);
+
+  /// Removes and returns the first envelope matching (src, tag, comm);
+  /// src/tag may be wildcards. Returns nullopt if nothing matches now.
+  std::optional<fabric::Envelope> try_match(int src_world, int tag,
+                                            std::uint64_t comm_id);
+
+  /// Non-destructive variant for MPI_Iprobe.
+  std::optional<Status> peek(int src_world, int tag, std::uint64_t comm_id) const;
+
+  /// Monotone counter incremented on every delivery; used by blocking ops to
+  /// sleep until something new arrives.
+  std::uint64_t version() const;
+
+  /// Blocks (wall-clock) until version() != seen, or ~20 ms elapse (the
+  /// timeout lets blocked ranks observe a job abort).
+  void wait_past(std::uint64_t seen) const;
+
+  /// Wakes all waiters without delivering anything (abort propagation).
+  void poke();
+
+  std::size_t pending() const;
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  std::deque<fabric::Envelope> unexpected_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace cbmpi::mpi

@@ -1,0 +1,195 @@
+#include "mpi/runtime.hpp"
+
+#include <exception>
+#include <numeric>
+#include <thread>
+
+#include "container/engine.hpp"
+#include "mpi/locality.hpp"
+#include "osl/machine.hpp"
+#include "topo/hardware.hpp"
+
+namespace cbmpi::mpi {
+
+Process::Process(JobState& job, int rank, osl::SimProcess& proc,
+                 TimeBarrier& phase_barrier,
+                 std::shared_ptr<const CommGroup> world_group)
+    : os_(&proc),
+      engine_(job, rank, proc),
+      world_(engine_, std::move(world_group), /*id=*/0),
+      phase_barrier_(&phase_barrier) {}
+
+void Process::compute(double ops) {
+  const Micros before = os_->clock().now();
+  os_->compute(ops);
+  engine_.profile().add_compute(os_->clock().now() - before);
+  if (engine_.job().trace)
+    engine_.job().trace->record({sim::TraceKind::Compute, rank(), rank(),
+                                 static_cast<Bytes>(ops), os_->clock().now(), ""});
+}
+
+Xoshiro256 Process::make_rng(std::uint64_t salt) const {
+  return Xoshiro256(
+      mix64(seed() ^ mix64(salt) ^
+            (static_cast<std::uint64_t>(rank()) * std::uint64_t{0x9e3779b97f4a7c15})));
+}
+
+void Process::sync_time() {
+  const Micros aligned = phase_barrier_->arrive_and_wait(os_->clock().now());
+  os_->clock().advance_to(aligned);
+}
+
+namespace {
+
+container::ContainerSpec container_spec_for(const container::DeploymentSpec& spec,
+                                            const container::JobPlacement& placement,
+                                            topo::HostId host, int index) {
+  container::ContainerSpec cont;
+  const bool vm = spec.isolation == container::IsolationKind::VirtualMachine;
+  cont.name = "host" + std::to_string(host) + (vm ? "-vm" : "-cont") +
+              std::to_string(index);
+  cont.privileged = spec.privileged;
+  cont.share_host_ipc = spec.share_host_ipc;
+  cont.share_host_pid = spec.share_host_pid;
+  cont.virtual_machine = vm;
+  cont.ivshmem = vm && spec.ivshmem;
+  cont.cpuset = placement.container_cpusets[static_cast<std::size_t>(index)];
+  return cont;
+}
+
+}  // namespace
+
+JobResult run_job(const JobConfig& config, const std::function<void(Process&)>& body) {
+  const auto& spec = config.deployment;
+  const int nranks = spec.total_ranks();
+  CBMPI_REQUIRE(nranks > 0, "job needs at least one rank");
+
+  // --- hardware + OS ------------------------------------------------------
+  const int hosts = std::max(config.cluster_hosts, spec.num_hosts);
+  osl::Machine machine(topo::ClusterBuilder().hosts(hosts).build(), config.profile);
+  container::Engine engine(machine);
+  const auto placement = container::plan_deployment(machine.cluster(), spec);
+
+  // --- containers -----------------------------------------------------------
+  // containers[h][c] is container c on host h (empty when native).
+  std::vector<std::vector<container::Container*>> containers(
+      static_cast<std::size_t>(spec.num_hosts));
+  if (!spec.native()) {
+    for (int h = 0; h < spec.num_hosts; ++h) {
+      auto& on_host = containers[static_cast<std::size_t>(h)];
+      for (int c = 0; c < spec.containers_per_host; ++c)
+        on_host.push_back(&engine.run(h, container_spec_for(spec, placement, h, c)));
+    }
+  }
+
+  // --- rank processes ---------------------------------------------------------
+  std::vector<std::unique_ptr<osl::SimProcess>> processes;
+  processes.reserve(static_cast<std::size_t>(nranks));
+  std::vector<bool> hca_access(static_cast<std::size_t>(nranks), true);
+  for (int r = 0; r < nranks; ++r) {
+    const auto& slot = placement.slots[static_cast<std::size_t>(r)];
+    if (slot.container_index < 0) {
+      processes.push_back(engine.spawn_native(slot.host, slot.core));
+      hca_access[static_cast<std::size_t>(r)] =
+          machine.cluster().host(slot.host).shape().has_hca;
+    } else {
+      auto* cont = containers[static_cast<std::size_t>(slot.host)]
+                             [static_cast<std::size_t>(slot.container_index)];
+      processes.push_back(engine.spawn(*cont, slot.core_slot));
+      hca_access[static_cast<std::size_t>(r)] = cont->can_access_hca();
+    }
+  }
+
+  // --- job state -----------------------------------------------------------
+  JobState job;
+  job.profile = &machine.profile();
+  job.tuning = config.tuning;
+  job.shm = std::make_unique<fabric::ShmChannel>(machine.profile(), config.tuning);
+  job.cma = std::make_unique<fabric::CmaChannel>(machine.profile());
+  job.hca = std::make_unique<fabric::HcaChannel>(machine.profile(), config.tuning);
+  job.nranks = nranks;
+  job.seed = config.seed;
+
+  sim::TraceRecorder recorder;
+  if (config.record_trace) job.trace = &recorder;
+
+  const bool vm_mode =
+      spec.isolation == container::IsolationKind::VirtualMachine && !spec.native();
+  std::vector<fabric::RankEndpoint> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    auto& proc = *processes[static_cast<std::size_t>(r)];
+    endpoints.push_back(
+        {&proc, proc.hostname(), hca_access[static_cast<std::size_t>(r)], vm_mode});
+  }
+  job.selector = std::make_unique<fabric::ChannelSelector>(
+      config.policy, config.tuning, std::move(endpoints));
+  job.selector->force_channel(config.forced_channel);
+
+  job.matchers.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) job.matchers.push_back(std::make_unique<Matcher>());
+  job.rank_profiles.resize(static_cast<std::size_t>(nranks));
+
+  // --- container locality detection (init-time, before any communication) --
+  // Running the announce/scan protocol for all ranks here is equivalent to
+  // each rank doing it before the PMI init barrier, and keeps it
+  // deterministic; each rank is charged the modelled detection cost.
+  if (config.policy == fabric::LocalityPolicy::ContainerAware) {
+    ContainerLocalityDetector detector("job" + std::to_string(config.seed), nranks);
+    for (int r = 0; r < nranks; ++r)
+      detector.announce(*processes[static_cast<std::size_t>(r)], r);
+    std::vector<std::vector<std::uint8_t>> matrix;
+    matrix.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+      matrix.push_back(detector.co_resident_row(*processes[static_cast<std::size_t>(r)]));
+      processes[static_cast<std::size_t>(r)]->clock().advance(
+          detector.detection_cost());
+    }
+    job.selector->set_detected_locality(std::move(matrix));
+  }
+
+  // --- run rank threads ----------------------------------------------------
+  auto world_group = [&] {
+    std::vector<int> ranks(static_cast<std::size_t>(nranks));
+    std::iota(ranks.begin(), ranks.end(), 0);
+    return CommGroup::make(std::move(ranks));
+  }();
+
+  TimeBarrier phase_barrier(nranks);
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        Process process(job, r, *processes[static_cast<std::size_t>(r)], phase_barrier,
+                        world_group);
+        body(process);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        // Unblock peers that may be blocked waiting on this rank; they will
+        // observe the abort flag and raise. The first error is rethrown below.
+        job.aborted.store(true, std::memory_order_release);
+        for (auto& matcher : job.matchers) matcher->poke();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (auto& error : errors)
+    if (error) std::rethrow_exception(error);
+
+  // --- results ---------------------------------------------------------------
+  JobResult result;
+  result.rank_times.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    const Micros t = processes[static_cast<std::size_t>(r)]->clock().now();
+    result.rank_times.push_back(t);
+    result.job_time = std::max(result.job_time, t);
+    result.profile.merge_rank(job.rank_profiles[static_cast<std::size_t>(r)]);
+  }
+  result.hca_queue_pairs = job.hca->queue_pairs();
+  if (config.record_trace) result.trace = recorder.events();
+  return result;
+}
+
+}  // namespace cbmpi::mpi

@@ -1,0 +1,100 @@
+// Job runtime: builds the simulated cluster, deploys containers, spawns one
+// thread per rank, runs the Container Locality Detector, and executes the
+// user's per-rank function.
+//
+//   mpi::JobConfig config;
+//   config.deployment = container::DeploymentSpec::containers(1, 2, 16);
+//   config.policy = fabric::LocalityPolicy::ContainerAware;
+//   auto result = mpi::run_job(config, [](mpi::Process& p) {
+//     p.world().barrier();
+//     ...
+//   });
+//   // result.job_time is the virtual makespan.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "container/deployment.hpp"
+#include "fabric/selector.hpp"
+#include "mpi/communicator.hpp"
+#include "mpi/time_barrier.hpp"
+#include "prof/profile.hpp"
+#include "sim/trace.hpp"
+#include "topo/calibration.hpp"
+
+namespace cbmpi::mpi {
+
+struct JobConfig {
+  container::DeploymentSpec deployment;
+  fabric::TuningParams tuning{};
+  fabric::LocalityPolicy policy = fabric::LocalityPolicy::HostnameBased;
+  topo::MachineProfile profile = topo::MachineProfile::chameleon_fdr();
+
+  /// Cluster size; 0 means "exactly the hosts the deployment needs".
+  int cluster_hosts = 0;
+
+  /// Forces all traffic onto one channel (Fig. 3 experiments).
+  std::optional<fabric::ChannelKind> forced_channel;
+
+  bool record_trace = false;
+  std::uint64_t seed = 42;
+};
+
+struct JobResult {
+  Micros job_time = 0.0;           ///< max over ranks of the final clock
+  std::vector<Micros> rank_times;  ///< per-rank final virtual clocks
+  prof::JobProfile profile;        ///< aggregated over ranks
+  std::size_t hca_queue_pairs = 0;
+  std::vector<sim::TraceEvent> trace;  ///< empty unless record_trace
+};
+
+/// The per-rank handle passed to the job body.
+class Process {
+ public:
+  Process(JobState& job, int rank, osl::SimProcess& proc, TimeBarrier& phase_barrier,
+          std::shared_ptr<const CommGroup> world_group);
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  int rank() const { return engine_.world_rank(); }
+  int size() const { return engine_.job().nranks; }
+
+  Communicator& world() { return world_; }
+
+  /// Advances virtual time by a compute phase of `ops` abstract work units
+  /// (profiled as computation for the Fig. 3a breakdown).
+  void compute(double ops);
+
+  /// Current virtual time in microseconds (the MPI_Wtime analogue).
+  Micros now() const { return os_->clock().now(); }
+
+  /// Job seed; combine with rank() for per-rank streams.
+  std::uint64_t seed() const { return engine_.job().seed; }
+
+  /// Deterministic per-rank RNG.
+  Xoshiro256 make_rng(std::uint64_t salt = 0) const;
+
+  /// Out-of-band phase alignment: blocks until all ranks arrive and aligns
+  /// every clock to the maximum. For bench iteration boundaries — not an
+  /// MPI_Barrier (costs nothing in virtual time beyond the alignment).
+  void sync_time();
+
+  Adi3Engine& engine() { return engine_; }
+  const osl::SimProcess& os() const { return *os_; }
+
+ private:
+  osl::SimProcess* os_;
+  Adi3Engine engine_;
+  Communicator world_;
+  TimeBarrier* phase_barrier_;
+};
+
+/// Runs one MPI job in the simulated cluster. Blocks until all ranks finish;
+/// exceptions thrown by any rank are rethrown here.
+JobResult run_job(const JobConfig& config,
+                  const std::function<void(Process&)>& body);
+
+}  // namespace cbmpi::mpi

@@ -1,0 +1,29 @@
+#include "mpi/time_barrier.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cbmpi::mpi {
+
+TimeBarrier::TimeBarrier(int participants) : participants_(participants) {
+  CBMPI_REQUIRE(participants > 0, "barrier needs at least one participant");
+}
+
+Micros TimeBarrier::arrive_and_wait(Micros my_time) {
+  std::unique_lock lock(mutex_);
+  current_max_ = std::max(current_max_, my_time);
+  if (++waiting_ == participants_) {
+    published_max_ = current_max_;
+    current_max_ = 0.0;
+    waiting_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return published_max_;
+  }
+  const std::uint64_t my_generation = generation_;
+  cv_.wait(lock, [&] { return generation_ != my_generation; });
+  return published_max_;
+}
+
+}  // namespace cbmpi::mpi

@@ -1,0 +1,34 @@
+// Out-of-band virtual-time barrier.
+//
+// Used for job init/finalize and for bench phase alignment — NOT for
+// MPI_Barrier (which is a real dissemination algorithm over the channels and
+// pays their costs). All participants block (wall-clock) until everyone
+// arrived, and each receives the maximum virtual time, to which it then
+// aligns its clock.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/units.hpp"
+
+namespace cbmpi::mpi {
+
+class TimeBarrier {
+ public:
+  explicit TimeBarrier(int participants);
+
+  /// Blocks until all participants arrived; returns the max of their times.
+  Micros arrive_and_wait(Micros my_time);
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int participants_;
+  int waiting_ = 0;
+  std::uint64_t generation_ = 0;
+  Micros current_max_ = 0.0;
+  Micros published_max_ = 0.0;
+};
+
+}  // namespace cbmpi::mpi

@@ -1,0 +1,43 @@
+#include "osl/cma.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace cbmpi::osl::cma {
+
+const char* to_string(Result result) {
+  switch (result) {
+    case Result::Ok: return "ok";
+    case Result::PermissionDenied: return "permission-denied (EPERM)";
+    case Result::RemoteHost: return "no-such-pid (ESRCH)";
+  }
+  return "?";
+}
+
+Result check(const SimProcess& caller, const SimProcess& target) {
+  if (!caller.same_host(target)) return Result::RemoteHost;
+  if (!caller.namespaces().shares(NamespaceType::Pid, target.namespaces()))
+    return Result::PermissionDenied;
+  return Result::Ok;
+}
+
+Result read(const SimProcess& caller, const SimProcess& target,
+            std::span<std::byte> dst, std::span<const std::byte> src) {
+  CBMPI_REQUIRE(dst.size() == src.size(), "cma read size mismatch");
+  const Result r = check(caller, target);
+  if (r != Result::Ok) return r;
+  if (!dst.empty()) std::memcpy(dst.data(), src.data(), dst.size());
+  return Result::Ok;
+}
+
+Result write(const SimProcess& caller, const SimProcess& target,
+             std::span<const std::byte> src, std::span<std::byte> dst) {
+  CBMPI_REQUIRE(dst.size() == src.size(), "cma write size mismatch");
+  const Result r = check(caller, target);
+  if (r != Result::Ok) return r;
+  if (!dst.empty()) std::memcpy(dst.data(), src.data(), dst.size());
+  return Result::Ok;
+}
+
+}  // namespace cbmpi::osl::cma

@@ -1,0 +1,37 @@
+// Cross Memory Attach (process_vm_readv / process_vm_writev emulation).
+//
+// A destination process copies memory directly from a source process's
+// address space in a single copy. The kernel permits this only when the
+// caller can address the target pid — across containers that requires a
+// shared PID namespace (and same host, obviously). The *cost* of the syscall
+// is modelled by the CMA channel; this module performs the actual data move
+// and the permission check.
+#pragma once
+
+#include <span>
+
+#include "osl/process.hpp"
+
+namespace cbmpi::osl::cma {
+
+enum class Result {
+  Ok,
+  PermissionDenied,  ///< EPERM: target not addressable (different PID ns)
+  RemoteHost,        ///< ESRCH: pid does not exist on the caller's host
+};
+
+const char* to_string(Result result);
+
+/// Is CMA possible between these two processes at all?
+Result check(const SimProcess& caller, const SimProcess& target);
+
+/// process_vm_readv: copies from `src` (in `target`'s address space) into
+/// `dst` (in `caller`'s). Sizes must match.
+Result read(const SimProcess& caller, const SimProcess& target,
+            std::span<std::byte> dst, std::span<const std::byte> src);
+
+/// process_vm_writev: copies from `src` (caller) into `dst` (target).
+Result write(const SimProcess& caller, const SimProcess& target,
+             std::span<const std::byte> src, std::span<std::byte> dst);
+
+}  // namespace cbmpi::osl::cma

@@ -1,0 +1,63 @@
+#include "osl/machine.hpp"
+
+#include "common/error.hpp"
+
+namespace cbmpi::osl {
+
+HostOs::HostOs(Machine& machine, const topo::Host& host)
+    : machine_(&machine), host_(&host) {
+  for (auto type : {NamespaceType::Pid, NamespaceType::Ipc, NamespaceType::Uts,
+                    NamespaceType::Net})
+    root_ns_.set(type, machine_->allocate_namespace_id());
+  set_hostname(root_ns_.get(NamespaceType::Uts), host_->name());
+}
+
+const topo::MachineProfile& HostOs::profile() const { return machine_->profile(); }
+
+NamespaceId HostOs::make_namespace(NamespaceType) {
+  return machine_->allocate_namespace_id();
+}
+
+void HostOs::set_hostname(NamespaceId uts_ns, std::string name) {
+  const std::scoped_lock lock(hostnames_mutex_);
+  hostnames_[uts_ns.value] = std::move(name);
+}
+
+std::string HostOs::hostname(NamespaceId uts_ns) const {
+  const std::scoped_lock lock(hostnames_mutex_);
+  const auto it = hostnames_.find(uts_ns.value);
+  CBMPI_REQUIRE(it != hostnames_.end(), "unknown UTS namespace ", uts_ns.value,
+                " on ", host_->name());
+  return it->second;
+}
+
+Pid HostOs::allocate_pid() { return next_pid_.fetch_add(1, std::memory_order_relaxed); }
+
+NamespaceId HostOs::ivshmem_namespace() {
+  const std::scoped_lock lock(ivshmem_mutex_);
+  if (!ivshmem_ns_) ivshmem_ns_ = machine_->allocate_namespace_id();
+  return *ivshmem_ns_;
+}
+
+Machine::Machine(topo::Cluster cluster, topo::MachineProfile profile)
+    : cluster_(std::move(cluster)), profile_(profile) {
+  hosts_.reserve(static_cast<std::size_t>(cluster_.num_hosts()));
+  for (const auto& host : cluster_.hosts())
+    hosts_.push_back(std::make_unique<HostOs>(*this, host));
+}
+
+HostOs& Machine::host_os(topo::HostId id) {
+  CBMPI_REQUIRE(id >= 0 && id < num_hosts(), "host id out of range: ", id);
+  return *hosts_[static_cast<std::size_t>(id)];
+}
+
+const HostOs& Machine::host_os(topo::HostId id) const {
+  CBMPI_REQUIRE(id >= 0 && id < num_hosts(), "host id out of range: ", id);
+  return *hosts_[static_cast<std::size_t>(id)];
+}
+
+NamespaceId Machine::allocate_namespace_id() {
+  return NamespaceId{next_ns_id_.fetch_add(1, std::memory_order_relaxed)};
+}
+
+}  // namespace cbmpi::osl

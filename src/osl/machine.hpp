@@ -1,0 +1,102 @@
+// Machine: the cluster-wide simulated OS state.
+//
+// One HostOs per topo::Host carries that host's kernel-level state: root
+// namespaces, hostname registry (per UTS namespace), shared-memory registry
+// (per IPC namespace) and pid allocation. Machine owns all HostOs instances,
+// the hardware description and the calibrated profile.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "osl/namespaces.hpp"
+#include "osl/shm.hpp"
+#include "topo/calibration.hpp"
+#include "topo/hardware.hpp"
+
+namespace cbmpi::osl {
+
+using Pid = std::uint64_t;
+
+class Machine;
+
+class HostOs {
+ public:
+  HostOs(Machine& machine, const topo::Host& host);
+
+  HostOs(const HostOs&) = delete;
+  HostOs& operator=(const HostOs&) = delete;
+
+  topo::HostId id() const { return host_->id(); }
+  const topo::Host& hardware() const { return *host_; }
+  const topo::MachineProfile& profile() const;
+  Machine& machine() { return *machine_; }
+
+  /// The namespaces of processes running directly on the host (no container).
+  const NamespaceSet& root_namespaces() const { return root_ns_; }
+
+  /// Creates a fresh namespace of the given type on this host.
+  NamespaceId make_namespace(NamespaceType type);
+
+  /// The host's inter-VM shared-memory device (IVSHMEM): a PCI BAR the
+  /// hypervisor can map into every co-resident guest. Modelled as one extra
+  /// IPC namespace per host, lazily created. Guests that attach the device
+  /// can open shared segments in it (but still have private PID namespaces,
+  /// so CMA remains impossible across VMs).
+  NamespaceId ivshmem_namespace();
+
+  /// Hostname as seen from a UTS namespace (sethostname/gethostname pair).
+  void set_hostname(NamespaceId uts_ns, std::string name);
+  std::string hostname(NamespaceId uts_ns) const;
+
+  SharedMemoryManager& shm() { return shm_; }
+
+  Pid allocate_pid();
+
+ private:
+  Machine* machine_;
+  const topo::Host* host_;
+  NamespaceSet root_ns_;
+  SharedMemoryManager shm_;
+  std::atomic<Pid> next_pid_{2};  // pid 1 is the host's init
+
+  std::mutex ivshmem_mutex_;
+  std::optional<NamespaceId> ivshmem_ns_;
+
+  mutable std::mutex hostnames_mutex_;
+  std::map<std::uint64_t, std::string> hostnames_;  // uts ns id -> hostname
+};
+
+class Machine {
+ public:
+  Machine(topo::Cluster cluster,
+          topo::MachineProfile profile = topo::MachineProfile::chameleon_fdr());
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  const topo::Cluster& cluster() const { return cluster_; }
+  const topo::MachineProfile& profile() const { return profile_; }
+
+  HostOs& host_os(topo::HostId id);
+  const HostOs& host_os(topo::HostId id) const;
+  int num_hosts() const { return cluster_.num_hosts(); }
+
+  /// Globally-unique namespace id allocation (namespace ids never collide
+  /// across hosts, mirroring inode-backed namespace identity on Linux).
+  NamespaceId allocate_namespace_id();
+
+ private:
+  topo::Cluster cluster_;
+  topo::MachineProfile profile_;
+  std::atomic<std::uint64_t> next_ns_id_{1};
+  std::vector<std::unique_ptr<HostOs>> hosts_;
+};
+
+}  // namespace cbmpi::osl

@@ -1,0 +1,15 @@
+#include "osl/namespaces.hpp"
+
+namespace cbmpi::osl {
+
+const char* to_string(NamespaceType type) {
+  switch (type) {
+    case NamespaceType::Pid: return "pid";
+    case NamespaceType::Ipc: return "ipc";
+    case NamespaceType::Uts: return "uts";
+    case NamespaceType::Net: return "net";
+  }
+  return "?";
+}
+
+}  // namespace cbmpi::osl

@@ -1,0 +1,55 @@
+// Simulated Linux namespaces.
+//
+// Containers isolate processes by giving them fresh namespace ids; sharing a
+// namespace with the host (docker run --ipc=host --pid=host) means reusing the
+// host's id. Only the namespace types that drive the paper's behaviour are
+// modelled:
+//   * UTS — each container gets a unique hostname, which is what breaks the
+//     default MPI runtime's hostname-based locality detection;
+//   * IPC — shared-memory segments are only visible within one IPC namespace,
+//     so the container list (and SHM channel queues) require --ipc=host;
+//   * PID — CMA (process_vm_readv) requires the peer to be addressable in the
+//     caller's PID namespace, so the CMA channel requires --pid=host;
+//   * NET — carried for completeness (network isolation does not matter to
+//     the HCA path because the device is accessed via --privileged).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace cbmpi::osl {
+
+enum class NamespaceType : std::uint8_t { Pid = 0, Ipc = 1, Uts = 2, Net = 3 };
+
+inline constexpr std::size_t kNamespaceTypes = 4;
+
+struct NamespaceId {
+  std::uint64_t value = 0;
+
+  friend bool operator==(const NamespaceId&, const NamespaceId&) = default;
+};
+
+const char* to_string(NamespaceType type);
+
+/// The namespace membership of one process (or one container template).
+class NamespaceSet {
+ public:
+  NamespaceId get(NamespaceType type) const {
+    return ids_[static_cast<std::size_t>(type)];
+  }
+
+  void set(NamespaceType type, NamespaceId id) {
+    ids_[static_cast<std::size_t>(type)] = id;
+  }
+
+  bool shares(NamespaceType type, const NamespaceSet& other) const {
+    return get(type) == other.get(type);
+  }
+
+  friend bool operator==(const NamespaceSet&, const NamespaceSet&) = default;
+
+ private:
+  std::array<NamespaceId, kNamespaceTypes> ids_{};
+};
+
+}  // namespace cbmpi::osl

@@ -1,0 +1,7 @@
+#include "osl/process.hpp"
+
+// Header-only today; anchor TU kept so the build stays uniform if SimProcess
+// grows out-of-line members (e.g. per-process resource accounting).
+namespace cbmpi::osl {
+static_assert(sizeof(SimProcess) > 0);
+}  // namespace cbmpi::osl

@@ -1,0 +1,72 @@
+#include "osl/shm.hpp"
+
+#include "common/error.hpp"
+
+namespace cbmpi::osl {
+
+ShmSegment::ShmSegment(Bytes size) : bytes_(size) {
+  CBMPI_REQUIRE(size > 0, "zero-sized shm segment");
+}
+
+void ShmSegment::store_byte(Bytes offset, std::uint8_t value) {
+  CBMPI_REQUIRE(offset < size(), "shm store out of range: ", offset, " >= ", size());
+  bytes_[offset].store(value, std::memory_order_release);
+}
+
+std::uint8_t ShmSegment::load_byte(Bytes offset) const {
+  CBMPI_REQUIRE(offset < size(), "shm load out of range: ", offset, " >= ", size());
+  return bytes_[offset].load(std::memory_order_acquire);
+}
+
+void ShmSegment::write(Bytes offset, std::span<const std::byte> data) {
+  CBMPI_REQUIRE(offset + data.size() <= size(), "shm bulk write out of range");
+  const std::scoped_lock lock(bulk_mutex_);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    bytes_[offset + i].store(static_cast<std::uint8_t>(data[i]), std::memory_order_relaxed);
+}
+
+void ShmSegment::read(Bytes offset, std::span<std::byte> out) const {
+  CBMPI_REQUIRE(offset + out.size() <= size(), "shm bulk read out of range");
+  const std::scoped_lock lock(bulk_mutex_);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = static_cast<std::byte>(bytes_[offset + i].load(std::memory_order_relaxed));
+}
+
+void ShmSegment::clear() {
+  for (auto& b : bytes_) b.store(0, std::memory_order_release);
+}
+
+std::shared_ptr<ShmSegment> SharedMemoryManager::open(NamespaceId ipc_ns,
+                                                      const std::string& name,
+                                                      Bytes size) {
+  const std::scoped_lock lock(mutex_);
+  const Key key{ipc_ns.value, name};
+  auto it = segments_.find(key);
+  if (it != segments_.end()) {
+    CBMPI_REQUIRE(it->second->size() >= size, "existing segment '", name,
+                  "' smaller than requested (", it->second->size(), " < ", size, ")");
+    return it->second;
+  }
+  auto segment = std::make_shared<ShmSegment>(size);
+  segments_.emplace(key, segment);
+  return segment;
+}
+
+std::shared_ptr<ShmSegment> SharedMemoryManager::find(NamespaceId ipc_ns,
+                                                      const std::string& name) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = segments_.find(Key{ipc_ns.value, name});
+  return it == segments_.end() ? nullptr : it->second;
+}
+
+void SharedMemoryManager::unlink(NamespaceId ipc_ns, const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  segments_.erase(Key{ipc_ns.value, name});
+}
+
+std::size_t SharedMemoryManager::segment_count() const {
+  const std::scoped_lock lock(mutex_);
+  return segments_.size();
+}
+
+}  // namespace cbmpi::osl

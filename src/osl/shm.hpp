@@ -1,0 +1,77 @@
+// Per-host shared memory (/dev/shm emulation).
+//
+// Segments are keyed by (IPC namespace, name): a process can only open a
+// segment created in its own IPC namespace, which is exactly why the paper's
+// container list requires containers to share the host's IPC namespace.
+//
+// ShmSegment offers two access granularities:
+//   * lock-free byte ops — the container list protocol writes one byte per
+//     rank concurrently with no locks ("the byte is the smallest granularity
+//     of memory access without the lock", Sec. IV-B);
+//   * bulk read/write — used by the SHM channel's length queue to stage real
+//     payload bytes; internally serialized (the channel protocol provides its
+//     own ordering, the lock only keeps the simulation free of data races).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "osl/namespaces.hpp"
+
+namespace cbmpi::osl {
+
+class ShmSegment {
+ public:
+  explicit ShmSegment(Bytes size);
+
+  Bytes size() const { return static_cast<Bytes>(bytes_.size()); }
+
+  /// Lock-free single-byte access (release/acquire so readers see writes
+  /// published before a synchronisation point).
+  void store_byte(Bytes offset, std::uint8_t value);
+  std::uint8_t load_byte(Bytes offset) const;
+
+  /// Bulk staging of payload bytes; offset+data must fit the segment.
+  void write(Bytes offset, std::span<const std::byte> data);
+  void read(Bytes offset, std::span<std::byte> out) const;
+
+  /// Zeroes the whole segment (lock-free byte stores).
+  void clear();
+
+ private:
+  std::vector<std::atomic<std::uint8_t>> bytes_;
+  mutable std::mutex bulk_mutex_;
+};
+
+/// One host's shared-memory registry.
+class SharedMemoryManager {
+ public:
+  /// shm_open(O_CREAT) semantics: returns the existing segment if present
+  /// (size must then be compatible, i.e. existing >= requested), otherwise
+  /// creates it.
+  std::shared_ptr<ShmSegment> open(NamespaceId ipc_ns, const std::string& name,
+                                   Bytes size);
+
+  /// Returns nullptr if the segment does not exist in this IPC namespace.
+  std::shared_ptr<ShmSegment> find(NamespaceId ipc_ns, const std::string& name) const;
+
+  /// shm_unlink semantics: removes the name; existing handles stay valid.
+  void unlink(NamespaceId ipc_ns, const std::string& name);
+
+  std::size_t segment_count() const;
+
+ private:
+  using Key = std::pair<std::uint64_t, std::string>;
+
+  mutable std::mutex mutex_;
+  std::map<Key, std::shared_ptr<ShmSegment>> segments_;
+};
+
+}  // namespace cbmpi::osl

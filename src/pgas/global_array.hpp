@@ -1,0 +1,131 @@
+// PGAS-style global arrays on top of the one-sided layer.
+//
+// The paper's future work proposes "exploring the performance
+// characterization of other programming models (e.g. PGAS) in container-based
+// HPC cloud"; this module provides that programming model as a library:
+// a block-distributed global array with one-sided read/write/accumulate,
+// which inherits the locality-aware channel selection transparently — remote
+// accesses to co-resident containers ride SHM/CMA instead of the HCA
+// loopback, exactly like two-sided traffic does.
+//
+// Collective lifecycle: construction and sync() must be called by every rank
+// of the communicator; element accesses are one-sided and independent.
+#pragma once
+
+#include <vector>
+
+#include "mpi/window.hpp"
+
+namespace cbmpi::pgas {
+
+template <typename T>
+class GlobalArray {
+ public:
+  /// Collective. Elements are block-distributed: rank r owns the index range
+  /// [r*ceil(n/p), min(n, (r+1)*ceil(n/p))).
+  GlobalArray(mpi::Communicator& comm, std::size_t global_size, T initial = T{})
+      : comm_(&comm),
+        global_size_(global_size),
+        block_(comm.size() > 0
+                   ? (global_size + static_cast<std::size_t>(comm.size()) - 1) /
+                         static_cast<std::size_t>(comm.size())
+                   : 0),
+        local_(block_ > 0 ? block_ : 1, initial),
+        window_(comm, std::span<T>(local_)) {
+    window_.fence();
+  }
+
+  std::size_t size() const { return global_size_; }
+
+  int owner_of(std::size_t index) const {
+    return static_cast<int>(index / block_);
+  }
+
+  std::size_t local_begin() const {
+    return std::min(global_size_, block_ * static_cast<std::size_t>(comm_->rank()));
+  }
+  std::size_t local_end() const {
+    return std::min(global_size_, local_begin() + block_);
+  }
+
+  /// Direct view of the locally-owned elements.
+  std::span<T> local() {
+    return std::span<T>(local_.data(), local_end() - local_begin());
+  }
+
+  /// One-sided element read (get + flush: completes immediately).
+  T read(std::size_t index) {
+    check(index);
+    T value{};
+    const int owner = owner_of(index);
+    window_.get(std::span<T>(&value, 1), owner, index - block_ * static_cast<std::size_t>(owner));
+    window_.flush(owner);
+    return value;
+  }
+
+  /// One-sided element write; completes at the next sync()/flush.
+  void write(std::size_t index, const T& value) {
+    check(index);
+    const int owner = owner_of(index);
+    window_.put(std::span<const T>(&value, 1), owner,
+                index - block_ * static_cast<std::size_t>(owner));
+  }
+
+  /// Atomic one-sided element update.
+  void accumulate(std::size_t index, const T& value,
+                  mpi::ReduceOp op = mpi::ReduceOp::Sum) {
+    check(index);
+    const int owner = owner_of(index);
+    window_.accumulate(std::span<const T>(&value, 1), owner,
+                       index - block_ * static_cast<std::size_t>(owner), op);
+  }
+
+  /// Bulk one-sided read of [from, from + out.size()), possibly spanning
+  /// several owners.
+  void read_block(std::size_t from, std::span<T> out) {
+    CBMPI_REQUIRE(from + out.size() <= global_size_, "global array read out of range");
+    std::size_t done = 0;
+    while (done < out.size()) {
+      const std::size_t index = from + done;
+      const int owner = owner_of(index);
+      const std::size_t offset = index - block_ * static_cast<std::size_t>(owner);
+      const std::size_t chunk = std::min(out.size() - done, block_ - offset);
+      window_.get(out.subspan(done, chunk), owner, offset);
+      window_.flush(owner);
+      done += chunk;
+    }
+  }
+
+  /// Bulk one-sided write.
+  void write_block(std::size_t from, std::span<const T> data) {
+    CBMPI_REQUIRE(from + data.size() <= global_size_,
+                  "global array write out of range");
+    std::size_t done = 0;
+    while (done < data.size()) {
+      const std::size_t index = from + done;
+      const int owner = owner_of(index);
+      const std::size_t offset = index - block_ * static_cast<std::size_t>(owner);
+      const std::size_t chunk = std::min(data.size() - done, block_ - offset);
+      window_.put(data.subspan(done, chunk), owner, offset);
+      done += chunk;
+    }
+  }
+
+  /// Collective epoch boundary: completes all outstanding one-sided traffic
+  /// on every rank (MPI_Win_fence semantics).
+  void sync() { window_.fence(); }
+
+ private:
+  void check(std::size_t index) const {
+    CBMPI_REQUIRE(index < global_size_, "global array index ", index,
+                  " out of range (size ", global_size_, ")");
+  }
+
+  mpi::Communicator* comm_;
+  std::size_t global_size_;
+  std::size_t block_;
+  std::vector<T> local_;
+  mpi::Window<T> window_;
+};
+
+}  // namespace cbmpi::pgas

@@ -1,0 +1,126 @@
+#include "prof/profile.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace cbmpi::prof {
+
+const char* to_string(CallKind kind) {
+  switch (kind) {
+    case CallKind::Send: return "MPI_Send";
+    case CallKind::Recv: return "MPI_Recv";
+    case CallKind::Isend: return "MPI_Isend";
+    case CallKind::Irecv: return "MPI_Irecv";
+    case CallKind::Test: return "MPI_Test";
+    case CallKind::Wait: return "MPI_Wait";
+    case CallKind::Probe: return "MPI_Probe";
+    case CallKind::Barrier: return "MPI_Barrier";
+    case CallKind::Bcast: return "MPI_Bcast";
+    case CallKind::Reduce: return "MPI_Reduce";
+    case CallKind::Allreduce: return "MPI_Allreduce";
+    case CallKind::Gather: return "MPI_Gather";
+    case CallKind::Allgather: return "MPI_Allgather";
+    case CallKind::Scatter: return "MPI_Scatter";
+    case CallKind::Alltoall: return "MPI_Alltoall";
+    case CallKind::Alltoallv: return "MPI_Alltoallv";
+    case CallKind::AllgatherV: return "MPI_Allgatherv";
+    case CallKind::Gatherv: return "MPI_Gatherv";
+    case CallKind::Scatterv: return "MPI_Scatterv";
+    case CallKind::ReduceScatter: return "MPI_Reduce_scatter_block";
+    case CallKind::Scan: return "MPI_Scan";
+    case CallKind::Exscan: return "MPI_Exscan";
+    case CallKind::Put: return "MPI_Put";
+    case CallKind::Get: return "MPI_Get";
+    case CallKind::Accumulate: return "MPI_Accumulate";
+    case CallKind::Fence: return "MPI_Win_fence";
+    case CallKind::Flush: return "MPI_Win_flush";
+    case CallKind::WinCreate: return "MPI_Win_create";
+    case CallKind::Count_: break;
+  }
+  return "?";
+}
+
+void RankProfile::add_call(CallKind kind, Micros elapsed) {
+  auto& stats = calls_[static_cast<std::size_t>(kind)];
+  ++stats.count;
+  stats.time += elapsed;
+}
+
+void RankProfile::add_channel_op(fabric::ChannelKind channel, Bytes bytes) {
+  channel_ops_[static_cast<std::size_t>(channel)] += 1;
+  channel_bytes_[static_cast<std::size_t>(channel)] += bytes;
+}
+
+void RankProfile::add_compute(Micros elapsed) { compute_time_ += elapsed; }
+
+const CallStats& RankProfile::call(CallKind kind) const {
+  CBMPI_REQUIRE(kind != CallKind::Count_, "invalid call kind");
+  return calls_[static_cast<std::size_t>(kind)];
+}
+
+std::uint64_t RankProfile::channel_ops(fabric::ChannelKind channel) const {
+  return channel_ops_[static_cast<std::size_t>(channel)];
+}
+
+Bytes RankProfile::channel_bytes(fabric::ChannelKind channel) const {
+  return channel_bytes_[static_cast<std::size_t>(channel)];
+}
+
+Micros RankProfile::comm_time() const {
+  Micros total = 0.0;
+  for (const auto& stats : calls_) total += stats.time;
+  return total;
+}
+
+Micros RankProfile::compute_time() const { return compute_time_; }
+
+void RankProfile::merge(const RankProfile& other) {
+  for (std::size_t i = 0; i < kCallKinds; ++i) {
+    calls_[i].count += other.calls_[i].count;
+    calls_[i].time += other.calls_[i].time;
+  }
+  for (std::size_t i = 0; i < fabric::kChannelKinds; ++i) {
+    channel_ops_[i] += other.channel_ops_[i];
+    channel_bytes_[i] += other.channel_bytes_[i];
+  }
+  compute_time_ += other.compute_time_;
+}
+
+void JobProfile::merge_rank(const RankProfile& rank_profile) {
+  total.merge(rank_profile);
+  ++ranks;
+}
+
+double JobProfile::comm_fraction() const {
+  const Micros comm = total.comm_time();
+  const Micros all = comm + total.compute_time();
+  return all > 0.0 ? comm / all : 0.0;
+}
+
+std::string JobProfile::report() const {
+  std::ostringstream os;
+  os << "mpiP-like job profile (" << ranks << " ranks)\n";
+  Table calls({"call", "count", "time(ms)"});
+  for (std::size_t i = 0; i < kCallKinds; ++i) {
+    const auto kind = static_cast<CallKind>(i);
+    const auto& stats = total.call(kind);
+    if (stats.count == 0) continue;
+    calls.add_row({to_string(kind), std::to_string(stats.count),
+                   Table::num(to_millis(stats.time), 3)});
+  }
+  calls.print(os);
+  Table channels({"channel", "transfer ops", "bytes"});
+  for (auto kind : {fabric::ChannelKind::Cma, fabric::ChannelKind::Shm,
+                    fabric::ChannelKind::Hca}) {
+    channels.add_row({fabric::to_string(kind),
+                      std::to_string(total.channel_ops(kind)),
+                      std::to_string(total.channel_bytes(kind))});
+  }
+  channels.print(os);
+  os << "communication fraction: " << Table::num(100.0 * comm_fraction(), 1) << "%\n";
+  return os.str();
+}
+
+}  // namespace cbmpi::prof

@@ -1,0 +1,37 @@
+// Per-rank virtual clock.
+//
+// Every simulated MPI process owns one VirtualClock. Communication and
+// computation advance it through cost models; synchronising operations move
+// it forward to match peers (never backward). The clock is read by exactly
+// one thread (its owning rank) except in the message-matching path, where a
+// matched peer reads a *snapshot* carried inside the message envelope — so no
+// atomics are needed here.
+#pragma once
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace cbmpi::sim {
+
+class VirtualClock {
+ public:
+  Micros now() const { return now_; }
+
+  /// Advances by a non-negative duration.
+  void advance(Micros delta) {
+    CBMPI_REQUIRE(delta >= 0.0, "clock cannot move backward (delta=", delta, ")");
+    now_ += delta;
+  }
+
+  /// Moves the clock forward to `t` if `t` is later; no-op otherwise.
+  void advance_to(Micros t) {
+    if (t > now_) now_ = t;
+  }
+
+  void reset() { now_ = 0.0; }
+
+ private:
+  Micros now_ = 0.0;
+};
+
+}  // namespace cbmpi::sim

@@ -1,0 +1,38 @@
+#include "sim/cost_model.hpp"
+
+#include "common/error.hpp"
+
+namespace cbmpi::sim {
+
+CostModel::CostModel(std::vector<CostSegment> segments) : segments_(std::move(segments)) {
+  CBMPI_REQUIRE(!segments_.empty(), "cost model needs at least one segment");
+  Bytes prev = 0;
+  for (const auto& seg : segments_) {
+    CBMPI_REQUIRE(seg.upto > prev, "segments must be strictly increasing");
+    CBMPI_REQUIRE(seg.alpha >= 0.0 && seg.bandwidth > 0.0, "invalid segment parameters");
+    prev = seg.upto;
+  }
+  CBMPI_REQUIRE(segments_.back().upto == unbounded(),
+                "last segment must cover all sizes (upto == unbounded())");
+}
+
+CostModel CostModel::flat(Micros alpha, BytesPerMicro bandwidth) {
+  return CostModel({{unbounded(), alpha, bandwidth}});
+}
+
+Micros CostModel::cost(Bytes size) const {
+  CBMPI_REQUIRE(!segments_.empty(), "cost() on empty model");
+  for (const auto& seg : segments_) {
+    if (size < seg.upto)
+      return seg.alpha + static_cast<double>(size) / seg.bandwidth;
+  }
+  const auto& last = segments_.back();
+  return last.alpha + static_cast<double>(size) / last.bandwidth;
+}
+
+double CostModel::effective_bandwidth(Bytes size) const {
+  const Micros c = cost(size);
+  return c > 0.0 ? static_cast<double>(size) / c : 0.0;
+}
+
+}  // namespace cbmpi::sim

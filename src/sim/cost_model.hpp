@@ -1,0 +1,58 @@
+// Piecewise-linear latency/bandwidth cost models (LogGP flavour).
+//
+// A transfer of s bytes costs  alpha(segment) + s / beta(segment)  where the
+// segment is chosen by message size. Real interconnect microbenchmarks show
+// exactly this piecewise behaviour (protocol switches, cache tiers), and the
+// paper's channel comparison (Fig. 3b/3c) is reproduced by three calibrated
+// instances of this model (SHM copy, CMA copy, HCA wire/loopback).
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace cbmpi::sim {
+
+/// One linear segment: for sizes < `upto`, cost = alpha + size/bandwidth.
+struct CostSegment {
+  Bytes upto;               ///< exclusive upper bound; last segment uses ~0
+  Micros alpha;             ///< fixed startup cost in microseconds
+  BytesPerMicro bandwidth;  ///< bytes per microsecond
+};
+
+class CostModel {
+ public:
+  CostModel() = default;
+
+  /// Segments must be sorted by `upto` ascending; the last segment's `upto`
+  /// must cover any size (use CostModel::unbounded()).
+  explicit CostModel(std::vector<CostSegment> segments);
+
+  /// Convenience: a single-segment alpha-beta model.
+  static CostModel flat(Micros alpha, BytesPerMicro bandwidth);
+
+  static constexpr Bytes unbounded() { return ~Bytes{0}; }
+
+  /// Cost in microseconds to move `size` bytes.
+  Micros cost(Bytes size) const;
+
+  /// Effective bandwidth in B/us for a given size (size / cost).
+  double effective_bandwidth(Bytes size) const;
+
+  bool empty() const { return segments_.empty(); }
+
+ private:
+  std::vector<CostSegment> segments_;
+};
+
+/// Cost of a pure computation phase: work units at a given rate, plus fixed
+/// overhead. Used by the application kernels so computation time is identical
+/// across deployment scenarios (paper Fig. 3a).
+struct ComputeModel {
+  double ops_per_micro = 1000.0;  ///< abstract work units retired per us
+  Micros fixed = 0.0;
+
+  Micros cost(double ops) const { return fixed + ops / ops_per_micro; }
+};
+
+}  // namespace cbmpi::sim

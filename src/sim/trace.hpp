@@ -1,0 +1,58 @@
+// Event trace recorder (optional, off by default).
+//
+// Channels and the MPI progress engine emit TraceEvents when a recorder is
+// attached to the job; tests use it to assert protocol structure (e.g. "a
+// rendezvous transfer emitted RTS, CTS, DATA in order") and benches can dump
+// it for debugging. Thread-safe: many ranks append concurrently.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace cbmpi::sim {
+
+enum class TraceKind : std::uint8_t {
+  SendEager,
+  SendRndvRts,
+  SendRndvData,
+  RecvRndvCts,
+  RecvComplete,
+  Put,
+  Get,
+  Compute,
+  ChannelSelect,
+};
+
+const char* to_string(TraceKind kind);
+
+struct TraceEvent {
+  TraceKind kind;
+  int src = -1;
+  int dst = -1;
+  Bytes size = 0;
+  Micros at = 0.0;
+  std::string note;
+};
+
+class TraceRecorder {
+ public:
+  void record(TraceEvent event);
+
+  /// Snapshot of all events recorded so far, in append order.
+  std::vector<TraceEvent> events() const;
+
+  /// Number of events of one kind.
+  std::size_t count(TraceKind kind) const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace cbmpi::sim

@@ -1,0 +1,22 @@
+// Chrome-trace (chrome://tracing / Perfetto) export of recorded trace events.
+//
+// Usage:
+//   config.record_trace = true;
+//   auto result = mpi::run_job(config, body);
+//   std::ofstream("job.json") << sim::to_chrome_trace(result.trace);
+// then load job.json in chrome://tracing or ui.perfetto.dev. Each rank
+// appears as a process row; durations are synthesized as instant events at
+// the virtual timestamps.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace cbmpi::sim {
+
+/// Renders events as a Chrome Trace Event Format JSON array document.
+std::string to_chrome_trace(std::span<const TraceEvent> events);
+
+}  // namespace cbmpi::sim

@@ -1,0 +1,8 @@
+#include "topo/calibration.hpp"
+
+// MachineProfile is an aggregate of constants; this translation unit exists so
+// the module has an object file anchor (keeps link layout uniform) and as the
+// natural home for future loaders (e.g. reading a profile from JSON).
+namespace cbmpi::topo {
+static_assert(sizeof(MachineProfile) > 0);
+}  // namespace cbmpi::topo

@@ -1,0 +1,112 @@
+// Calibrated machine profile.
+//
+// Every performance constant in the simulation lives here, in one struct, so
+// that (a) the channel cost models are auditable against the paper's reported
+// data points and (b) re-calibration is a one-file change.
+//
+// Calibration targets (from the paper, ConnectX-3 FDR / 2x E5-2670 testbed):
+//   * 1 KiB intra-socket pt2pt latency: default (HCA loopback) 2.26 us,
+//     optimized (SHM) 0.47 us, native 0.44 us                     [Sec. V-B]
+//   * SHM beats HCA intra-host by up to 77 % (latency) / 111 % (bw) [Fig. 3]
+//   * CMA beats SHM above ~8 KiB; loses below (syscall cost)       [Fig. 3]
+//   * optimal SMP_EAGER_SIZE 8 K, SMPI_LENGTH_QUEUE 128 K,
+//     MV2_IBA_EAGER_THRESHOLD 17 K                                 [Fig. 7]
+//   * one-sided put bw at 4 B: 15.73 MB/s default vs 147.99 MB/s
+//     optimized vs 155.47 MB/s native (~9.4x message-rate gap)     [Sec. V-B]
+#pragma once
+
+#include "common/units.hpp"
+
+namespace cbmpi::topo {
+
+struct MachineProfile {
+  // --- memory subsystem -------------------------------------------------
+  /// Large-copy bandwidth within a socket (B/us == MB/s decimal-ish).
+  BytesPerMicro memcpy_bw_intra_socket = gb_per_s(6.0);
+  /// Copy bandwidth crossing the QPI link between sockets.
+  BytesPerMicro memcpy_bw_inter_socket = gb_per_s(4.2);
+  /// Copies up to memcpy_cached_limit run this factor faster (L1/L2-resident).
+  double memcpy_cached_boost = 1.85;
+  Bytes memcpy_cached_limit = 8_KiB;
+  /// Streaming double-copy traffic (both SHM copy sides share the memory
+  /// bus) derates each side's bandwidth by this factor beyond the cached
+  /// tier. This creates the sharp SHM/CMA crossover right above 8 KiB that
+  /// makes SMP_EAGER_SIZE = 8 K optimal (Fig. 7a).
+  double shm_bus_contention = 1.8;
+  /// Extra fixed latency for any inter-socket cacheline ping.
+  Micros inter_socket_hop = 0.12;
+  /// Last-level-cache slice effectively available to one shared queue; queues
+  /// larger than this start paying a cache-miss penalty on queue accesses.
+  Bytes llc_friendly_bytes = 128_KiB;
+
+  // --- SHM channel (double copy through a shared-memory length queue) ---
+  /// Fixed cost of writing/reading one queue cell (pointer bump + flag).
+  Micros shm_cell_overhead = 0.11;
+  /// Fixed cost of one eager message dispatch (header write + match).
+  Micros shm_base_latency = 0.10;
+  /// Sender stall penalty factor when the queue has few cells: modelled as
+  /// shm_stall_penalty / cells^2 per message (flow-control stalls collapse
+  /// quickly once a handful of messages fit).
+  Micros shm_stall_penalty = 1.6;
+  /// Cache-miss derate per doubling beyond llc_friendly_bytes, applied to
+  /// queue copies and per-cell bookkeeping alike.
+  double shm_cache_derate = 0.25;
+  /// Pipelining gain of the two copies of the double-copy protocol
+  /// (1.0 = perfectly serial, 2.0 = perfectly overlapped).
+  double shm_copy_overlap = 1.15;
+  /// Per-message gap for back-to-back pipelined small ops (message rate).
+  Micros shm_pipelined_gap = 0.026;
+
+  // --- CMA channel (single copy via process_vm_readv/writev) ------------
+  /// Syscall entry/exit plus page-pinning fixed cost, paid per transfer.
+  Micros cma_syscall_overhead = 0.40;
+  /// Fraction of memcpy bandwidth CMA achieves (page walk overhead).
+  double cma_bw_fraction = 0.92;
+
+  // --- HCA channel (InfiniBand verbs) ------------------------------------
+  /// CPU cost of posting one work request.
+  Micros hca_post_overhead = 0.30;
+  /// Propagation through the NIC + wire one way (inter-host path).
+  Micros hca_wire_latency = 0.85;
+  /// Store-and-forward latency of the switch (inter-host path only).
+  Micros hca_switch_latency = 0.10;
+  /// NIC-internal loopback one-way latency (intra-host inter-container path:
+  /// data still crosses PCIe down and back up).
+  Micros hca_loopback_latency = 0.80;
+  /// Effective FDR link bandwidth (56 Gbps minus encoding => ~6 GB/s; we use
+  /// the commonly measured ~5.8 GB/s plateau).
+  BytesPerMicro hca_link_bw = gb_per_s(5.8);
+  /// Loopback effective bandwidth: the payload crosses PCIe twice through
+  /// the same DMA engines, serially — so the per-message effective rate is
+  /// well under half the link rate. Calibrated against the paper's Fig. 3c
+  /// (SHM up to ~111 % higher bandwidth than HCA intra-host).
+  BytesPerMicro hca_loopback_bw = gb_per_s(1.9);
+  /// Receiver-side copy out of the eager ring into the user buffer.
+  BytesPerMicro hca_eager_copy_bw = gb_per_s(5.0);
+  /// Per-message gap for pipelined RDMA ops (message rate of one-sided ops).
+  Micros hca_pipelined_gap = 0.245;
+  /// Fixed per-message cost of the RTS/CTS rendezvous handshake, per trip
+  /// (paid in full by an isolated rendezvous transfer).
+  Micros hca_rndv_trip = 0.82;
+  /// Back-to-back rendezvous transfers overlap their handshakes with the
+  /// previous transfer; only this residue stays on the critical path.
+  /// Calibrated so the eager/rendezvous throughput crossover sits near the
+  /// paper's 17 K optimum for MV2_IBA_EAGER_THRESHOLD (Fig. 7c).
+  Micros hca_rndv_pipeline_residue = 0.26;
+
+  // --- SR-IOV virtual functions (hypervisor mode) --------------------------
+  /// Extra one-way latency when either endpoint reaches the HCA through an
+  /// SR-IOV VF (interrupt remapping + VF doorbell path).
+  Micros sriov_latency_overhead = 0.35;
+  /// VF bandwidth efficiency relative to the physical function.
+  double sriov_bw_derate = 0.92;
+
+  // --- compute -----------------------------------------------------------
+  /// Abstract work units per microsecond for application kernels.
+  double compute_ops_per_micro = 2400.0;
+
+  /// Profile mirroring the Chameleon Cloud testbed used in the paper.
+  static MachineProfile chameleon_fdr() { return MachineProfile{}; }
+};
+
+}  // namespace cbmpi::topo

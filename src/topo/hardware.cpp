@@ -1,0 +1,40 @@
+#include "topo/hardware.hpp"
+
+namespace cbmpi::topo {
+
+Cluster::Cluster(int num_hosts, HostShape shape) {
+  CBMPI_REQUIRE(num_hosts > 0, "cluster needs at least one host");
+  CBMPI_REQUIRE(shape.sockets > 0 && shape.cores_per_socket > 0, "invalid host shape");
+  hosts_.reserve(static_cast<std::size_t>(num_hosts));
+  for (int i = 0; i < num_hosts; ++i)
+    hosts_.emplace_back(i, "host" + std::to_string(i), shape);
+}
+
+const Host& Cluster::host(HostId id) const {
+  CBMPI_REQUIRE(id >= 0 && id < num_hosts(), "host id ", id, " out of range");
+  return hosts_[static_cast<std::size_t>(id)];
+}
+
+ClusterBuilder& ClusterBuilder::hosts(int n) {
+  num_hosts_ = n;
+  return *this;
+}
+
+ClusterBuilder& ClusterBuilder::sockets(int n) {
+  shape_.sockets = n;
+  return *this;
+}
+
+ClusterBuilder& ClusterBuilder::cores_per_socket(int n) {
+  shape_.cores_per_socket = n;
+  return *this;
+}
+
+ClusterBuilder& ClusterBuilder::hca(bool present) {
+  shape_.has_hca = present;
+  return *this;
+}
+
+Cluster ClusterBuilder::build() const { return Cluster(num_hosts_, shape_); }
+
+}  // namespace cbmpi::topo

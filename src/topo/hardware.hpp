@@ -1,0 +1,86 @@
+// Simulated cluster hardware: hosts with sockets/cores and an InfiniBand HCA,
+// connected by a single switch (the paper's testbed: 16 Chameleon nodes,
+// 2-socket E5-2670, ConnectX-3 FDR).
+//
+// This module is pure description — cost numbers live in calibration.hpp and
+// behaviour lives in osl/fabric.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cbmpi::topo {
+
+using HostId = int;
+
+/// A core location within a host.
+struct CoreId {
+  int socket = 0;
+  int core = 0;  ///< index within the socket
+
+  friend bool operator==(const CoreId&, const CoreId&) = default;
+};
+
+struct HostShape {
+  int sockets = 2;
+  int cores_per_socket = 12;
+  bool has_hca = true;
+
+  int total_cores() const { return sockets * cores_per_socket; }
+};
+
+class Host {
+ public:
+  Host(HostId id, std::string name, HostShape shape)
+      : id_(id), name_(std::move(name)), shape_(shape) {}
+
+  HostId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const HostShape& shape() const { return shape_; }
+
+  /// Maps a flat core index [0, total_cores) to (socket, core).
+  CoreId core_at(int flat_index) const {
+    CBMPI_REQUIRE(flat_index >= 0 && flat_index < shape_.total_cores(),
+                  "core index ", flat_index, " out of range on ", name_);
+    return CoreId{flat_index / shape_.cores_per_socket,
+                  flat_index % shape_.cores_per_socket};
+  }
+
+ private:
+  HostId id_;
+  std::string name_;
+  HostShape shape_;
+};
+
+/// A flat cluster of identical hosts behind one switch.
+class Cluster {
+ public:
+  Cluster(int num_hosts, HostShape shape);
+
+  int num_hosts() const { return static_cast<int>(hosts_.size()); }
+  const Host& host(HostId id) const;
+  const std::vector<Host>& hosts() const { return hosts_; }
+
+ private:
+  std::vector<Host> hosts_;
+};
+
+/// Builder mirroring the paper's testbed by default.
+class ClusterBuilder {
+ public:
+  ClusterBuilder& hosts(int n);
+  ClusterBuilder& sockets(int n);
+  ClusterBuilder& cores_per_socket(int n);
+  ClusterBuilder& hca(bool present);
+
+  Cluster build() const;
+
+ private:
+  int num_hosts_ = 16;
+  HostShape shape_{};
+};
+
+}  // namespace cbmpi::topo

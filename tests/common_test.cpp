@@ -1,0 +1,179 @@
+// Unit tests for the common utilities: RNG determinism, statistics, tables,
+// option parsing, units.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/options.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace cbmpi {
+namespace {
+
+TEST(Units, Literals) {
+  EXPECT_EQ(1_KiB, 1024u);
+  EXPECT_EQ(2_MiB, 2u * 1024 * 1024);
+  EXPECT_EQ(1_GiB, 1024u * 1024 * 1024);
+}
+
+TEST(Units, Bandwidth) {
+  EXPECT_DOUBLE_EQ(gb_per_s(6.0), 6000.0);   // B/us
+  EXPECT_DOUBLE_EQ(mb_per_s(150.0), 150.0);
+}
+
+TEST(Units, TimeConversions) {
+  EXPECT_DOUBLE_EQ(millis(2.5), 2500.0);
+  EXPECT_DOUBLE_EQ(seconds(1.0), 1e6);
+  EXPECT_DOUBLE_EQ(to_millis(1500.0), 1.5);
+  EXPECT_DOUBLE_EQ(to_seconds(2e6), 2.0);
+}
+
+TEST(Units, FormatSize) {
+  EXPECT_EQ(format_size(512), "512");
+  EXPECT_EQ(format_size(8_KiB), "8K");
+  EXPECT_EQ(format_size(128_KiB), "128K");
+  EXPECT_EQ(format_size(2_MiB), "2M");
+  EXPECT_EQ(format_size(1536), "1536");  // not a whole KiB
+}
+
+TEST(Rng, SplitMixDeterministic) {
+  std::uint64_t s1 = 42, s2 = 42;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(splitmix64(s1), splitmix64(s2) + 1);
+}
+
+TEST(Rng, Mix64IsPure) {
+  EXPECT_EQ(mix64(123), mix64(123));
+  EXPECT_NE(mix64(123), mix64(124));
+}
+
+TEST(Rng, XoshiroDeterministicAndSeedSensitive) {
+  Xoshiro256 a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+  bool differs = false;
+  Xoshiro256 a2(7);
+  for (int i = 0; i < 100; ++i)
+    if (a2() != c()) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformInRange) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BelowIsUnbiasedEnough) {
+  Xoshiro256 rng(11);
+  std::array<int, 7> counts{};
+  constexpr int kDraws = 70000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(7)];
+  for (const int count : counts) {
+    EXPECT_GT(count, kDraws / 7 - 800);
+    EXPECT_LT(count, kDraws / 7 + 800);
+  }
+}
+
+TEST(Rng, BelowZeroAndOne) {
+  Xoshiro256 rng(1);
+  EXPECT_EQ(rng.below(0), 0u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, JumpDecorrelates) {
+  Xoshiro256 a(5);
+  Xoshiro256 b(5);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Stats, OnlineBasics) {
+  OnlineStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Stats, EmptyOnline) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Stats, SummaryPercentiles) {
+  std::vector<double> samples;
+  for (int i = 1; i <= 100; ++i) samples.push_back(static_cast<double>(i));
+  const auto s = Summary::of(samples);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.median, 50.5, 1e-9);
+  EXPECT_NEAR(s.p95, 95.05, 1e-9);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+}
+
+TEST(Stats, SummaryEmptyAndSingle) {
+  EXPECT_EQ(Summary::of({}).count, 0u);
+  const auto s = Summary::of({3.0});
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.p99, 3.0);
+}
+
+TEST(Table, RendersAligned) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"bee", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, RowArityChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Options, ParsesForms) {
+  const char* argv[] = {"prog", "--alpha=5", "--beta", "7", "--gamma"};
+  Options opts(5, argv);
+  EXPECT_EQ(opts.get_int("alpha", 0, "a"), 5);
+  EXPECT_EQ(opts.get_int("beta", 0, "b"), 7);
+  EXPECT_TRUE(opts.get_flag("gamma", "g"));
+  EXPECT_EQ(opts.get("delta", "dft", "d"), "dft");
+  EXPECT_FALSE(opts.finish("test"));
+}
+
+TEST(Options, DoubleParsing) {
+  const char* argv[] = {"prog", "--rate=2.5"};
+  Options opts(2, argv);
+  EXPECT_DOUBLE_EQ(opts.get_double("rate", 0.0, "r"), 2.5);
+  EXPECT_FALSE(opts.finish("test"));
+}
+
+}  // namespace
+}  // namespace cbmpi

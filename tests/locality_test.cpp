@@ -1,0 +1,131 @@
+// Unit tests for the Container Locality Detector — the paper's Sec. IV-B
+// mechanism: one byte per rank in host shared memory.
+#include <gtest/gtest.h>
+
+#include "container/engine.hpp"
+#include "mpi/locality.hpp"
+#include "osl/machine.hpp"
+
+namespace cbmpi::mpi {
+namespace {
+
+struct Fixture {
+  osl::Machine machine{topo::ClusterBuilder().hosts(2).build()};
+  container::Engine engine{machine};
+  std::vector<std::unique_ptr<osl::SimProcess>> procs;
+
+  osl::SimProcess& container_proc(int host, const std::string& name,
+                                  bool share_ipc = true) {
+    container::ContainerSpec spec;
+    spec.name = name;
+    spec.share_host_ipc = share_ipc;
+    auto& cont = engine.run(host, spec);
+    procs.push_back(engine.spawn(cont, 0));
+    return *procs.back();
+  }
+
+  osl::SimProcess& native_proc(int host) {
+    procs.push_back(engine.spawn_native(host, topo::CoreId{0, 0}));
+    return *procs.back();
+  }
+};
+
+TEST(Locality, PaperFigure6Scenario) {
+  // Fig. 6: 8 ranks; ranks 0,1 in container A, rank 4 in B, rank 5 in C, all
+  // on host1; ranks 2,3,6,7 on host2. The host1 list must read 1,1,0,0,1,1,0,0.
+  Fixture fx;
+  ContainerLocalityDetector detector("fig6", 8);
+  auto& r0 = fx.container_proc(0, "cont-a");
+  auto& r1 = *fx.procs.emplace_back(
+      fx.engine.spawn(*fx.engine.containers()[0], 1));  // also container A
+  auto& r4 = fx.container_proc(0, "cont-b");
+  auto& r5 = fx.container_proc(0, "cont-c");
+  auto& r2 = fx.container_proc(1, "cont-d");
+  auto& r3 = fx.container_proc(1, "cont-e");
+  auto& r6 = fx.container_proc(1, "cont-f");
+  auto& r7 = fx.container_proc(1, "cont-g");
+
+  detector.announce(r0, 0);
+  detector.announce(r1, 1);
+  detector.announce(r2, 2);
+  detector.announce(r3, 3);
+  detector.announce(r4, 4);
+  detector.announce(r5, 5);
+  detector.announce(r6, 6);
+  detector.announce(r7, 7);
+
+  const auto host1_row = detector.co_resident_row(r0);
+  EXPECT_EQ(host1_row, (std::vector<std::uint8_t>{1, 1, 0, 0, 1, 1, 0, 0}));
+  const auto host2_row = detector.co_resident_row(r6);
+  EXPECT_EQ(host2_row, (std::vector<std::uint8_t>{0, 0, 1, 1, 0, 0, 1, 1}));
+
+  EXPECT_EQ(detector.local_ranks(r5), (std::vector<int>{0, 1, 4, 5}));
+  EXPECT_EQ(detector.local_ranks(r2), (std::vector<int>{2, 3, 6, 7}));
+}
+
+TEST(Locality, PrivateIpcNamespaceSeesOnlyItself) {
+  Fixture fx;
+  ContainerLocalityDetector detector("iso", 3);
+  auto& a = fx.container_proc(0, "shared-a", true);
+  auto& b = fx.container_proc(0, "isolated", false);
+  auto& c = fx.container_proc(0, "shared-c", true);
+  detector.announce(a, 0);
+  detector.announce(b, 1);
+  detector.announce(c, 2);
+  EXPECT_EQ(detector.local_ranks(a), (std::vector<int>{0, 2}));
+  EXPECT_EQ(detector.local_ranks(b), (std::vector<int>{1}));
+}
+
+TEST(Locality, NativeAndSharedContainersSeeEachOther) {
+  // A native process and a --ipc=host container share the host list.
+  Fixture fx;
+  ContainerLocalityDetector detector("mix", 2);
+  auto& native = fx.native_proc(0);
+  auto& cont = fx.container_proc(0, "cont-x", true);
+  detector.announce(native, 0);
+  detector.announce(cont, 1);
+  EXPECT_EQ(detector.local_ranks(native), (std::vector<int>{0, 1}));
+  EXPECT_EQ(detector.local_ranks(cont), (std::vector<int>{0, 1}));
+}
+
+TEST(Locality, JobTagsIsolateConcurrentJobs) {
+  Fixture fx;
+  auto& proc = fx.native_proc(0);
+  ContainerLocalityDetector job_a("job-a", 4);
+  ContainerLocalityDetector job_b("job-b", 4);
+  job_a.announce(proc, 2);
+  EXPECT_EQ(job_a.local_ranks(proc), (std::vector<int>{2}));
+  EXPECT_TRUE(job_b.local_ranks(proc).empty());
+}
+
+TEST(Locality, ListUsesOneBytePerRank) {
+  // The paper's scalability argument: a one-million-rank job needs a 1 MB
+  // list. Verify the segment size is exactly nranks bytes.
+  Fixture fx;
+  auto& proc = fx.native_proc(0);
+  ContainerLocalityDetector detector("size", 1000);
+  detector.announce(proc, 0);
+  const auto segment = proc.host().shm().find(
+      proc.namespaces().get(osl::NamespaceType::Ipc), detector.segment_name());
+  ASSERT_NE(segment, nullptr);
+  EXPECT_EQ(segment->size(), 1000u);
+}
+
+TEST(Locality, DetectionCostScalesGently) {
+  ContainerLocalityDetector small("s", 16);
+  ContainerLocalityDetector large("l", 1'000'000);
+  EXPECT_LT(small.detection_cost(), 1.0);
+  EXPECT_LT(large.detection_cost(), 100.0);  // ~63 us for a million ranks
+  EXPECT_GT(large.detection_cost(), small.detection_cost());
+}
+
+TEST(Locality, AnnounceValidatesRank) {
+  Fixture fx;
+  auto& proc = fx.native_proc(0);
+  ContainerLocalityDetector detector("v", 4);
+  EXPECT_THROW(detector.announce(proc, 4), Error);
+  EXPECT_THROW(detector.announce(proc, -1), Error);
+}
+
+}  // namespace
+}  // namespace cbmpi::mpi

@@ -1,0 +1,179 @@
+// NPB kernel tests: every kernel must verify on several rank counts and both
+// policies, and the FFT primitive gets its own unit tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/npb/npb.hpp"
+#include "mpi/runtime.hpp"
+
+namespace cbmpi {
+namespace {
+
+using namespace apps::npb;
+using container::DeploymentSpec;
+using fabric::LocalityPolicy;
+
+TEST(Fft, RoundTripIdentity) {
+  std::vector<std::complex<double>> data(64);
+  Xoshiro256 rng(5);
+  for (auto& v : data) v = {rng.uniform() - 0.5, rng.uniform() - 0.5};
+  auto original = data;
+  fft_inplace(std::span<std::complex<double>>(data), false);
+  fft_inplace(std::span<std::complex<double>>(data), true);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    EXPECT_NEAR(std::abs(data[i] - original[i]), 0.0, 1e-12);
+}
+
+TEST(Fft, DeltaTransformsToConstant) {
+  std::vector<std::complex<double>> data(16, 0.0);
+  data[0] = 1.0;
+  fft_inplace(std::span<std::complex<double>>(data), false);
+  for (const auto& v : data) EXPECT_NEAR(std::abs(v - std::complex<double>(1.0)), 0.0, 1e-12);
+}
+
+TEST(Fft, ParsevalHolds) {
+  std::vector<std::complex<double>> data(128);
+  Xoshiro256 rng(9);
+  for (auto& v : data) v = {rng.uniform() - 0.5, rng.uniform() - 0.5};
+  double time_energy = 0.0;
+  for (const auto& v : data) time_energy += std::norm(v);
+  fft_inplace(std::span<std::complex<double>>(data), false);
+  double freq_energy = 0.0;
+  for (const auto& v : data) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(data.size()), time_energy, 1e-9);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> data(12);
+  EXPECT_THROW(fft_inplace(std::span<std::complex<double>>(data), false), Error);
+}
+
+struct NpbCase {
+  int hosts;
+  int containers;
+  int procs_per_host;
+  LocalityPolicy policy;
+};
+
+class NpbKernels : public testing::TestWithParam<NpbCase> {
+ protected:
+  mpi::JobConfig config() const {
+    const auto& c = GetParam();
+    mpi::JobConfig cfg;
+    cfg.deployment =
+        c.containers == 0
+            ? DeploymentSpec::native_hosts(c.hosts, c.procs_per_host)
+            : DeploymentSpec::containers(c.hosts, c.containers, c.procs_per_host);
+    cfg.policy = c.policy;
+    return cfg;
+  }
+};
+
+TEST_P(NpbKernels, EpVerifies) {
+  mpi::run_job(config(), [](mpi::Process& p) {
+    EpParams params;
+    params.pairs_per_rank = 1 << 12;
+    const auto result = run_ep(p, params);
+    EXPECT_TRUE(result.verified);
+    EXPECT_GT(result.time, 0.0);
+  });
+}
+
+TEST_P(NpbKernels, CgConverges) {
+  mpi::run_job(config(), [](mpi::Process& p) {
+    CgParams params;
+    params.grid = 48;
+    params.iterations = 10;
+    const auto result = run_cg(p, params);
+    EXPECT_TRUE(result.verified);
+    EXPECT_GT(result.checksum, 0.0);
+  });
+}
+
+TEST_P(NpbKernels, MgReducesResidual) {
+  mpi::run_job(config(), [](mpi::Process& p) {
+    MgParams params;
+    params.nx = params.ny = 16;
+    params.nz = 16;
+    params.vcycles = 3;
+    const auto result = run_mg(p, params);
+    EXPECT_TRUE(result.verified);
+  });
+}
+
+TEST_P(NpbKernels, FtRoundTripsAndSteps) {
+  mpi::run_job(config(), [](mpi::Process& p) {
+    FtParams params;
+    params.nx = 16;
+    params.ny = 8;
+    params.nz = 16;
+    params.timesteps = 2;
+    const auto result = run_ft(p, params);
+    EXPECT_TRUE(result.verified);
+    EXPECT_TRUE(std::isfinite(result.checksum));
+  });
+}
+
+TEST_P(NpbKernels, IsSortsGlobally) {
+  mpi::run_job(config(), [](mpi::Process& p) {
+    IsParams params;
+    params.keys_per_rank = 1 << 12;
+    const auto result = run_is(p, params);
+    EXPECT_TRUE(result.verified);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Deployments, NpbKernels,
+    testing::Values(NpbCase{1, 0, 1, LocalityPolicy::HostnameBased},
+                    NpbCase{1, 0, 4, LocalityPolicy::HostnameBased},
+                    NpbCase{1, 2, 4, LocalityPolicy::HostnameBased},
+                    NpbCase{1, 2, 4, LocalityPolicy::ContainerAware},
+                    NpbCase{2, 2, 4, LocalityPolicy::ContainerAware}));
+
+TEST(NpbChecksums, IntegerKernelsIdenticalAcrossPolicies) {
+  // IS and EP counters are integer-exact, so their checksums must be
+  // bit-identical whichever channels carried the traffic.
+  auto run_with = [&](LocalityPolicy policy) {
+    mpi::JobConfig cfg;
+    cfg.deployment = DeploymentSpec::containers(1, 2, 4);
+    cfg.policy = policy;
+    double is_sum = 0.0;
+    mpi::run_job(cfg, [&](mpi::Process& p) {
+      IsParams params;
+      params.keys_per_rank = 1 << 10;
+      const auto result = run_is(p, params);
+      if (p.rank() == 0) is_sum = result.checksum;
+    });
+    return is_sum;
+  };
+  EXPECT_EQ(run_with(LocalityPolicy::HostnameBased),
+            run_with(LocalityPolicy::ContainerAware));
+}
+
+TEST(NpbTimes, LocalityAwareNotSlower) {
+  // Across co-resident containers, the aware runtime should never lose to
+  // the default one on a communication-heavy kernel.
+  auto time_with = [&](LocalityPolicy policy) {
+    mpi::JobConfig cfg;
+    cfg.deployment = DeploymentSpec::containers(1, 4, 4);
+    cfg.policy = policy;
+    Micros t = 0.0;
+    mpi::run_job(cfg, [&](mpi::Process& p) {
+      FtParams params;
+      params.nx = 16;
+      params.ny = 8;
+      params.nz = 16;
+      params.timesteps = 2;
+      const auto result = run_ft(p, params);
+      if (p.rank() == 0) t = result.time;
+    });
+    return t;
+  };
+  EXPECT_LT(time_with(LocalityPolicy::ContainerAware),
+            time_with(LocalityPolicy::HostnameBased));
+}
+
+}  // namespace
+}  // namespace cbmpi

@@ -1,0 +1,106 @@
+// Tests for the PGAS global-array layer (the paper's future-work model).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "pgas/global_array.hpp"
+#include "mpi/runtime.hpp"
+
+namespace cbmpi {
+namespace {
+
+using container::DeploymentSpec;
+using fabric::ChannelKind;
+using fabric::LocalityPolicy;
+using mpi::JobConfig;
+
+JobConfig four_ranks(LocalityPolicy policy = LocalityPolicy::ContainerAware) {
+  JobConfig cfg;
+  cfg.deployment = DeploymentSpec::containers(1, 2, 4);
+  cfg.policy = policy;
+  return cfg;
+}
+
+TEST(GlobalArray, OwnershipAndLocalViews) {
+  mpi::run_job(four_ranks(), [](mpi::Process& p) {
+    pgas::GlobalArray<int> array(p.world(), 10);
+    // ceil(10/4) = 3: ranks own [0,3) [3,6) [6,9) [9,10).
+    EXPECT_EQ(array.owner_of(0), 0);
+    EXPECT_EQ(array.owner_of(5), 1);
+    EXPECT_EQ(array.owner_of(9), 3);
+    const std::size_t expected_size =
+        p.rank() == 3 ? 1u : 3u;
+    EXPECT_EQ(array.local().size(), expected_size);
+    EXPECT_EQ(array.local_begin(), static_cast<std::size_t>(p.rank()) * 3);
+    array.sync();
+  });
+}
+
+TEST(GlobalArray, WriteThenReadAcrossRanks) {
+  mpi::run_job(four_ranks(), [](mpi::Process& p) {
+    pgas::GlobalArray<std::int64_t> array(p.world(), 16);
+    // Every rank writes its rank into element (rank+1) % 16 * ... scattered.
+    array.write(static_cast<std::size_t>((p.rank() * 5 + 2) % 16), p.rank() + 100);
+    array.sync();
+    // Everyone reads everything back.
+    for (int r = 0; r < p.size(); ++r) {
+      const auto value = array.read(static_cast<std::size_t>((r * 5 + 2) % 16));
+      EXPECT_EQ(value, r + 100);
+    }
+    array.sync();
+  });
+}
+
+TEST(GlobalArray, AccumulateIsAtomicAcrossRanks) {
+  mpi::run_job(four_ranks(), [](mpi::Process& p) {
+    pgas::GlobalArray<std::int64_t> array(p.world(), 4, 0);
+    // All ranks accumulate into the same element.
+    for (int i = 0; i < 10; ++i) array.accumulate(2, 1);
+    array.sync();
+    EXPECT_EQ(array.read(2), 4 * 10);
+    array.sync();
+  });
+}
+
+TEST(GlobalArray, BlockTransfersSpanOwners) {
+  mpi::run_job(four_ranks(), [](mpi::Process& p) {
+    pgas::GlobalArray<int> array(p.world(), 20, -1);
+    if (p.rank() == 0) {
+      std::vector<int> data(12);
+      std::iota(data.begin(), data.end(), 50);
+      array.write_block(4, std::span<const int>(data));  // spans ranks 0..3
+    }
+    array.sync();
+    std::vector<int> readback(12, 0);
+    array.read_block(4, std::span<int>(readback));
+    for (int k = 0; k < 12; ++k) EXPECT_EQ(readback[static_cast<std::size_t>(k)], 50 + k);
+    array.sync();
+  });
+}
+
+TEST(GlobalArray, OutOfRangeThrows) {
+  mpi::run_job(four_ranks(), [](mpi::Process& p) {
+    pgas::GlobalArray<int> array(p.world(), 8);
+    EXPECT_THROW(array.read(8), Error);
+    EXPECT_THROW(array.write(100, 1), Error);
+    array.sync();
+  });
+}
+
+TEST(GlobalArray, InheritsLocalityAwareChannels) {
+  // The same PGAS program, two policies: the aware one must avoid the HCA.
+  auto hca_ops = [](LocalityPolicy policy) {
+    const auto result = mpi::run_job(four_ranks(policy), [](mpi::Process& p) {
+      pgas::GlobalArray<double> array(p.world(), 64);
+      for (std::size_t i = 0; i < 64; ++i)
+        if (array.owner_of(i) != p.rank()) array.write(i, 1.0);
+      array.sync();
+    });
+    return result.profile.total.channel_ops(ChannelKind::Hca);
+  };
+  EXPECT_GT(hca_ops(LocalityPolicy::HostnameBased), 0u);
+  EXPECT_EQ(hca_ops(LocalityPolicy::ContainerAware), 0u);
+}
+
+}  // namespace
+}  // namespace cbmpi

@@ -1,0 +1,95 @@
+// Scale tests: the runtime must handle the paper's full configuration
+// (256 ranks in 64 containers on 16 hosts) functionally and deterministically.
+// These are the slowest tests in the suite (a few seconds total on one core).
+#include <gtest/gtest.h>
+
+#include "apps/graph500/bfs.hpp"
+#include "mpi/locality.hpp"
+#include "mpi/runtime.hpp"
+
+namespace cbmpi {
+namespace {
+
+using container::DeploymentSpec;
+using fabric::ChannelKind;
+using fabric::LocalityPolicy;
+using mpi::JobConfig;
+
+JobConfig paper_scale(LocalityPolicy policy) {
+  JobConfig cfg;
+  // The paper's Fig. 10/12 deployment: 16 hosts x 4 containers x 16 procs.
+  cfg.deployment = DeploymentSpec::containers(16, 4, 16);
+  cfg.policy = policy;
+  return cfg;
+}
+
+TEST(Scale, CollectivesCorrectAt256Ranks) {
+  mpi::run_job(paper_scale(LocalityPolicy::ContainerAware), [](mpi::Process& p) {
+    ASSERT_EQ(p.size(), 256);
+    const auto sum =
+        p.world().allreduce_value<std::int64_t>(p.rank(), mpi::ReduceOp::Sum);
+    ASSERT_EQ(sum, 256LL * 255 / 2);
+
+    std::vector<std::int32_t> all(256, -1);
+    const std::int32_t mine = p.rank() * 3;
+    p.world().allgather(std::span<const std::int32_t>(&mine, 1),
+                        std::span<std::int32_t>(all));
+    for (int r = 0; r < 256; ++r) ASSERT_EQ(all[static_cast<std::size_t>(r)], r * 3);
+
+    std::vector<std::uint8_t> payload(1024);
+    p.world().bcast(std::span<std::uint8_t>(payload), 255);
+    p.world().barrier();
+  });
+}
+
+TEST(Scale, LocalityGroupsAt256Ranks) {
+  mpi::run_job(paper_scale(LocalityPolicy::ContainerAware), [](mpi::Process& p) {
+    const auto& groups = p.world().locality_groups();
+    ASSERT_EQ(groups.group_size, 16);       // whole host co-resident
+    ASSERT_EQ(groups.leaders.size(), 16u);  // one leader per host
+    ASSERT_TRUE(groups.uniform);
+    ASSERT_TRUE(groups.contiguous);
+  });
+  mpi::run_job(paper_scale(LocalityPolicy::HostnameBased), [](mpi::Process& p) {
+    const auto& groups = p.world().locality_groups();
+    ASSERT_EQ(groups.group_size, 4);        // container = 4 ranks
+    ASSERT_EQ(groups.leaders.size(), 64u);  // one leader per container
+  });
+}
+
+TEST(Scale, ChannelSplitAt256Ranks) {
+  // Neighbour ring over all 256 ranks: under the aware policy, only the 16
+  // host-boundary hops ride the HCA.
+  const auto result = mpi::run_job(
+      paper_scale(LocalityPolicy::ContainerAware), [](mpi::Process& p) {
+        std::vector<std::byte> out(512), in(512);
+        const int right = (p.rank() + 1) % p.size();
+        const int left = (p.rank() + p.size() - 1) % p.size();
+        p.world().sendrecv(std::span<const std::byte>(out), right,
+                           std::span<std::byte>(in), left, 1);
+      });
+  EXPECT_EQ(result.profile.total.channel_ops(ChannelKind::Hca), 16u);
+  EXPECT_EQ(result.profile.total.channel_ops(ChannelKind::Shm), 240u);
+}
+
+TEST(Scale, Graph500At128RanksValidates) {
+  JobConfig cfg;
+  cfg.deployment = DeploymentSpec::containers(8, 4, 16);  // 128 ranks
+  cfg.policy = LocalityPolicy::ContainerAware;
+  mpi::run_job(cfg, [](mpi::Process& p) {
+    const apps::graph500::EdgeListParams params{12, 8, 5};
+    const auto graph = apps::graph500::build_graph(p, params);
+    const auto root = apps::graph500::choose_roots(params, 1).front();
+    const auto result = apps::graph500::run_bfs(p, graph, root);
+    ASSERT_GT(result.visited, 100u);
+  });
+}
+
+TEST(Scale, DetectionCostStaysTiny) {
+  // Init-time detection at 256 ranks must be microseconds, not milliseconds.
+  mpi::ContainerLocalityDetector detector("scale", 256);
+  EXPECT_LT(detector.detection_cost(), 1.0);
+}
+
+}  // namespace
+}  // namespace cbmpi

@@ -1,0 +1,191 @@
+// MPI semantics coverage: the full reduction-operator matrix over several
+// element types, communicator isolation, and a combined integration stress
+// program exercising sub-communicators, windows, collectives and pt2pt in
+// one job across deployments.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "mpi/runtime.hpp"
+#include "mpi/window.hpp"
+
+namespace cbmpi {
+namespace {
+
+using container::DeploymentSpec;
+using fabric::LocalityPolicy;
+using mpi::JobConfig;
+using mpi::ReduceOp;
+
+// ---- reduction operator matrix ---------------------------------------------
+
+class ReduceOps : public testing::TestWithParam<ReduceOp> {};
+
+TEST_P(ReduceOps, Int64AgreesWithSerialFold) {
+  const ReduceOp op = GetParam();
+  JobConfig cfg;
+  cfg.deployment = DeploymentSpec::native_hosts(1, 5);  // non-power-of-two
+  mpi::run_job(cfg, [op](mpi::Process& p) {
+    const int n = p.size();
+    auto value_of = [](int rank) {
+      return static_cast<std::int64_t>((rank * 7 + 3) % 13 + 1);
+    };
+    const std::int64_t mine = value_of(p.rank());
+    const std::int64_t got = p.world().allreduce_value(mine, op);
+
+    std::int64_t expect = value_of(0);
+    for (int r = 1; r < n; ++r) {
+      const std::int64_t v[1] = {value_of(r)};
+      std::int64_t acc[1] = {expect};
+      mpi::apply_reduce<std::int64_t>(op, std::span<const std::int64_t>(v, 1),
+                                      std::span<std::int64_t>(acc, 1));
+      expect = acc[0];
+    }
+    ASSERT_EQ(got, expect) << "op " << static_cast<int>(op);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, ReduceOps,
+                         testing::Values(ReduceOp::Sum, ReduceOp::Prod,
+                                         ReduceOp::Min, ReduceOp::Max,
+                                         ReduceOp::LogicalAnd, ReduceOp::LogicalOr,
+                                         ReduceOp::BitOr, ReduceOp::BitAnd));
+
+TEST(ReduceTypes, FloatAndDoubleAndUnsigned) {
+  JobConfig cfg;
+  cfg.deployment = DeploymentSpec::native_hosts(1, 4);
+  mpi::run_job(cfg, [](mpi::Process& p) {
+    const float f = 0.5f * static_cast<float>(p.rank() + 1);
+    EXPECT_FLOAT_EQ(p.world().allreduce_value(f, ReduceOp::Sum), 5.0f);
+    const double d = 2.0;
+    EXPECT_DOUBLE_EQ(p.world().allreduce_value(d, ReduceOp::Prod), 16.0);
+    const std::uint64_t u = std::uint64_t{1} << p.rank();
+    EXPECT_EQ(p.world().allreduce_value(u, ReduceOp::BitOr), 0b1111u);
+    EXPECT_EQ(p.world().allreduce_value(u, ReduceOp::Max), 8u);
+  });
+}
+
+TEST(ReduceSemantics, FloatSumsConsistentAcrossPoliciesWithinTolerance) {
+  // Hierarchical grouping changes the combine order, so floating sums may
+  // differ by rounding — but only by rounding.
+  auto sum_with = [](LocalityPolicy policy) {
+    JobConfig cfg;
+    cfg.deployment = DeploymentSpec::containers(1, 2, 8);
+    cfg.policy = policy;
+    double out = 0.0;
+    mpi::run_job(cfg, [&](mpi::Process& p) {
+      const double mine = 1.0 / (p.rank() + 3.7);
+      const double sum = p.world().allreduce_value(mine, ReduceOp::Sum);
+      if (p.rank() == 0) out = sum;
+    });
+    return out;
+  };
+  const double a = sum_with(LocalityPolicy::HostnameBased);
+  const double b = sum_with(LocalityPolicy::ContainerAware);
+  EXPECT_NEAR(a, b, 1e-12);
+}
+
+// ---- communicator isolation ---------------------------------------------------
+
+TEST(CommIsolation, SplitCommsRunIndependentCollectives) {
+  JobConfig cfg;
+  cfg.deployment = DeploymentSpec::containers(2, 2, 4);
+  cfg.policy = LocalityPolicy::ContainerAware;
+  mpi::run_job(cfg, [](mpi::Process& p) {
+    // Split into "even" and "odd" teams that do different numbers of
+    // collectives — tags/ids must never cross-match.
+    auto team = p.world().split(p.rank() % 2, p.rank());
+    ASSERT_TRUE(team.has_value());
+    const int rounds = p.rank() % 2 == 0 ? 5 : 3;
+    std::int64_t acc = 0;
+    for (int i = 0; i < rounds; ++i)
+      acc += team->allreduce_value<std::int64_t>(1, ReduceOp::Sum);
+    ASSERT_EQ(acc, rounds * team->size());
+    // World-level collective afterwards still agrees.
+    ASSERT_EQ(p.world().allreduce_value<std::int64_t>(1, ReduceOp::Sum), p.size());
+  });
+}
+
+TEST(CommIsolation, NestedSplits) {
+  JobConfig cfg;
+  cfg.deployment = DeploymentSpec::native_hosts(2, 4);
+  mpi::run_job(cfg, [](mpi::Process& p) {
+    auto half = p.world().split(p.rank() / 4, p.rank());
+    ASSERT_TRUE(half.has_value());
+    auto quarter = half->split(half->rank() / 2, half->rank());
+    ASSERT_TRUE(quarter.has_value());
+    ASSERT_EQ(quarter->size(), 2);
+    const auto sum = quarter->allreduce_value<std::int64_t>(p.rank(), ReduceOp::Sum);
+    // Partner is the adjacent world rank within the same quarter.
+    const int base = (p.rank() / 2) * 2;
+    ASSERT_EQ(sum, base + base + 1);
+  });
+}
+
+// ---- integration stress ----------------------------------------------------------
+
+struct StressCase {
+  int hosts;
+  int containers;
+  int procs_per_host;
+  LocalityPolicy policy;
+};
+
+class IntegrationStress : public testing::TestWithParam<StressCase> {};
+
+TEST_P(IntegrationStress, MixedWorkloadCompletesConsistently) {
+  const auto& c = GetParam();
+  JobConfig cfg;
+  cfg.deployment = c.containers == 0
+                       ? DeploymentSpec::native_hosts(c.hosts, c.procs_per_host)
+                       : DeploymentSpec::containers(c.hosts, c.containers,
+                                                    c.procs_per_host);
+  cfg.policy = c.policy;
+  mpi::run_job(cfg, [](mpi::Process& p) {
+    auto& world = p.world();
+    const int n = world.size();
+
+    // Phase 1: ring pt2pt with mixed sizes (eager + rendezvous).
+    std::vector<std::uint8_t> big_out(32_KiB, static_cast<std::uint8_t>(p.rank()));
+    std::vector<std::uint8_t> big_in(32_KiB);
+    const int right = (p.rank() + 1) % n;
+    const int left = (p.rank() + n - 1) % n;
+    world.sendrecv(std::span<const std::uint8_t>(big_out), right,
+                   std::span<std::uint8_t>(big_in), left, 1);
+    ASSERT_EQ(big_in[100], static_cast<std::uint8_t>(left));
+
+    // Phase 2: window traffic interleaved with collectives.
+    std::vector<std::int64_t> memory(static_cast<std::size_t>(n), 0);
+    mpi::Window<std::int64_t> window(world, std::span<std::int64_t>(memory));
+    window.fence();
+    const std::int64_t mine = p.rank() + 1;
+    for (int r = 0; r < n; ++r)
+      window.accumulate(std::span<const std::int64_t>(&mine, 1), r,
+                        static_cast<std::size_t>(p.rank()), ReduceOp::Sum);
+    window.fence();
+    // Everyone deposited its rank+1 into slot[rank] of every window.
+    for (int r = 0; r < n; ++r)
+      ASSERT_EQ(memory[static_cast<std::size_t>(r)], r + 1);
+
+    // Phase 3: collective chain whose result depends on all prior phases.
+    std::int64_t local = std::accumulate(memory.begin(), memory.end(), std::int64_t{0});
+    const auto total = world.allreduce_value(local, ReduceOp::Sum);
+    ASSERT_EQ(total, static_cast<std::int64_t>(n) * n * (n + 1) / 2);
+
+    // Phase 4: prefix scan sanity against the same data.
+    const auto prefix = world.scan_value<std::int64_t>(p.rank() + 1, ReduceOp::Sum);
+    ASSERT_EQ(prefix, static_cast<std::int64_t>(p.rank() + 1) * (p.rank() + 2) / 2);
+    world.barrier();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Deployments, IntegrationStress,
+    testing::Values(StressCase{1, 0, 6, LocalityPolicy::HostnameBased},
+                    StressCase{1, 3, 6, LocalityPolicy::ContainerAware},
+                    StressCase{2, 2, 4, LocalityPolicy::HostnameBased},
+                    StressCase{2, 2, 4, LocalityPolicy::ContainerAware},
+                    StressCase{4, 4, 4, LocalityPolicy::ContainerAware}));
+
+}  // namespace
+}  // namespace cbmpi

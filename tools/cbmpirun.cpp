@@ -1,0 +1,181 @@
+// cbmpirun — the mpirun-like front end for the simulated cluster.
+//
+// Launches any bundled application under a fully described deployment, e.g.:
+//
+//   cbmpirun --app=graph500 --hosts=4 --containers-per-host=4
+//            --procs-per-host=8 --policy=aware --scale=15
+//   cbmpirun --app=cg --hosts=2 --procs-per-host=8 --policy=default
+//            --isolation=vm --ivshmem
+//   cbmpirun --app=osu-latency --containers-per-host=2 --procs-per-host=2
+//
+// Prints the application's own result plus the job's mpiP-style profile, so
+// it doubles as the interactive exploration tool for the whole system.
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "apps/graph500/bfs.hpp"
+#include "apps/graph500/validate.hpp"
+#include "apps/npb/npb.hpp"
+#include "apps/osu/microbench.hpp"
+#include "common/options.hpp"
+#include "common/table.hpp"
+#include "mpi/runtime.hpp"
+
+namespace {
+
+using namespace cbmpi;
+
+struct LaunchPlan {
+  mpi::JobConfig config;
+  std::string app;
+  int scale = 13;
+  Bytes message_size = 1_KiB;
+  int iterations = 10;
+  bool show_profile = false;
+};
+
+int run_graph500(const LaunchPlan& plan) {
+  const apps::graph500::EdgeListParams params{plan.scale, 16, plan.config.seed};
+  const auto roots = apps::graph500::choose_roots(params, 2);
+  bool ok = true;
+  const auto result = mpi::run_job(plan.config, [&](mpi::Process& p) {
+    const auto graph = apps::graph500::build_graph(p, params);
+    for (const auto root : roots) {
+      const auto bfs = apps::graph500::run_bfs(p, graph, root);
+      const auto report = apps::graph500::validate_bfs(p, graph, bfs);
+      if (p.rank() == 0) {
+        std::printf("BFS root %llu: %llu vertices, %d levels, %.3f ms — %s\n",
+                    static_cast<unsigned long long>(root),
+                    static_cast<unsigned long long>(bfs.visited), bfs.levels,
+                    to_millis(bfs.time), report.ok ? "VALID" : "INVALID");
+        ok = ok && report.ok;
+      }
+    }
+  });
+  if (plan.show_profile) std::fputs(result.profile.report().c_str(), stdout);
+  std::printf("job virtual time: %.3f ms\n", to_millis(result.job_time));
+  return ok ? 0 : 1;
+}
+
+int run_npb(const LaunchPlan& plan) {
+  apps::npb::KernelResult kernel_result;
+  const auto result = mpi::run_job(plan.config, [&](mpi::Process& p) {
+    apps::npb::KernelResult r;
+    const int nranks = p.size();
+    if (plan.app == "ep") {
+      r = apps::npb::run_ep(p);
+    } else if (plan.app == "cg") {
+      apps::npb::CgParams params;
+      params.grid = std::max(64, nranks);
+      r = apps::npb::run_cg(p, params);
+    } else if (plan.app == "mg") {
+      apps::npb::MgParams params;
+      params.nz = std::max(32, 2 * nranks);
+      r = apps::npb::run_mg(p, params);
+    } else if (plan.app == "ft") {
+      apps::npb::FtParams params;
+      params.nx = params.nz = std::max(32, nranks);
+      params.ny = 8;
+      r = apps::npb::run_ft(p, params);
+    } else if (plan.app == "lu") {
+      apps::npb::LuParams params;
+      params.grid = std::max(32, nranks * 4);
+      r = apps::npb::run_lu(p, params);
+    } else if (plan.app == "is") {
+      r = apps::npb::run_is(p);
+    }
+    if (p.rank() == 0) kernel_result = r;
+  });
+  std::printf("%s: %.3f ms, checksum %.6g — %s\n", kernel_result.name.c_str(),
+              to_millis(kernel_result.time), kernel_result.checksum,
+              kernel_result.verified ? "VERIFIED" : "FAILED");
+  if (plan.show_profile) std::fputs(result.profile.report().c_str(), stdout);
+  return kernel_result.verified ? 0 : 1;
+}
+
+int run_osu(const LaunchPlan& plan) {
+  double value = 0.0;
+  mpi::run_job(plan.config, [&](mpi::Process& p) {
+    apps::osu::PairOptions osu_opts;
+    osu_opts.iterations = plan.iterations;
+    double v = 0.0;
+    if (plan.app == "osu-latency")
+      v = apps::osu::pt2pt_latency(p, plan.message_size, osu_opts);
+    else if (plan.app == "osu-bw")
+      v = apps::osu::pt2pt_bandwidth(p, plan.message_size, osu_opts);
+    else if (plan.app == "osu-allreduce")
+      v = apps::osu::collective_latency(p, apps::osu::Collective::Allreduce,
+                                        plan.message_size, osu_opts);
+    if (p.rank() == 0) value = v;
+  });
+  const char* unit = plan.app == "osu-bw" ? "MB/s" : "us";
+  std::printf("%s @ %s: %.3f %s\n", plan.app.c_str(),
+              format_size(plan.message_size).c_str(), value, unit);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  LaunchPlan plan;
+
+  plan.app = opts.get("app", "graph500",
+                      "graph500 | ep | cg | mg | ft | lu | is | osu-latency | "
+                      "osu-bw | osu-allreduce");
+  const int hosts = static_cast<int>(opts.get_int("hosts", 1, "number of hosts"));
+  const int containers = static_cast<int>(
+      opts.get_int("containers-per-host", 2, "containers per host (0 = native)"));
+  const int procs = static_cast<int>(
+      opts.get_int("procs-per-host", 8, "MPI processes per host"));
+  const std::string policy =
+      opts.get("policy", "aware", "aware (proposed) | default (hostname-based)");
+  const std::string isolation =
+      opts.get("isolation", "container", "container | vm");
+  const bool ivshmem = opts.get_flag("ivshmem", "attach IVSHMEM (vm only)");
+  const bool no_ipc = opts.get_flag("no-ipc-sharing", "drop --ipc=host");
+  const bool no_pid = opts.get_flag("no-pid-sharing", "drop --pid=host");
+  const bool no_cma = opts.get_flag("no-cma", "disable the CMA channel");
+  const bool flat = opts.get_flag("flat-collectives", "disable 2-level collectives");
+  plan.scale = static_cast<int>(opts.get_int("scale", 13, "graph500 scale"));
+  plan.message_size = static_cast<Bytes>(
+      opts.get_int("message-size", 1024, "osu-* message size in bytes"));
+  plan.iterations = static_cast<int>(opts.get_int("iters", 10, "osu-* iterations"));
+  plan.config.seed = static_cast<std::uint64_t>(opts.get_int("seed", 42, "job seed"));
+  plan.show_profile = opts.get_flag("profile", "print the mpiP-style profile");
+  if (opts.finish("cbmpirun — launch an application on the simulated "
+                  "container/VM cluster"))
+    return 0;
+
+  if (containers == 0) {
+    plan.config.deployment = container::DeploymentSpec::native_hosts(hosts, procs);
+  } else if (isolation == "vm") {
+    plan.config.deployment =
+        container::DeploymentSpec::virtual_machines(hosts, containers, procs, ivshmem);
+  } else {
+    plan.config.deployment =
+        container::DeploymentSpec::containers(hosts, containers, procs);
+    plan.config.deployment.share_host_ipc = !no_ipc;
+    plan.config.deployment.share_host_pid = !no_pid;
+  }
+  plan.config.policy = policy == "default" ? fabric::LocalityPolicy::HostnameBased
+                                           : fabric::LocalityPolicy::ContainerAware;
+  plan.config.tuning.use_cma = !no_cma;
+  plan.config.tuning.two_level_collectives = !flat;
+
+  std::printf("cbmpirun: %s on %s, %d ranks, %s runtime\n", plan.app.c_str(),
+              plan.config.deployment.label().c_str(),
+              plan.config.deployment.total_ranks(),
+              policy == "default" ? "default (hostname-based)"
+                                  : "locality-aware (proposed)");
+
+  if (plan.app == "graph500") return run_graph500(plan);
+  if (plan.app == "ep" || plan.app == "cg" || plan.app == "mg" ||
+      plan.app == "ft" || plan.app == "lu" || plan.app == "is")
+    return run_npb(plan);
+  if (plan.app.rfind("osu-", 0) == 0) return run_osu(plan);
+  std::fprintf(stderr, "unknown --app '%s'; try --help\n", plan.app.c_str());
+  return 2;
+}
