@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_virtualization_comparison.dir/ext_virtualization_comparison.cpp.o"
+  "CMakeFiles/ext_virtualization_comparison.dir/ext_virtualization_comparison.cpp.o.d"
+  "ext_virtualization_comparison"
+  "ext_virtualization_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_virtualization_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_graph500_default.dir/fig01_graph500_default.cpp.o"
+  "CMakeFiles/fig01_graph500_default.dir/fig01_graph500_default.cpp.o.d"
+  "fig01_graph500_default"
+  "fig01_graph500_default.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_graph500_default.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

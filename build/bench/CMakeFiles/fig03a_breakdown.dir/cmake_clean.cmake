@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03a_breakdown.dir/fig03a_breakdown.cpp.o"
+  "CMakeFiles/fig03a_breakdown.dir/fig03a_breakdown.cpp.o.d"
+  "fig03a_breakdown"
+  "fig03a_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03a_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03bc_channel_comparison.dir/fig03bc_channel_comparison.cpp.o"
+  "CMakeFiles/fig03bc_channel_comparison.dir/fig03bc_channel_comparison.cpp.o.d"
+  "fig03bc_channel_comparison"
+  "fig03bc_channel_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03bc_channel_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_tuning.dir/fig07_tuning.cpp.o"
+  "CMakeFiles/fig07_tuning.dir/fig07_tuning.cpp.o.d"
+  "fig07_tuning"
+  "fig07_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_pt2pt_two_sided.dir/fig08_pt2pt_two_sided.cpp.o"
+  "CMakeFiles/fig08_pt2pt_two_sided.dir/fig08_pt2pt_two_sided.cpp.o.d"
+  "fig08_pt2pt_two_sided"
+  "fig08_pt2pt_two_sided.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_pt2pt_two_sided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

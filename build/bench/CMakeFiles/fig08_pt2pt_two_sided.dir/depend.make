@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_pt2pt_two_sided.
+# This may be replaced when dependencies are built.

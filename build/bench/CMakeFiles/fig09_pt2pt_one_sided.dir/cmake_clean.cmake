@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_pt2pt_one_sided.dir/fig09_pt2pt_one_sided.cpp.o"
+  "CMakeFiles/fig09_pt2pt_one_sided.dir/fig09_pt2pt_one_sided.cpp.o.d"
+  "fig09_pt2pt_one_sided"
+  "fig09_pt2pt_one_sided.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_pt2pt_one_sided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_pt2pt_one_sided.
+# This may be replaced when dependencies are built.

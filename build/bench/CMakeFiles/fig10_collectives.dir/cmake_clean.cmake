@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_collectives.dir/fig10_collectives.cpp.o"
+  "CMakeFiles/fig10_collectives.dir/fig10_collectives.cpp.o.d"
+  "fig10_collectives"
+  "fig10_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

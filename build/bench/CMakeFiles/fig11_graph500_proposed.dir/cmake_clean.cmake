@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_graph500_proposed.dir/fig11_graph500_proposed.cpp.o"
+  "CMakeFiles/fig11_graph500_proposed.dir/fig11_graph500_proposed.cpp.o.d"
+  "fig11_graph500_proposed"
+  "fig11_graph500_proposed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_graph500_proposed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

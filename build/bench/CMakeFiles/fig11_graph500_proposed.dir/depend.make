@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_graph500_proposed.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_applications.dir/fig12_applications.cpp.o"
+  "CMakeFiles/fig12_applications.dir/fig12_applications.cpp.o.d"
+  "fig12_applications"
+  "fig12_applications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

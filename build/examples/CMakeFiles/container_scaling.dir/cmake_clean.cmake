@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/container_scaling.dir/container_scaling.cpp.o"
+  "CMakeFiles/container_scaling.dir/container_scaling.cpp.o.d"
+  "container_scaling"
+  "container_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/container_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onesided_ring.dir/onesided_ring.cpp.o"
+  "CMakeFiles/onesided_ring.dir/onesided_ring.cpp.o.d"
+  "onesided_ring"
+  "onesided_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onesided_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgas_histogram.dir/pgas_histogram.cpp.o"
+  "CMakeFiles/pgas_histogram.dir/pgas_histogram.cpp.o.d"
+  "pgas_histogram"
+  "pgas_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgas_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/graph500/bfs.cpp" "src/CMakeFiles/cbmpi.dir/apps/graph500/bfs.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/apps/graph500/bfs.cpp.o.d"
+  "/root/repo/src/apps/graph500/graph.cpp" "src/CMakeFiles/cbmpi.dir/apps/graph500/graph.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/apps/graph500/graph.cpp.o.d"
+  "/root/repo/src/apps/graph500/kronecker.cpp" "src/CMakeFiles/cbmpi.dir/apps/graph500/kronecker.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/apps/graph500/kronecker.cpp.o.d"
+  "/root/repo/src/apps/graph500/validate.cpp" "src/CMakeFiles/cbmpi.dir/apps/graph500/validate.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/apps/graph500/validate.cpp.o.d"
+  "/root/repo/src/apps/npb/cg.cpp" "src/CMakeFiles/cbmpi.dir/apps/npb/cg.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/apps/npb/cg.cpp.o.d"
+  "/root/repo/src/apps/npb/ep.cpp" "src/CMakeFiles/cbmpi.dir/apps/npb/ep.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/apps/npb/ep.cpp.o.d"
+  "/root/repo/src/apps/npb/ft.cpp" "src/CMakeFiles/cbmpi.dir/apps/npb/ft.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/apps/npb/ft.cpp.o.d"
+  "/root/repo/src/apps/npb/is.cpp" "src/CMakeFiles/cbmpi.dir/apps/npb/is.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/apps/npb/is.cpp.o.d"
+  "/root/repo/src/apps/npb/lu.cpp" "src/CMakeFiles/cbmpi.dir/apps/npb/lu.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/apps/npb/lu.cpp.o.d"
+  "/root/repo/src/apps/npb/mg.cpp" "src/CMakeFiles/cbmpi.dir/apps/npb/mg.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/apps/npb/mg.cpp.o.d"
+  "/root/repo/src/apps/osu/microbench.cpp" "src/CMakeFiles/cbmpi.dir/apps/osu/microbench.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/apps/osu/microbench.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/cbmpi.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/options.cpp" "src/CMakeFiles/cbmpi.dir/common/options.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/common/options.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/cbmpi.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/cbmpi.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/cbmpi.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/common/table.cpp.o.d"
+  "/root/repo/src/container/container.cpp" "src/CMakeFiles/cbmpi.dir/container/container.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/container/container.cpp.o.d"
+  "/root/repo/src/container/deployment.cpp" "src/CMakeFiles/cbmpi.dir/container/deployment.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/container/deployment.cpp.o.d"
+  "/root/repo/src/container/engine.cpp" "src/CMakeFiles/cbmpi.dir/container/engine.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/container/engine.cpp.o.d"
+  "/root/repo/src/fabric/cma_channel.cpp" "src/CMakeFiles/cbmpi.dir/fabric/cma_channel.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/fabric/cma_channel.cpp.o.d"
+  "/root/repo/src/fabric/hca_channel.cpp" "src/CMakeFiles/cbmpi.dir/fabric/hca_channel.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/fabric/hca_channel.cpp.o.d"
+  "/root/repo/src/fabric/selector.cpp" "src/CMakeFiles/cbmpi.dir/fabric/selector.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/fabric/selector.cpp.o.d"
+  "/root/repo/src/fabric/shm_channel.cpp" "src/CMakeFiles/cbmpi.dir/fabric/shm_channel.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/fabric/shm_channel.cpp.o.d"
+  "/root/repo/src/fabric/tuning.cpp" "src/CMakeFiles/cbmpi.dir/fabric/tuning.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/fabric/tuning.cpp.o.d"
+  "/root/repo/src/mpi/adi3.cpp" "src/CMakeFiles/cbmpi.dir/mpi/adi3.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/mpi/adi3.cpp.o.d"
+  "/root/repo/src/mpi/communicator.cpp" "src/CMakeFiles/cbmpi.dir/mpi/communicator.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/mpi/communicator.cpp.o.d"
+  "/root/repo/src/mpi/locality.cpp" "src/CMakeFiles/cbmpi.dir/mpi/locality.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/mpi/locality.cpp.o.d"
+  "/root/repo/src/mpi/matcher.cpp" "src/CMakeFiles/cbmpi.dir/mpi/matcher.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/mpi/matcher.cpp.o.d"
+  "/root/repo/src/mpi/runtime.cpp" "src/CMakeFiles/cbmpi.dir/mpi/runtime.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/mpi/runtime.cpp.o.d"
+  "/root/repo/src/mpi/time_barrier.cpp" "src/CMakeFiles/cbmpi.dir/mpi/time_barrier.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/mpi/time_barrier.cpp.o.d"
+  "/root/repo/src/mpi/window.cpp" "src/CMakeFiles/cbmpi.dir/mpi/window.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/mpi/window.cpp.o.d"
+  "/root/repo/src/osl/cma.cpp" "src/CMakeFiles/cbmpi.dir/osl/cma.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/osl/cma.cpp.o.d"
+  "/root/repo/src/osl/machine.cpp" "src/CMakeFiles/cbmpi.dir/osl/machine.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/osl/machine.cpp.o.d"
+  "/root/repo/src/osl/namespaces.cpp" "src/CMakeFiles/cbmpi.dir/osl/namespaces.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/osl/namespaces.cpp.o.d"
+  "/root/repo/src/osl/process.cpp" "src/CMakeFiles/cbmpi.dir/osl/process.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/osl/process.cpp.o.d"
+  "/root/repo/src/osl/shm.cpp" "src/CMakeFiles/cbmpi.dir/osl/shm.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/osl/shm.cpp.o.d"
+  "/root/repo/src/prof/profile.cpp" "src/CMakeFiles/cbmpi.dir/prof/profile.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/prof/profile.cpp.o.d"
+  "/root/repo/src/sim/cost_model.cpp" "src/CMakeFiles/cbmpi.dir/sim/cost_model.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/sim/cost_model.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/cbmpi.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/sim/trace_export.cpp" "src/CMakeFiles/cbmpi.dir/sim/trace_export.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/sim/trace_export.cpp.o.d"
+  "/root/repo/src/topo/calibration.cpp" "src/CMakeFiles/cbmpi.dir/topo/calibration.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/topo/calibration.cpp.o.d"
+  "/root/repo/src/topo/hardware.cpp" "src/CMakeFiles/cbmpi.dir/topo/hardware.cpp.o" "gcc" "src/CMakeFiles/cbmpi.dir/topo/hardware.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

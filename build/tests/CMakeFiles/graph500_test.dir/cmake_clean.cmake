@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph500_test.dir/graph500_test.cpp.o"
+  "CMakeFiles/graph500_test.dir/graph500_test.cpp.o.d"
+  "graph500_test"
+  "graph500_test.pdb"
+  "graph500_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph500_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

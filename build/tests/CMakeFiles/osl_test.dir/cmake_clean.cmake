@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osl_test.dir/osl_test.cpp.o"
+  "CMakeFiles/osl_test.dir/osl_test.cpp.o.d"
+  "osl_test"
+  "osl_test.pdb"
+  "osl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

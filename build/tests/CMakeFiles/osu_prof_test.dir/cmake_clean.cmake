@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osu_prof_test.dir/osu_prof_test.cpp.o"
+  "CMakeFiles/osu_prof_test.dir/osu_prof_test.cpp.o.d"
+  "osu_prof_test"
+  "osu_prof_test.pdb"
+  "osu_prof_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osu_prof_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

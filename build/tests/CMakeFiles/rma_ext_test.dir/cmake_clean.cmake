@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rma_ext_test.dir/rma_ext_test.cpp.o"
+  "CMakeFiles/rma_ext_test.dir/rma_ext_test.cpp.o.d"
+  "rma_ext_test"
+  "rma_ext_test.pdb"
+  "rma_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rma_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/osl_test[1]_include.cmake")
+include("/root/repo/build/tests/topo_container_test[1]_include.cmake")
+include("/root/repo/build/tests/fabric_test[1]_include.cmake")
+include("/root/repo/build/tests/locality_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/graph500_test[1]_include.cmake")
+include("/root/repo/build/tests/npb_test[1]_include.cmake")
+include("/root/repo/build/tests/osu_prof_test[1]_include.cmake")
+include("/root/repo/build/tests/collectives_ext_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_test[1]_include.cmake")
+include("/root/repo/build/tests/pgas_test[1]_include.cmake")
+include("/root/repo/build/tests/pt2pt_property_test[1]_include.cmake")
+include("/root/repo/build/tests/datatype_test[1]_include.cmake")
+include("/root/repo/build/tests/rma_ext_test[1]_include.cmake")
+include("/root/repo/build/tests/semantics_test[1]_include.cmake")
+include("/root/repo/build/tests/scale_test[1]_include.cmake")

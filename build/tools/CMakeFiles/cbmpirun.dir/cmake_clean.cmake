@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbmpirun.dir/cbmpirun.cpp.o"
+  "CMakeFiles/cbmpirun.dir/cbmpirun.cpp.o.d"
+  "cbmpirun"
+  "cbmpirun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbmpirun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
