@@ -19,6 +19,14 @@ class Error : public std::runtime_error {
   explicit Error(std::string what) : std::runtime_error(std::move(what)) {}
 };
 
+/// Secondary failure: a rank aborted because *another* rank raised first.
+/// Distinct from Error so the runtime can rethrow the root cause instead of
+/// a bystander's "job aborted" echo.
+class AbortedError : public Error {
+ public:
+  explicit AbortedError(std::string what) : Error(std::move(what)) {}
+};
+
 namespace detail {
 template <typename... Args>
 [[noreturn]] void raise(const char* cond, const char* file, int line, Args&&... args) {

@@ -1,5 +1,7 @@
 #include "fabric/selector.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace cbmpi::fabric {
@@ -13,8 +15,14 @@ const char* to_string(LocalityPolicy policy) {
 }
 
 ChannelSelector::ChannelSelector(LocalityPolicy policy, TuningParams tuning,
-                                 std::vector<RankEndpoint> endpoints)
-    : policy_(policy), tuning_(tuning), endpoints_(std::move(endpoints)) {
+                                 std::vector<RankEndpoint> endpoints,
+                                 const faults::FaultInjector* faults,
+                                 faults::FaultLog* fault_log)
+    : policy_(policy),
+      tuning_(tuning),
+      endpoints_(std::move(endpoints)),
+      faults_(faults != nullptr && faults->enabled() ? faults : nullptr),
+      fault_log_(fault_log) {
   CBMPI_REQUIRE(!endpoints_.empty(), "selector needs at least one endpoint");
   for (const auto& ep : endpoints_)
     CBMPI_REQUIRE(ep.process != nullptr, "endpoint without a process");
@@ -56,8 +64,14 @@ bool ChannelSelector::co_resident(int a, int b) const {
 
 bool ChannelSelector::cma_usable(int a, int b) const {
   if (!tuning_.use_cma) return false;
+  if (faults_ && faults_->cma_permission_denied(a, b)) return false;
   return endpoint(a).process->namespaces().shares(osl::NamespaceType::Pid,
                                                   endpoint(b).process->namespaces());
+}
+
+bool ChannelSelector::shm_usable(int a, int b) const {
+  return faults_ == nullptr ||
+         (!faults_->shm_segment_fails(a) && !faults_->shm_segment_fails(b));
 }
 
 ChannelSelector::Decision ChannelSelector::select(int src, int dst, Bytes size) const {
@@ -85,17 +99,41 @@ ChannelSelector::Decision ChannelSelector::select(int src, int dst, Bytes size) 
   }
 
   if (tuning_.use_shm && co_resident(src, dst)) {
-    if (size < tuning_.smp_eager_size) {
-      d.channel = ChannelKind::Shm;
-      d.protocol = Protocol::Eager;
-    } else if (cma_usable(src, dst)) {
-      d.channel = ChannelKind::Cma;
-      d.protocol = Protocol::Rendezvous;
-    } else {
-      d.channel = ChannelKind::Shm;
-      d.protocol = Protocol::Rendezvous;
+    // Fallback chain, evaluated per pair: CMA -> SHM -> HCA. An injected CMA
+    // EPERM demotes large transfers to SHM rendezvous; an injected /dev/shm
+    // failure on either endpoint knocks out both SHM paths and drops the
+    // pair onto the HCA loopback below.
+    if (shm_usable(src, dst)) {
+      if (size < tuning_.smp_eager_size) {
+        d.channel = ChannelKind::Shm;
+        d.protocol = Protocol::Eager;
+      } else if (cma_usable(src, dst)) {
+        d.channel = ChannelKind::Cma;
+        d.protocol = Protocol::Rendezvous;
+      } else {
+        d.channel = ChannelKind::Shm;
+        d.protocol = Protocol::Rendezvous;
+        // Attribute the demotion when the *injected* EPERM (not the
+        // deployment's namespace config) is what knocked CMA out.
+        if (fault_log_ && faults_ && tuning_.use_cma &&
+            faults_->cma_permission_denied(src, dst) &&
+            endpoint(src).process->namespaces().shares(
+                osl::NamespaceType::Pid, endpoint(dst).process->namespaces())) {
+          const auto [lo, hi] = std::minmax(src, dst);
+          if (fault_log_->record_degradation(
+                  src, {faults::DegradationKind::CmaFallbackToShm, lo, hi}))
+            fault_log_->record_fault(
+                src, {faults::FaultKind::CmaEperm, lo, hi, 0.0,
+                      "process_vm_readv EPERM (injected)"});
+        }
+      }
+      return d;
     }
-    return d;
+    if (fault_log_) {
+      const auto [lo, hi] = std::minmax(src, dst);
+      fault_log_->record_degradation(
+          src, {faults::DegradationKind::ShmFallbackToHca, lo, hi});
+    }
   }
 
   CBMPI_REQUIRE(endpoint(src).hca_accessible && endpoint(dst).hca_accessible,

@@ -25,6 +25,7 @@
 
 #include "fabric/message.hpp"
 #include "fabric/tuning.hpp"
+#include "faults/fault.hpp"
 #include "osl/process.hpp"
 
 namespace cbmpi::fabric {
@@ -43,8 +44,15 @@ struct RankEndpoint {
 
 class ChannelSelector {
  public:
+  /// `faults`/`fault_log` are optional: when an injector is present the
+  /// selector evaluates the CMA -> SHM -> HCA fallback chain per pair (an
+  /// injected CMA EPERM demotes large messages to SHM rendezvous; an injected
+  /// /dev/shm failure on either endpoint demotes the pair to the HCA
+  /// loopback) and records each degradation decision once.
   ChannelSelector(LocalityPolicy policy, TuningParams tuning,
-                  std::vector<RankEndpoint> endpoints);
+                  std::vector<RankEndpoint> endpoints,
+                  const faults::FaultInjector* faults = nullptr,
+                  faults::FaultLog* fault_log = nullptr);
 
   /// Installs the Container Locality Detector's result (required before the
   /// first select() under ContainerAware). co[i][j] != 0 iff ranks i and j
@@ -76,6 +84,10 @@ class ChannelSelector {
   int num_ranks() const { return static_cast<int>(endpoints_.size()); }
   const RankEndpoint& endpoint(int rank) const;
 
+  /// Is the pair's SHM path intact (no injected /dev/shm failure on either
+  /// endpoint)? Exposed for the runtime's degradation bookkeeping.
+  bool shm_usable(int a, int b) const;
+
  private:
   bool cma_usable(int a, int b) const;
 
@@ -84,6 +96,8 @@ class ChannelSelector {
   std::vector<RankEndpoint> endpoints_;
   std::vector<std::vector<std::uint8_t>> detected_;
   std::optional<ChannelKind> forced_;
+  const faults::FaultInjector* faults_;
+  faults::FaultLog* fault_log_;
 };
 
 }  // namespace cbmpi::fabric

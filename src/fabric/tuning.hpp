@@ -42,6 +42,14 @@ struct TuningParams {
   /// to Rabenseifner's reduce-scatter + allgather scheme.
   Bytes allreduce_large_threshold = 32_KiB;
 
+  /// Fault recovery: how many times an HCA transfer is retried after a
+  /// transient send/completion failure before the rank aborts. Retry i
+  /// backs off hca_retry_backoff * hca_retry_backoff_factor^i (plus
+  /// deterministic jitter), charged to the sender's virtual clock.
+  int hca_max_retries = 6;
+  Micros hca_retry_backoff = 4.0;
+  double hca_retry_backoff_factor = 2.0;
+
   /// Paper defaults for container deployments (Sec. IV-C/D optima).
   static TuningParams container_optimized() { return TuningParams{}; }
 };

@@ -1,0 +1,216 @@
+#include "faults/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace cbmpi::faults {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::ShmSegmentFail: return "shm-segment-fail";
+    case FaultKind::PrivateIpc: return "private-ipc-namespace";
+    case FaultKind::CmaEperm: return "cma-eperm";
+    case FaultKind::HcaTransient: return "hca-transient";
+    case FaultKind::HcaLinkFlap: return "hca-link-flap";
+  }
+  return "?";
+}
+
+const char* to_string(DegradationKind kind) {
+  switch (kind) {
+    case DegradationKind::HostnameLocalityFallback: return "hostname-locality-fallback";
+    case DegradationKind::IsolatedIpcLocality: return "isolated-ipc-locality";
+    case DegradationKind::CmaFallbackToShm: return "cma->shm";
+    case DegradationKind::ShmFallbackToHca: return "shm->hca";
+  }
+  return "?";
+}
+
+std::string FaultReport::summary() const {
+  std::array<std::uint64_t, 5> fault_counts{};
+  for (const auto& e : injected)
+    ++fault_counts[static_cast<std::size_t>(e.kind)];
+  std::array<std::uint64_t, 4> degradation_counts{};
+  for (const auto& e : degradations)
+    ++degradation_counts[static_cast<std::size_t>(e.kind)];
+
+  std::ostringstream os;
+  os << "fault report: " << injected.size() << " faults injected, "
+     << degradations.size() << " degradation decisions, " << total_retries()
+     << " retries (shm " << shm_retries << " / cma " << cma_retries << " / hca "
+     << hca_retries << "), " << time_lost << " us lost to recovery\n";
+  for (std::size_t i = 0; i < fault_counts.size(); ++i)
+    if (fault_counts[i] > 0)
+      os << "  fault " << to_string(static_cast<FaultKind>(i)) << ": "
+         << fault_counts[i] << "\n";
+  for (std::size_t i = 0; i < degradation_counts.size(); ++i)
+    if (degradation_counts[i] > 0)
+      os << "  degradation " << to_string(static_cast<DegradationKind>(i)) << ": "
+         << degradation_counts[i] << "\n";
+  return os.str();
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
+    : plan_(plan), seed_(seed) {
+  auto check_prob = [](double p, const char* name) {
+    CBMPI_REQUIRE(p >= 0.0 && p <= 1.0, "fault probability ", name,
+                  " out of [0, 1]: ", p);
+  };
+  check_prob(plan_.shm_segment_fail_prob, "shm_segment_fail_prob");
+  check_prob(plan_.private_ipc_prob, "private_ipc_prob");
+  check_prob(plan_.cma_eperm_prob, "cma_eperm_prob");
+  check_prob(plan_.hca_transient_prob, "hca_transient_prob");
+  CBMPI_REQUIRE(plan_.hca_link_flap_period >= 0.0 &&
+                    plan_.hca_link_flap_duration >= 0.0,
+                "link flap period/duration must be non-negative");
+  CBMPI_REQUIRE(plan_.hca_link_flap_period == 0.0 ||
+                    plan_.hca_link_flap_duration <= plan_.hca_link_flap_period,
+                "link flap duration (", plan_.hca_link_flap_duration,
+                ") exceeds its period (", plan_.hca_link_flap_period, ")");
+}
+
+double FaultInjector::uniform(std::uint64_t site, std::uint64_t a,
+                              std::uint64_t b, std::uint64_t c) const {
+  std::uint64_t h = mix64(seed_ ^ mix64(site));
+  h = mix64(h ^ mix64(a));
+  h = mix64(h ^ mix64(b));
+  h = mix64(h ^ mix64(c));
+  // 53 high bits -> double in [0, 1), same construction as Xoshiro256.
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+namespace {
+constexpr std::uint64_t site_key(FaultKind kind) {
+  return 0xfa17u * 0x10001u + static_cast<std::uint64_t>(kind);
+}
+}  // namespace
+
+bool FaultInjector::shm_segment_fails(int rank) const {
+  if (plan_.shm_segment_fail_prob <= 0.0) return false;
+  return uniform(site_key(FaultKind::ShmSegmentFail),
+                 static_cast<std::uint64_t>(rank), 0, 0) <
+         plan_.shm_segment_fail_prob;
+}
+
+bool FaultInjector::private_ipc(int host, int container_index) const {
+  if (plan_.private_ipc_prob <= 0.0) return false;
+  return uniform(site_key(FaultKind::PrivateIpc),
+                 static_cast<std::uint64_t>(host),
+                 static_cast<std::uint64_t>(container_index), 0) <
+         plan_.private_ipc_prob;
+}
+
+bool FaultInjector::cma_permission_denied(int a, int b) const {
+  if (plan_.cma_eperm_prob <= 0.0) return false;
+  const auto [lo, hi] = std::minmax(a, b);
+  return uniform(site_key(FaultKind::CmaEperm), static_cast<std::uint64_t>(lo),
+                 static_cast<std::uint64_t>(hi), 0) < plan_.cma_eperm_prob;
+}
+
+FaultInjector::HcaOutcome FaultInjector::hca_attempt(int src, int dst,
+                                                     std::uint64_t seq,
+                                                     int attempt, Micros at) const {
+  if (plan_.hca_link_flap_period > 0.0 && plan_.hca_link_flap_duration > 0.0 &&
+      std::fmod(at, plan_.hca_link_flap_period) < plan_.hca_link_flap_duration)
+    return HcaOutcome::LinkFlap;
+  if (plan_.hca_transient_prob > 0.0 &&
+      uniform(site_key(FaultKind::HcaTransient),
+              static_cast<std::uint64_t>(src) << 32 |
+                  static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)),
+              seq, static_cast<std::uint64_t>(attempt)) <
+          plan_.hca_transient_prob)
+    return HcaOutcome::Transient;
+  return HcaOutcome::Ok;
+}
+
+Micros FaultInjector::backoff_delay(int src, int dst, std::uint64_t seq,
+                                    int attempt, Micros base, double factor) const {
+  const double jitter =
+      1.0 + 0.25 * uniform(site_key(FaultKind::HcaLinkFlap) ^ 0x6a77u,
+                           static_cast<std::uint64_t>(src) << 32 |
+                               static_cast<std::uint64_t>(
+                                   static_cast<std::uint32_t>(dst)),
+                           seq, static_cast<std::uint64_t>(attempt));
+  return base * std::pow(factor, attempt) * jitter;
+}
+
+FaultLog::FaultLog(int nranks) : ranks_(static_cast<std::size_t>(nranks)) {
+  CBMPI_REQUIRE(nranks > 0, "fault log needs at least one rank");
+}
+
+namespace {
+/// Per-rank event lists are capped so a high fault rate on a chatty job
+/// cannot grow the report without bound; counters stay exact.
+constexpr std::size_t kMaxEventsPerRank = 1024;
+}  // namespace
+
+void FaultLog::record_fault(int owner_rank, FaultEvent event) {
+  auto& slot = ranks_[static_cast<std::size_t>(owner_rank)];
+  if (slot.faults.size() < kMaxEventsPerRank) slot.faults.push_back(std::move(event));
+}
+
+bool FaultLog::record_degradation(int owner_rank, DegradationEvent event) {
+  auto& slot = ranks_[static_cast<std::size_t>(owner_rank)];
+  const auto key = std::make_tuple(static_cast<std::uint8_t>(event.kind),
+                                   event.rank_a, event.rank_b);
+  if (!slot.seen_degradations.insert(key).second) return false;
+  slot.degradations.push_back(event);
+  return true;
+}
+
+void FaultLog::add_retry(int owner_rank, FaultKind kind) {
+  auto& slot = ranks_[static_cast<std::size_t>(owner_rank)];
+  switch (kind) {
+    case FaultKind::ShmSegmentFail: ++slot.shm_retries; break;
+    case FaultKind::CmaEperm: ++slot.cma_retries; break;
+    case FaultKind::PrivateIpc:
+    case FaultKind::HcaTransient:
+    case FaultKind::HcaLinkFlap: ++slot.hca_retries; break;
+  }
+}
+
+void FaultLog::add_time_lost(int owner_rank, Micros lost) {
+  ranks_[static_cast<std::size_t>(owner_rank)].time_lost += lost;
+}
+
+FaultReport FaultLog::finalize() const {
+  FaultReport report;
+  // Fold per-rank slots in rank order: the totals and the concatenation are
+  // schedule-independent because each slot was written by one thread only.
+  for (const auto& slot : ranks_) {
+    report.injected.insert(report.injected.end(), slot.faults.begin(),
+                           slot.faults.end());
+    report.degradations.insert(report.degradations.end(),
+                               slot.degradations.begin(), slot.degradations.end());
+    report.shm_retries += slot.shm_retries;
+    report.cma_retries += slot.cma_retries;
+    report.hca_retries += slot.hca_retries;
+    report.time_lost += slot.time_lost;
+  }
+  std::stable_sort(report.injected.begin(), report.injected.end(),
+                   [](const FaultEvent& x, const FaultEvent& y) {
+                     return std::tie(x.at, x.rank_a, x.rank_b, x.kind) <
+                            std::tie(y.at, y.rank_a, y.rank_b, y.kind);
+                   });
+  std::stable_sort(report.degradations.begin(), report.degradations.end(),
+                   [](const DegradationEvent& x, const DegradationEvent& y) {
+                     return std::tie(x.kind, x.rank_a, x.rank_b) <
+                            std::tie(y.kind, y.rank_a, y.rank_b);
+                   });
+  // Both directions of a pair may have recorded the same (normalized)
+  // decision; keep one.
+  report.degradations.erase(
+      std::unique(report.degradations.begin(), report.degradations.end(),
+                  [](const DegradationEvent& x, const DegradationEvent& y) {
+                    return x.kind == y.kind && x.rank_a == y.rank_a &&
+                           x.rank_b == y.rank_b;
+                  }),
+      report.degradations.end());
+  return report;
+}
+
+}  // namespace cbmpi::faults

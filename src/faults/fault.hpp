@@ -1,0 +1,187 @@
+// Deterministic fault injection for the cbmpi runtime.
+//
+// Real container deployments fail in structured ways: /dev/shm opens fail,
+// containers come up with private IPC namespaces (no --ipc=host), CMA gets
+// EPERM across unshared PID namespaces, and HCA sends hit transient
+// completion errors or link flaps. A FaultPlan describes *rates* for these
+// faults; a FaultInjector turns the plan into per-site boolean decisions that
+// are pure functions of (seed, site identity) — never of thread schedule —
+// so the same seed always injects the same faults, the degradation decisions
+// are identical run-to-run, and recovered job times are bit-for-bit
+// reproducible. A default (all-zero) plan injects nothing and adds zero
+// virtual-time cost anywhere.
+//
+// Faults are *injected* here but *handled* elsewhere: the locality detector
+// falls back to hostname locality, the channel selector degrades CMA → SHM →
+// HCA per pair, and the ADI3 engine retries HCA transfers with exponential
+// backoff before escalating to a per-rank abort. Every decision lands in the
+// job's FaultReport.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace cbmpi::faults {
+
+enum class FaultKind : std::uint8_t {
+  ShmSegmentFail,   ///< a rank's /dev/shm segment open failed
+  PrivateIpc,       ///< a container came up without --ipc=host
+  CmaEperm,         ///< process_vm_readv refused across a rank pair
+  HcaTransient,     ///< one HCA send/completion attempt failed
+  HcaLinkFlap,      ///< HCA attempt fell into a link-down window
+};
+
+const char* to_string(FaultKind kind);
+
+enum class DegradationKind : std::uint8_t {
+  HostnameLocalityFallback,  ///< rank reverted to hostname-based locality
+  IsolatedIpcLocality,       ///< rank only detects peers inside its container
+  CmaFallbackToShm,          ///< pair: CMA knocked out, SHM rendezvous used
+  ShmFallbackToHca,          ///< pair: SHM knocked out, HCA loopback used
+};
+
+const char* to_string(DegradationKind kind);
+
+/// Fault rates for one job. All-zero (the default) means "no faults"; the
+/// runtime then skips every injection code path entirely.
+struct FaultPlan {
+  /// Per-rank probability that its /dev/shm locality/staging segments fail to
+  /// open (the rank must degrade to hostname locality and lose SHM).
+  double shm_segment_fail_prob = 0.0;
+
+  /// Per-container probability that it is deployed with a private IPC
+  /// namespace even though the spec asked for --ipc=host.
+  double private_ipc_prob = 0.0;
+
+  /// Per-pair probability that CMA is permission-denied (unshared PID
+  /// namespace / restrictive ptrace scope) despite the spec sharing PIDs.
+  double cma_eperm_prob = 0.0;
+
+  /// Per-attempt probability that an HCA send/completion fails transiently.
+  double hca_transient_prob = 0.0;
+
+  /// Periodic HCA link flap: every `period` microseconds of virtual time the
+  /// link drops for `duration` microseconds; attempts inside a down window
+  /// fail. Zero period disables flaps.
+  Micros hca_link_flap_period = 0.0;
+  Micros hca_link_flap_duration = 0.0;
+
+  bool enabled() const {
+    return shm_segment_fail_prob > 0.0 || private_ipc_prob > 0.0 ||
+           cma_eperm_prob > 0.0 || hca_transient_prob > 0.0 ||
+           (hca_link_flap_period > 0.0 && hca_link_flap_duration > 0.0);
+  }
+};
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::HcaTransient;
+  int rank_a = -1;
+  int rank_b = -1;      ///< peer rank, -1 when not pairwise
+  Micros at = 0.0;      ///< virtual time of injection (0 for init-time faults)
+  std::string detail;
+};
+
+struct DegradationEvent {
+  DegradationKind kind = DegradationKind::HostnameLocalityFallback;
+  int rank_a = -1;
+  int rank_b = -1;
+};
+
+/// What the job survived: injected faults, the degradation decisions they
+/// forced, per-channel retry counts, and virtual time lost to recovery.
+/// Canonicalized (sorted, deduplicated) so the same seed yields an identical
+/// report regardless of thread schedule.
+struct FaultReport {
+  std::vector<FaultEvent> injected;
+  std::vector<DegradationEvent> degradations;
+  std::uint64_t shm_retries = 0;
+  std::uint64_t cma_retries = 0;
+  std::uint64_t hca_retries = 0;
+  Micros time_lost = 0.0;  ///< virtual time spent on backoff + fallbacks
+
+  bool any() const {
+    return !injected.empty() || !degradations.empty() || shm_retries > 0 ||
+           cma_retries > 0 || hca_retries > 0;
+  }
+  std::uint64_t total_retries() const { return shm_retries + cma_retries + hca_retries; }
+
+  /// Per-kind counts, one line each — for benches and EXPERIMENTS.md.
+  std::string summary() const;
+};
+
+/// Stateless, hash-based fault decisions. Every predicate is a pure function
+/// of (seed, site identity), so concurrent callers always agree and decisions
+/// never depend on call order.
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, std::uint64_t seed);
+
+  const FaultPlan& plan() const { return plan_; }
+  bool enabled() const { return plan_.enabled(); }
+
+  /// Does this rank's /dev/shm segment open fail (locality list + staging)?
+  bool shm_segment_fails(int rank) const;
+
+  /// Is container `container_index` on `host` deployed with private IPC?
+  bool private_ipc(int host, int container_index) const;
+
+  /// Is CMA permission-denied between this (unordered) rank pair?
+  bool cma_permission_denied(int a, int b) const;
+
+  /// Does attempt `attempt` of the sender's transfer `seq` to `dst` fail at
+  /// virtual time `at`? Transient errors and link flaps both land here.
+  /// Returns the fault kind, or no fault.
+  enum class HcaOutcome : std::uint8_t { Ok, Transient, LinkFlap };
+  HcaOutcome hca_attempt(int src, int dst, std::uint64_t seq, int attempt,
+                         Micros at) const;
+
+  /// Backoff before retry `attempt` (0-based): base * factor^attempt with
+  /// deterministic jitter in [1.0, 1.25) hashed from the transfer identity.
+  Micros backoff_delay(int src, int dst, std::uint64_t seq, int attempt,
+                       Micros base, double factor) const;
+
+ private:
+  double uniform(std::uint64_t site, std::uint64_t a, std::uint64_t b,
+                 std::uint64_t c) const;
+
+  FaultPlan plan_;
+  std::uint64_t seed_;
+};
+
+/// Collects fault/degradation observations while the job runs and folds them
+/// into a canonical FaultReport. Writes go to per-rank slots owned by that
+/// rank's thread (the init thread before ranks start), so recording is
+/// race-free and totals fold deterministically in rank order.
+class FaultLog {
+ public:
+  explicit FaultLog(int nranks);
+
+  void record_fault(int owner_rank, FaultEvent event);
+  /// Deduplicated per (kind, pair); returns true when newly recorded.
+  bool record_degradation(int owner_rank, DegradationEvent event);
+  void add_retry(int owner_rank, FaultKind kind);
+  void add_time_lost(int owner_rank, Micros lost);
+
+  FaultReport finalize() const;
+
+ private:
+  struct RankSlot {
+    std::vector<FaultEvent> faults;
+    std::vector<DegradationEvent> degradations;
+    std::set<std::tuple<std::uint8_t, int, int>> seen_degradations;
+    std::uint64_t shm_retries = 0;
+    std::uint64_t cma_retries = 0;
+    std::uint64_t hca_retries = 0;
+    Micros time_lost = 0.0;
+  };
+
+  std::vector<RankSlot> ranks_;
+};
+
+}  // namespace cbmpi::faults

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <sstream>
 
 #include "common/error.hpp"
 
@@ -37,15 +38,21 @@ Request Adi3Engine::start_send(std::span<const std::byte> data, int dst_world, i
   const Bytes size = data.size();
   const auto decision = job_->selector->select(rank_, dst_world, size);
   profile().add_channel_op(decision.channel, size);
-  if (decision.channel == fabric::ChannelKind::Hca)
+  const std::uint64_t seq = next_seq_++;
+  if (decision.channel == fabric::ChannelKind::Hca) {
     job_->hca->ensure_connected(rank_, dst_world);
+    // Transient send/completion failures (injected) retry here, before the
+    // successful attempt's cost is charged; the backoff time lands on the
+    // sender's clock and therefore delays available_at for the receiver.
+    charge_hca_retries(dst_world, seq, size);
+  }
 
   fabric::Envelope env;
   env.src = rank_;
   env.dst = dst_world;
   env.tag = tag;
   env.comm_id = comm_id;
-  env.seq = next_seq_++;
+  env.seq = seq;
   env.channel = decision.channel;
   env.protocol = decision.protocol;
   env.size = size;
@@ -263,9 +270,47 @@ Status Adi3Engine::wait(const Request& request) {
   return request->status;
 }
 
+void Adi3Engine::charge_hca_retries(int dst_world, std::uint64_t seq, Bytes size) {
+  const auto* inj = job_->faults;
+  if (inj == nullptr) return;
+  const auto& tuning = job_->tuning;
+  for (int attempt = 0;; ++attempt) {
+    const auto outcome = inj->hca_attempt(rank_, dst_world, seq, attempt, clock().now());
+    if (outcome == faults::FaultInjector::HcaOutcome::Ok) return;
+
+    const auto kind = outcome == faults::FaultInjector::HcaOutcome::LinkFlap
+                          ? faults::FaultKind::HcaLinkFlap
+                          : faults::FaultKind::HcaTransient;
+    job_->fault_log->record_fault(
+        rank_, {kind, rank_, dst_world, clock().now(), to_string(kind)});
+    if (job_->trace)
+      job_->trace->record({sim::TraceKind::FaultInject, rank_, dst_world, size,
+                           clock().now(), to_string(kind)});
+
+    if (attempt >= tuning.hca_max_retries) {
+      std::ostringstream os;
+      os << "rank " << rank_ << ": HCA transfer to rank " << dst_world
+         << " abandoned after " << (attempt + 1) << " attempts ("
+         << to_string(kind) << " at t=" << clock().now() << " us)";
+      throw Error(os.str());
+    }
+
+    const Micros delay =
+        inj->backoff_delay(rank_, dst_world, seq, attempt, tuning.hca_retry_backoff,
+                           tuning.hca_retry_backoff_factor);
+    clock().advance(delay);
+    profile().add_recovery(delay);
+    job_->fault_log->add_retry(rank_, kind);
+    job_->fault_log->add_time_lost(rank_, delay);
+    if (job_->trace)
+      job_->trace->record({sim::TraceKind::Retry, rank_, dst_world, size,
+                           clock().now(), "HCA"});
+  }
+}
+
 void Adi3Engine::check_abort() const {
   if (job_->aborted.load(std::memory_order_acquire))
-    throw Error("job aborted: another rank raised an error");
+    throw AbortedError("job aborted: another rank raised an error");
 }
 
 void Adi3Engine::wait_all(std::span<const Request> requests) {

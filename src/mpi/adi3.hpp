@@ -69,6 +69,11 @@ class Adi3Engine {
 
  private:
   void check_abort() const;
+  /// Fault injection: charges the sender for transient HCA failures of this
+  /// transfer — bounded retries with exponential backoff and deterministic
+  /// jitter — and throws (per-rank abort, failing rank identified) once the
+  /// retry budget is exhausted. No-op when no injector is attached.
+  void charge_hca_retries(int dst_world, std::uint64_t seq, Bytes size);
   void progress_posted();
   bool try_complete_recv(RequestState& request);
   void complete_eager(RequestState& request, fabric::Envelope& env);

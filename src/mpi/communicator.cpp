@@ -72,7 +72,7 @@ std::size_t Communicator::wait_any(std::span<const Request> requests) {
       if (engine_->test(requests[i])) return i;
     engine_->job().matcher(engine_->world_rank()).wait_past(seen);
     if (engine_->job().aborted.load(std::memory_order_acquire))
-      throw Error("job aborted: another rank raised an error");
+      throw AbortedError("job aborted: another rank raised an error");
   }
 }
 
@@ -103,7 +103,7 @@ Status Communicator::probe(int src, int tag) {
     }
     engine_->job().matcher(engine_->world_rank()).wait_past(seen);
     if (engine_->job().aborted.load(std::memory_order_acquire))
-      throw Error("job aborted: another rank raised an error");
+      throw AbortedError("job aborted: another rank raised an error");
   }
 }
 

@@ -18,6 +18,7 @@
 #include "fabric/selector.hpp"
 #include "fabric/shm_channel.hpp"
 #include "fabric/tuning.hpp"
+#include "faults/fault.hpp"
 #include "mpi/matcher.hpp"
 #include "prof/profile.hpp"
 #include "sim/trace.hpp"
@@ -49,6 +50,11 @@ struct JobState {
   std::vector<prof::RankProfile> rank_profiles;     // one per world rank
 
   sim::TraceRecorder* trace = nullptr;              // optional, may be null
+
+  /// Fault injection (null when the job's FaultPlan is empty — the common
+  /// case — so the hot paths skip every injection check).
+  const faults::FaultInjector* faults = nullptr;
+  faults::FaultLog* fault_log = nullptr;            // non-null iff faults set
 
   std::mutex windows_mutex;
   std::map<std::uint64_t, std::shared_ptr<WindowInfo>> windows;

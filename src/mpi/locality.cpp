@@ -39,6 +39,19 @@ std::vector<int> ContainerLocalityDetector::local_ranks(
   return ranks;
 }
 
+std::vector<std::uint8_t> ContainerLocalityDetector::hostname_fallback_row(
+    const osl::SimProcess& proc,
+    const std::vector<const osl::SimProcess*>& all) const {
+  CBMPI_REQUIRE(static_cast<int>(all.size()) == nranks_,
+                "fallback row needs one process per rank");
+  const std::string hostname = proc.hostname();
+  std::vector<std::uint8_t> row(static_cast<std::size_t>(nranks_));
+  for (int j = 0; j < nranks_; ++j)
+    row[static_cast<std::size_t>(j)] =
+        all[static_cast<std::size_t>(j)]->hostname() == hostname ? 1 : 0;
+  return row;
+}
+
 Micros ContainerLocalityDetector::detection_cost() const {
   // One byte store (~one cacheline write) + a linear scan of nranks bytes at
   // cached-read speed (~16 B/ns) + segment open bookkeeping.
@@ -46,6 +59,15 @@ Micros ContainerLocalityDetector::detection_cost() const {
   constexpr Micros kOpen = 0.5;
   const Micros scan = static_cast<double>(nranks_) / 16000.0;
   return kStore + kOpen + scan;
+}
+
+Micros ContainerLocalityDetector::fallback_cost() const {
+  // Failed open + one retried open (each ~= the open bookkeeping cost) plus a
+  // string compare per rank (~4x the byte-scan cost).
+  constexpr Micros kFailedOpen = 0.5;
+  constexpr Micros kRetriedOpen = 0.5;
+  const Micros compares = static_cast<double>(nranks_) / 4000.0;
+  return kFailedOpen + kRetriedOpen + compares;
 }
 
 }  // namespace cbmpi::mpi

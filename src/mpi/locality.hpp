@@ -45,10 +45,25 @@ class ContainerLocalityDetector {
   /// collectives to pick leaders.
   std::vector<int> local_ranks(const osl::SimProcess& proc) const;
 
+  /// Graceful degradation when a rank's /dev/shm segment open fails (fault
+  /// injection, or a real deployment without a usable /dev/shm): the rank
+  /// cannot announce or scan, so it falls back to the only locality signal
+  /// that needs no shared memory — hostname comparison, exactly what the
+  /// default MVAPICH2 runtime uses. row[j] = 1 iff all[j] reports the same
+  /// hostname as proc (its own container at worst, never a false positive
+  /// across containers since container hostnames are unique).
+  std::vector<std::uint8_t> hostname_fallback_row(
+      const osl::SimProcess& proc,
+      const std::vector<const osl::SimProcess*>& all) const;
+
   /// Virtual-time cost of the announce+scan protocol for one rank: one byte
   /// store plus a scan of nranks bytes. Tiny by design — 1 M ranks cost ~1 MB
   /// of traversal (the paper's scalability argument).
   Micros detection_cost() const;
+
+  /// Extra cost charged to a degraded rank: the failed open, one retry of
+  /// the open, and nranks hostname comparisons.
+  Micros fallback_cost() const;
 
   int nranks() const { return nranks_; }
   const std::string& segment_name() const { return segment_name_; }

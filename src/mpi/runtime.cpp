@@ -2,6 +2,7 @@
 
 #include <exception>
 #include <numeric>
+#include <sstream>
 #include <thread>
 
 #include "container/engine.hpp"
@@ -41,6 +42,70 @@ void Process::sync_time() {
 
 namespace {
 
+/// Fails fast with a clear message on misconfiguration instead of erroring
+/// deep in the stack (or silently "fixing" the config).
+void validate_config(const JobConfig& config) {
+  const auto& spec = config.deployment;
+  CBMPI_REQUIRE(spec.num_hosts > 0,
+                "deployment needs at least one host, got num_hosts = ",
+                spec.num_hosts);
+  CBMPI_REQUIRE(spec.procs_per_host > 0,
+                "deployment needs at least one process per host, got "
+                "procs_per_host = ",
+                spec.procs_per_host);
+  CBMPI_REQUIRE(spec.containers_per_host >= 0,
+                "containers_per_host must be >= 0 (0 = native), got ",
+                spec.containers_per_host);
+  if (!spec.native())
+    CBMPI_REQUIRE(
+        spec.procs_per_host % spec.containers_per_host == 0,
+        "procs_per_host (", spec.procs_per_host,
+        ") must divide evenly among containers_per_host (",
+        spec.containers_per_host, ")");
+  CBMPI_REQUIRE(config.cluster_hosts >= 0,
+                "cluster_hosts must be >= 0 (0 = exactly what the deployment "
+                "needs), got ",
+                config.cluster_hosts);
+  CBMPI_REQUIRE(config.cluster_hosts == 0 || config.cluster_hosts >= spec.num_hosts,
+                "cluster_hosts (", config.cluster_hosts,
+                ") is smaller than the deployment needs (", spec.num_hosts,
+                " hosts)");
+
+  const auto& tuning = config.tuning;
+  CBMPI_REQUIRE(tuning.smp_eager_size > 0, "SMP_EAGER_SIZE must be positive");
+  CBMPI_REQUIRE(tuning.smpi_length_queue > 0, "SMPI_LENGTH_QUEUE must be positive");
+  CBMPI_REQUIRE(tuning.iba_eager_threshold > 0,
+                "MV2_IBA_EAGER_THRESHOLD must be positive");
+  CBMPI_REQUIRE(tuning.bcast_large_threshold > 0,
+                "bcast_large_threshold must be positive");
+  CBMPI_REQUIRE(tuning.allreduce_large_threshold > 0,
+                "allreduce_large_threshold must be positive");
+  CBMPI_REQUIRE(tuning.hca_max_retries >= 0,
+                "hca_max_retries must be >= 0, got ", tuning.hca_max_retries);
+  CBMPI_REQUIRE(tuning.hca_retry_backoff > 0.0,
+                "hca_retry_backoff must be positive, got ",
+                tuning.hca_retry_backoff);
+  CBMPI_REQUIRE(tuning.hca_retry_backoff_factor >= 1.0,
+                "hca_retry_backoff_factor must be >= 1, got ",
+                tuning.hca_retry_backoff_factor);
+}
+
+/// Joins every started rank thread on scope exit. If thread startup itself
+/// fails mid-way, siblings are aborted and joined, never abandoned.
+class ThreadJoiner {
+ public:
+  explicit ThreadJoiner(std::vector<std::thread>& threads) : threads_(&threads) {}
+  ~ThreadJoiner() {
+    for (auto& thread : *threads_)
+      if (thread.joinable()) thread.join();
+  }
+  ThreadJoiner(const ThreadJoiner&) = delete;
+  ThreadJoiner& operator=(const ThreadJoiner&) = delete;
+
+ private:
+  std::vector<std::thread>* threads_;
+};
+
 container::ContainerSpec container_spec_for(const container::DeploymentSpec& spec,
                                             const container::JobPlacement& placement,
                                             topo::HostId host, int index) {
@@ -60,9 +125,18 @@ container::ContainerSpec container_spec_for(const container::DeploymentSpec& spe
 }  // namespace
 
 JobResult run_job(const JobConfig& config, const std::function<void(Process&)>& body) {
+  validate_config(config);
   const auto& spec = config.deployment;
   const int nranks = spec.total_ranks();
   CBMPI_REQUIRE(nranks > 0, "job needs at least one rank");
+
+  // --- fault injection ------------------------------------------------------
+  // Decisions are pure functions of (seed, site), so the same seed injects
+  // the same faults run after run. A default plan injects nothing and every
+  // hot path skips its checks.
+  faults::FaultInjector injector(config.faults, config.seed);
+  faults::FaultLog fault_log(nranks);
+  const bool inject = injector.enabled();
 
   // --- hardware + OS ------------------------------------------------------
   const int hosts = std::max(config.cluster_hosts, spec.num_hosts);
@@ -74,11 +148,22 @@ JobResult run_job(const JobConfig& config, const std::function<void(Process&)>& 
   // containers[h][c] is container c on host h (empty when native).
   std::vector<std::vector<container::Container*>> containers(
       static_cast<std::size_t>(spec.num_hosts));
+  // ipc_injected[h][c]: the container was forced into a private IPC
+  // namespace by fault injection even though the spec asked for --ipc=host.
+  std::vector<std::vector<bool>> ipc_injected(
+      static_cast<std::size_t>(spec.num_hosts));
   if (!spec.native()) {
     for (int h = 0; h < spec.num_hosts; ++h) {
       auto& on_host = containers[static_cast<std::size_t>(h)];
-      for (int c = 0; c < spec.containers_per_host; ++c)
-        on_host.push_back(&engine.run(h, container_spec_for(spec, placement, h, c)));
+      auto& injected_on_host = ipc_injected[static_cast<std::size_t>(h)];
+      for (int c = 0; c < spec.containers_per_host; ++c) {
+        auto cont_spec = container_spec_for(spec, placement, h, c);
+        const bool force_private_ipc =
+            inject && cont_spec.share_host_ipc && injector.private_ipc(h, c);
+        if (force_private_ipc) cont_spec.share_host_ipc = false;
+        injected_on_host.push_back(force_private_ipc);
+        on_host.push_back(&engine.run(h, cont_spec));
+      }
     }
   }
 
@@ -86,6 +171,7 @@ JobResult run_job(const JobConfig& config, const std::function<void(Process&)>& 
   std::vector<std::unique_ptr<osl::SimProcess>> processes;
   processes.reserve(static_cast<std::size_t>(nranks));
   std::vector<bool> hca_access(static_cast<std::size_t>(nranks), true);
+  std::vector<bool> rank_ipc_injected(static_cast<std::size_t>(nranks), false);
   for (int r = 0; r < nranks; ++r) {
     const auto& slot = placement.slots[static_cast<std::size_t>(r)];
     if (slot.container_index < 0) {
@@ -97,6 +183,14 @@ JobResult run_job(const JobConfig& config, const std::function<void(Process&)>& 
                              [static_cast<std::size_t>(slot.container_index)];
       processes.push_back(engine.spawn(*cont, slot.core_slot));
       hca_access[static_cast<std::size_t>(r)] = cont->can_access_hca();
+      if (ipc_injected[static_cast<std::size_t>(slot.host)]
+                      [static_cast<std::size_t>(slot.container_index)]) {
+        rank_ipc_injected[static_cast<std::size_t>(r)] = true;
+        fault_log.record_fault(
+            r, {faults::FaultKind::PrivateIpc, r, -1, 0.0,
+                "container " + cont->spec().name +
+                    " deployed without --ipc=host (injected)"});
+      }
     }
   }
 
@@ -109,6 +203,10 @@ JobResult run_job(const JobConfig& config, const std::function<void(Process&)>& 
   job.hca = std::make_unique<fabric::HcaChannel>(machine.profile(), config.tuning);
   job.nranks = nranks;
   job.seed = config.seed;
+  if (inject) {
+    job.faults = &injector;
+    job.fault_log = &fault_log;
+  }
 
   sim::TraceRecorder recorder;
   if (config.record_trace) job.trace = &recorder;
@@ -123,7 +221,8 @@ JobResult run_job(const JobConfig& config, const std::function<void(Process&)>& 
         {&proc, proc.hostname(), hca_access[static_cast<std::size_t>(r)], vm_mode});
   }
   job.selector = std::make_unique<fabric::ChannelSelector>(
-      config.policy, config.tuning, std::move(endpoints));
+      config.policy, config.tuning, std::move(endpoints),
+      inject ? &injector : nullptr, inject ? &fault_log : nullptr);
   job.selector->force_channel(config.forced_channel);
 
   job.matchers.reserve(static_cast<std::size_t>(nranks));
@@ -136,14 +235,65 @@ JobResult run_job(const JobConfig& config, const std::function<void(Process&)>& 
   // deterministic; each rank is charged the modelled detection cost.
   if (config.policy == fabric::LocalityPolicy::ContainerAware) {
     ContainerLocalityDetector detector("job" + std::to_string(config.seed), nranks);
-    for (int r = 0; r < nranks; ++r)
+    // A rank whose /dev/shm segment open fails (injected) cannot announce or
+    // scan; it degrades to hostname-based locality instead of crashing.
+    std::vector<bool> shm_failed(static_cast<std::size_t>(nranks), false);
+    for (int r = 0; r < nranks; ++r) {
+      if (inject && injector.shm_segment_fails(r)) {
+        shm_failed[static_cast<std::size_t>(r)] = true;
+        fault_log.record_fault(
+            r, {faults::FaultKind::ShmSegmentFail, r, -1, 0.0,
+                "/dev/shm open of '" + detector.segment_name() +
+                    "' failed (injected)"});
+        continue;
+      }
       detector.announce(*processes[static_cast<std::size_t>(r)], r);
+    }
+
+    std::vector<const osl::SimProcess*> all_procs;
+    all_procs.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r)
+      all_procs.push_back(processes[static_cast<std::size_t>(r)].get());
+
     std::vector<std::vector<std::uint8_t>> matrix;
     matrix.reserve(static_cast<std::size_t>(nranks));
     for (int r = 0; r < nranks; ++r) {
-      matrix.push_back(detector.co_resident_row(*processes[static_cast<std::size_t>(r)]));
-      processes[static_cast<std::size_t>(r)]->clock().advance(
-          detector.detection_cost());
+      auto& proc = *processes[static_cast<std::size_t>(r)];
+      if (!shm_failed[static_cast<std::size_t>(r)]) {
+        matrix.push_back(detector.co_resident_row(proc));
+        proc.clock().advance(detector.detection_cost());
+        continue;
+      }
+      matrix.push_back(detector.hostname_fallback_row(proc, all_procs));
+      proc.clock().advance(detector.detection_cost() + detector.fallback_cost());
+      fault_log.add_retry(r, faults::FaultKind::ShmSegmentFail);
+      fault_log.add_time_lost(r, detector.fallback_cost());
+      job.rank_profile(r).add_recovery(detector.fallback_cost());
+      fault_log.record_degradation(
+          r, {faults::DegradationKind::HostnameLocalityFallback, r, -1});
+      if (job.trace)
+        job.trace->record({sim::TraceKind::Degrade, r, -1, 0, proc.clock().now(),
+                           "hostname-locality-fallback"});
+    }
+    // Peers cannot see a degraded rank's (missing) announcement; give them
+    // the same hostname-based view of it so the matrix stays symmetric.
+    for (int r = 0; r < nranks; ++r) {
+      if (!shm_failed[static_cast<std::size_t>(r)]) continue;
+      for (int j = 0; j < nranks; ++j)
+        if (j != r)
+          matrix[static_cast<std::size_t>(j)][static_cast<std::size_t>(r)] =
+              matrix[static_cast<std::size_t>(r)][static_cast<std::size_t>(j)];
+    }
+    // Containers injected with a private IPC namespace detect only their own
+    // ranks — the cross-container peers they lost go over the HCA loopback.
+    for (int r = 0; r < nranks; ++r) {
+      if (!rank_ipc_injected[static_cast<std::size_t>(r)]) continue;
+      fault_log.record_degradation(
+          r, {faults::DegradationKind::IsolatedIpcLocality, r, -1});
+      if (job.trace)
+        job.trace->record({sim::TraceKind::Degrade, r, -1, 0,
+                           processes[static_cast<std::size_t>(r)]->clock().now(),
+                           "isolated-ipc-locality"});
     }
     job.selector->set_detected_locality(std::move(matrix));
   }
@@ -156,27 +306,76 @@ JobResult run_job(const JobConfig& config, const std::function<void(Process&)>& 
   }();
 
   TimeBarrier phase_barrier(nranks);
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  struct RankFailure {
+    std::exception_ptr error;
+    Micros at = 0.0;
+  };
+  std::vector<RankFailure> failures(static_cast<std::size_t>(nranks));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) {
-    threads.emplace_back([&, r] {
+  {
+    ThreadJoiner joiner(threads);
+    for (int r = 0; r < nranks; ++r) {
       try {
-        Process process(job, r, *processes[static_cast<std::size_t>(r)], phase_barrier,
-                        world_group);
-        body(process);
+        threads.emplace_back([&, r] {
+          try {
+            Process process(job, r, *processes[static_cast<std::size_t>(r)],
+                            phase_barrier, world_group);
+            body(process);
+          } catch (...) {
+            auto& failure = failures[static_cast<std::size_t>(r)];
+            failure.error = std::current_exception();
+            failure.at = processes[static_cast<std::size_t>(r)]->clock().now();
+            // Unblock peers that may be blocked waiting on this rank; they
+            // will observe the abort flag and raise. The root cause is
+            // rethrown below.
+            job.aborted.store(true, std::memory_order_release);
+            for (auto& matcher : job.matchers) matcher->poke();
+          }
+        });
       } catch (...) {
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
-        // Unblock peers that may be blocked waiting on this rank; they will
-        // observe the abort flag and raise. The first error is rethrown below.
+        // Thread startup failed: abort the ranks already running so the
+        // joiner's joins return, then surface the startup failure.
         job.aborted.store(true, std::memory_order_release);
         for (auto& matcher : job.matchers) matcher->poke();
+        throw;
       }
-    });
+    }
   }
-  for (auto& thread : threads) thread.join();
-  for (auto& error : errors)
-    if (error) std::rethrow_exception(error);
+
+  // Rethrow the *root cause*: the earliest-failing rank whose exception is a
+  // genuine failure, not a bystander's "job aborted" echo (AbortedError).
+  const RankFailure* root = nullptr;
+  int root_rank = -1;
+  for (int pass = 0; pass < 2 && !root; ++pass) {
+    for (int r = 0; r < nranks; ++r) {
+      const auto& failure = failures[static_cast<std::size_t>(r)];
+      if (!failure.error) continue;
+      if (pass == 0) {
+        try {
+          std::rethrow_exception(failure.error);
+        } catch (const AbortedError&) {
+          continue;  // secondary casualty, keep looking
+        } catch (...) {
+        }
+      }
+      if (!root || failure.at < root->at) {
+        root = &failure;
+        root_rank = r;
+      }
+    }
+  }
+  if (root) {
+    std::ostringstream os;
+    os << "rank " << root_rank << " failed at t=" << root->at << " us: ";
+    try {
+      std::rethrow_exception(root->error);
+    } catch (const std::exception& e) {
+      throw Error(os.str() + e.what());
+    } catch (...) {
+      throw Error(os.str() + "unknown exception");
+    }
+  }
 
   // --- results ---------------------------------------------------------------
   JobResult result;
@@ -189,6 +388,7 @@ JobResult run_job(const JobConfig& config, const std::function<void(Process&)>& 
   }
   result.hca_queue_pairs = job.hca->queue_pairs();
   if (config.record_trace) result.trace = recorder.events();
+  result.fault_report = fault_log.finalize();
   return result;
 }
 

@@ -18,6 +18,7 @@
 #include "common/rng.hpp"
 #include "container/deployment.hpp"
 #include "fabric/selector.hpp"
+#include "faults/fault.hpp"
 #include "mpi/communicator.hpp"
 #include "mpi/time_barrier.hpp"
 #include "prof/profile.hpp"
@@ -38,6 +39,11 @@ struct JobConfig {
   /// Forces all traffic onto one channel (Fig. 3 experiments).
   std::optional<fabric::ChannelKind> forced_channel;
 
+  /// Fault injection (default: none). Faults are derived deterministically
+  /// from `seed`, so the same seed reproduces the same failures, fallbacks,
+  /// retry counts, and job time.
+  faults::FaultPlan faults{};
+
   bool record_trace = false;
   std::uint64_t seed = 42;
 };
@@ -48,6 +54,9 @@ struct JobResult {
   prof::JobProfile profile;        ///< aggregated over ranks
   std::size_t hca_queue_pairs = 0;
   std::vector<sim::TraceEvent> trace;  ///< empty unless record_trace
+  /// Injected faults, degradation decisions, retry counts, recovery time.
+  /// Empty when the job's FaultPlan is the default.
+  faults::FaultReport fault_report;
 };
 
 /// The per-rank handle passed to the job body.

@@ -55,6 +55,8 @@ void RankProfile::add_channel_op(fabric::ChannelKind channel, Bytes bytes) {
 
 void RankProfile::add_compute(Micros elapsed) { compute_time_ += elapsed; }
 
+void RankProfile::add_recovery(Micros elapsed) { recovery_time_ += elapsed; }
+
 const CallStats& RankProfile::call(CallKind kind) const {
   CBMPI_REQUIRE(kind != CallKind::Count_, "invalid call kind");
   return calls_[static_cast<std::size_t>(kind)];
@@ -76,6 +78,8 @@ Micros RankProfile::comm_time() const {
 
 Micros RankProfile::compute_time() const { return compute_time_; }
 
+Micros RankProfile::recovery_time() const { return recovery_time_; }
+
 void RankProfile::merge(const RankProfile& other) {
   for (std::size_t i = 0; i < kCallKinds; ++i) {
     calls_[i].count += other.calls_[i].count;
@@ -86,6 +90,7 @@ void RankProfile::merge(const RankProfile& other) {
     channel_bytes_[i] += other.channel_bytes_[i];
   }
   compute_time_ += other.compute_time_;
+  recovery_time_ += other.recovery_time_;
 }
 
 void JobProfile::merge_rank(const RankProfile& rank_profile) {
@@ -120,6 +125,9 @@ std::string JobProfile::report() const {
   }
   channels.print(os);
   os << "communication fraction: " << Table::num(100.0 * comm_fraction(), 1) << "%\n";
+  if (total.recovery_time() > 0.0)
+    os << "fault recovery time: " << Table::num(to_millis(total.recovery_time()), 3)
+       << " ms\n";
   return os.str();
 }
 

@@ -37,12 +37,16 @@ class RankProfile {
   void add_call(CallKind kind, Micros elapsed);
   void add_channel_op(fabric::ChannelKind channel, Bytes bytes);
   void add_compute(Micros elapsed);
+  /// Virtual time spent recovering from injected faults (retry backoff,
+  /// fallback detection) — reported separately from comm/compute.
+  void add_recovery(Micros elapsed);
 
   const CallStats& call(CallKind kind) const;
   std::uint64_t channel_ops(fabric::ChannelKind channel) const;
   Bytes channel_bytes(fabric::ChannelKind channel) const;
   Micros comm_time() const;    ///< sum over all MPI calls
   Micros compute_time() const;
+  Micros recovery_time() const;
 
   void merge(const RankProfile& other);
 
@@ -51,6 +55,7 @@ class RankProfile {
   std::array<std::uint64_t, fabric::kChannelKinds> channel_ops_{};
   std::array<Bytes, fabric::kChannelKinds> channel_bytes_{};
   Micros compute_time_ = 0.0;
+  Micros recovery_time_ = 0.0;
 };
 
 /// Job-wide aggregate (sum over ranks).

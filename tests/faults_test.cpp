@@ -1,0 +1,339 @@
+// Fault-injection subsystem tests: graceful degradation of locality detection
+// and channel selection, deterministic HCA retry, escalation to abort, and
+// the up-front config validation / rank-error context satellites.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/error.hpp"
+#include "mpi/runtime.hpp"
+
+namespace cbmpi {
+namespace {
+
+using container::DeploymentSpec;
+using fabric::ChannelKind;
+using fabric::LocalityPolicy;
+using faults::DegradationKind;
+using faults::FaultKind;
+using mpi::JobConfig;
+using mpi::run_job;
+
+/// Each rank exchanges `bytes` with its cross-pair peer (rank ^ 1).
+auto pairwise_exchange(std::size_t bytes) {
+  return [bytes](mpi::Process& p) {
+    std::vector<std::uint8_t> buf(bytes);
+    const int peer = p.rank() ^ 1;
+    if (peer >= p.size()) return;
+    if (p.rank() < peer) {
+      p.world().send(std::span<const std::uint8_t>(buf), peer);
+      p.world().recv(std::span<std::uint8_t>(buf), peer);
+    } else {
+      p.world().recv(std::span<std::uint8_t>(buf), peer);
+      p.world().send(std::span<const std::uint8_t>(buf), peer);
+    }
+  };
+}
+
+bool has_fault(const faults::FaultReport& report, FaultKind kind) {
+  return std::any_of(report.injected.begin(), report.injected.end(),
+                     [kind](const auto& e) { return e.kind == kind; });
+}
+
+bool has_degradation(const faults::FaultReport& report, DegradationKind kind) {
+  return std::any_of(report.degradations.begin(), report.degradations.end(),
+                     [kind](const auto& e) { return e.kind == kind; });
+}
+
+TEST(Faults, DefaultPlanProducesEmptyReportAndIdenticalTimes) {
+  JobConfig config;
+  config.deployment = DeploymentSpec::containers(1, 2, 4);
+  config.policy = LocalityPolicy::ContainerAware;
+
+  const auto plain = run_job(config, pairwise_exchange(4096));
+  EXPECT_FALSE(plain.fault_report.any());
+  EXPECT_TRUE(plain.fault_report.injected.empty());
+  EXPECT_TRUE(plain.fault_report.degradations.empty());
+  EXPECT_EQ(plain.fault_report.total_retries(), 0u);
+  EXPECT_EQ(plain.fault_report.time_lost, 0.0);
+
+  // A default (all-zero) plan must not perturb virtual time at all.
+  JobConfig with_default_plan = config;
+  with_default_plan.faults = faults::FaultPlan{};
+  const auto again = run_job(with_default_plan, pairwise_exchange(4096));
+  EXPECT_EQ(plain.job_time, again.job_time);
+  ASSERT_EQ(plain.rank_times.size(), again.rank_times.size());
+  for (std::size_t r = 0; r < plain.rank_times.size(); ++r)
+    EXPECT_EQ(plain.rank_times[r], again.rank_times[r]);
+}
+
+TEST(Faults, ShmSegmentFailureFallsBackToHostnameLocality) {
+  JobConfig config;
+  config.deployment = DeploymentSpec::containers(1, 2, 2);  // 2 containers x 1
+  config.policy = LocalityPolicy::ContainerAware;
+  config.faults.shm_segment_fail_prob = 1.0;
+
+  const auto result = run_job(config, pairwise_exchange(1024));
+  // Hostname fallback: container hostnames differ, so the cross-container
+  // pair loses SHM and rides the HCA loopback.
+  EXPECT_EQ(result.profile.total.channel_ops(ChannelKind::Shm), 0u);
+  EXPECT_EQ(result.profile.total.channel_ops(ChannelKind::Cma), 0u);
+  EXPECT_GE(result.profile.total.channel_ops(ChannelKind::Hca), 2u);
+  EXPECT_TRUE(has_fault(result.fault_report, FaultKind::ShmSegmentFail));
+  EXPECT_TRUE(has_degradation(result.fault_report,
+                              DegradationKind::HostnameLocalityFallback));
+  EXPECT_GE(result.fault_report.shm_retries, 2u);
+  EXPECT_GT(result.fault_report.time_lost, 0.0);
+  EXPECT_GT(result.profile.total.recovery_time(), 0.0);
+}
+
+TEST(Faults, PrivateIpcInjectionIsolatesContainers) {
+  JobConfig config;
+  // 2 containers x 2 procs: ranks 0,1 in cont0 and 2,3 in cont1.
+  config.deployment = DeploymentSpec::containers(1, 2, 4);
+  config.policy = LocalityPolicy::ContainerAware;
+  config.faults.private_ipc_prob = 1.0;
+
+  const auto result = run_job(config, [](mpi::Process& p) {
+    std::vector<std::uint8_t> buf(1024);
+    // Cross-container pair (1 <-> 2) and within-container pair (0 <-> 1).
+    auto exchange = [&](int peer) {
+      if (p.rank() < peer) {
+        p.world().send(std::span<const std::uint8_t>(buf), peer);
+      } else {
+        p.world().recv(std::span<std::uint8_t>(buf), peer);
+      }
+    };
+    if (p.rank() == 1) exchange(2);
+    if (p.rank() == 2) exchange(1);
+    if (p.rank() == 0) exchange(1);
+    if (p.rank() == 1) { p.world().recv(std::span<std::uint8_t>(buf), 0); }
+  });
+  // The detector still finds within-container peers (same private list), but
+  // cross-container traffic degrades to the HCA loopback.
+  EXPECT_GE(result.profile.total.channel_ops(ChannelKind::Shm), 1u);
+  EXPECT_GE(result.profile.total.channel_ops(ChannelKind::Hca), 1u);
+  EXPECT_TRUE(has_fault(result.fault_report, FaultKind::PrivateIpc));
+  EXPECT_TRUE(
+      has_degradation(result.fault_report, DegradationKind::IsolatedIpcLocality));
+}
+
+TEST(Faults, CmaEpermFallsBackToShmRendezvous) {
+  JobConfig config;
+  config.deployment = DeploymentSpec::native_hosts(1, 2);  // shared PID ns
+  config.faults.cma_eperm_prob = 1.0;
+
+  const auto result = run_job(config, pairwise_exchange(64 * 1024));
+  // 64 KiB is CMA territory; with EPERM injected it must go SHM rendezvous.
+  EXPECT_EQ(result.profile.total.channel_ops(ChannelKind::Cma), 0u);
+  EXPECT_GE(result.profile.total.channel_ops(ChannelKind::Shm), 2u);
+  EXPECT_EQ(result.profile.total.channel_ops(ChannelKind::Hca), 0u);
+  EXPECT_TRUE(has_fault(result.fault_report, FaultKind::CmaEperm));
+  EXPECT_TRUE(
+      has_degradation(result.fault_report, DegradationKind::CmaFallbackToShm));
+
+  // Without injection the same transfer uses CMA — proves the fault did it.
+  JobConfig clean = config;
+  clean.faults = faults::FaultPlan{};
+  const auto baseline = run_job(clean, pairwise_exchange(64 * 1024));
+  EXPECT_GE(baseline.profile.total.channel_ops(ChannelKind::Cma), 2u);
+}
+
+TEST(Faults, HcaRetryIsDeterministicAcrossRuns) {
+  JobConfig config;
+  config.deployment = DeploymentSpec::native_hosts(2, 1);
+  config.faults.hca_transient_prob = 0.3;
+  config.seed = 1234;
+
+  // Enough HCA transfers that a 0.3 per-attempt fault rate is certain to
+  // fire many times.
+  auto body = [](mpi::Process& p) {
+    std::vector<std::uint8_t> buf(32 * 1024);
+    for (int i = 0; i < 20; ++i) {
+      if (p.rank() == 0) {
+        p.world().send(std::span<const std::uint8_t>(buf), 1);
+        p.world().recv(std::span<std::uint8_t>(buf), 1);
+      } else {
+        p.world().recv(std::span<std::uint8_t>(buf), 0);
+        p.world().send(std::span<const std::uint8_t>(buf), 0);
+      }
+    }
+  };
+  const auto a = run_job(config, body);
+  const auto b = run_job(config, body);
+
+  EXPECT_GT(a.fault_report.hca_retries, 0u);
+  EXPECT_EQ(a.job_time, b.job_time);
+  EXPECT_EQ(a.fault_report.hca_retries, b.fault_report.hca_retries);
+  EXPECT_EQ(a.fault_report.time_lost, b.fault_report.time_lost);
+  EXPECT_EQ(a.fault_report.injected.size(), b.fault_report.injected.size());
+  for (std::size_t i = 0; i < a.fault_report.injected.size(); ++i) {
+    EXPECT_EQ(a.fault_report.injected[i].kind, b.fault_report.injected[i].kind);
+    EXPECT_EQ(a.fault_report.injected[i].at, b.fault_report.injected[i].at);
+  }
+
+  // A different seed draws a different fault pattern (with prob 0.3 over
+  // dozens of attempts the patterns essentially never coincide exactly).
+  JobConfig other = config;
+  other.seed = 99;
+  const auto c = run_job(other, body);
+  EXPECT_NE(a.fault_report.injected.size() + a.fault_report.hca_retries,
+            c.fault_report.injected.size() + c.fault_report.hca_retries);
+}
+
+TEST(Faults, HcaRetriesSlowTheJobDownAndAreTraced) {
+  JobConfig config;
+  config.deployment = DeploymentSpec::native_hosts(2, 1);
+  config.record_trace = true;
+
+  JobConfig faulty = config;
+  faulty.faults.hca_transient_prob = 0.4;
+
+  auto body = pairwise_exchange(32 * 1024);
+  const auto clean = run_job(config, body);
+  const auto slow = run_job(faulty, body);
+
+  EXPECT_GT(slow.fault_report.hca_retries, 0u);
+  EXPECT_GT(slow.fault_report.time_lost, 0.0);
+  EXPECT_GT(slow.job_time, clean.job_time);
+
+  const auto count_kind = [](const auto& trace, sim::TraceKind kind) {
+    return std::count_if(trace.begin(), trace.end(),
+                         [kind](const auto& e) { return e.kind == kind; });
+  };
+  EXPECT_EQ(count_kind(clean.trace, sim::TraceKind::Retry), 0);
+  EXPECT_EQ(count_kind(clean.trace, sim::TraceKind::FaultInject), 0);
+  EXPECT_GT(count_kind(slow.trace, sim::TraceKind::Retry), 0);
+  EXPECT_GT(count_kind(slow.trace, sim::TraceKind::FaultInject), 0);
+}
+
+TEST(Faults, LinkFlapRetriesThroughDownWindows) {
+  JobConfig config;
+  config.deployment = DeploymentSpec::native_hosts(2, 1);
+  config.faults.hca_link_flap_period = 200.0;
+  config.faults.hca_link_flap_duration = 30.0;
+  config.tuning.hca_retry_backoff = 8.0;  // escape a 30 us window quickly
+
+  const auto result = run_job(config, pairwise_exchange(16 * 1024));
+  // Attempts that land in a down window retry until the link is back.
+  EXPECT_TRUE(has_fault(result.fault_report, FaultKind::HcaLinkFlap) ||
+              result.fault_report.hca_retries == 0);
+  EXPECT_GT(result.job_time, 0.0);
+}
+
+TEST(Faults, PersistentHcaFailureEscalatesToAbortWithRankId) {
+  JobConfig config;
+  config.deployment = DeploymentSpec::native_hosts(2, 1);
+  config.faults.hca_transient_prob = 1.0;  // every attempt fails
+  config.tuning.hca_max_retries = 3;
+
+  try {
+    run_job(config, pairwise_exchange(4096));
+    FAIL() << "expected escalation to abort";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rank 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("abandoned"), std::string::npos) << what;
+    EXPECT_NE(what.find("4 attempts"), std::string::npos) << what;
+  }
+}
+
+TEST(Faults, RankBodyErrorsCarryRankAndTimestamp) {
+  JobConfig config;
+  config.deployment = DeploymentSpec::native_hosts(1, 2);
+  try {
+    run_job(config, [](mpi::Process& p) {
+      if (p.rank() == 1) throw std::runtime_error("boom");
+      p.world().barrier();
+    });
+    FAIL() << "expected rank failure to propagate";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rank 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("boom"), std::string::npos) << what;
+    EXPECT_NE(what.find("failed at t="), std::string::npos) << what;
+    // The bystander's "job aborted" echo must not mask the root cause.
+    EXPECT_EQ(what.find("job aborted"), std::string::npos) << what;
+  }
+}
+
+TEST(Faults, ConfigValidationRejectsBadConfigs) {
+  const auto noop = [](mpi::Process&) {};
+
+  JobConfig small_cluster;
+  small_cluster.deployment = DeploymentSpec::native_hosts(2, 1);
+  small_cluster.cluster_hosts = 1;
+  EXPECT_THROW(run_job(small_cluster, noop), Error);
+
+  JobConfig zero_threshold;
+  zero_threshold.deployment = DeploymentSpec::native_hosts(1, 1);
+  zero_threshold.tuning.smp_eager_size = 0;
+  EXPECT_THROW(run_job(zero_threshold, noop), Error);
+
+  JobConfig uneven;
+  uneven.deployment = DeploymentSpec::containers(1, 2, 3);  // 3 % 2 != 0
+  EXPECT_THROW(run_job(uneven, noop), Error);
+
+  JobConfig bad_retry;
+  bad_retry.deployment = DeploymentSpec::native_hosts(1, 1);
+  bad_retry.tuning.hca_retry_backoff = 0.0;
+  EXPECT_THROW(run_job(bad_retry, noop), Error);
+}
+
+TEST(Faults, PlanValidationRejectsBadProbabilities) {
+  faults::FaultPlan negative;
+  negative.cma_eperm_prob = -0.1;
+  EXPECT_THROW(faults::FaultInjector(negative, 1), Error);
+
+  faults::FaultPlan too_big;
+  too_big.hca_transient_prob = 1.5;
+  EXPECT_THROW(faults::FaultInjector(too_big, 1), Error);
+
+  faults::FaultPlan bad_flap;
+  bad_flap.hca_link_flap_period = 10.0;
+  bad_flap.hca_link_flap_duration = 20.0;  // down longer than the period
+  EXPECT_THROW(faults::FaultInjector(bad_flap, 1), Error);
+}
+
+TEST(Faults, InjectorDecisionsArePureFunctionsOfSeedAndSite) {
+  faults::FaultPlan plan;
+  plan.shm_segment_fail_prob = 0.5;
+  plan.cma_eperm_prob = 0.5;
+  plan.hca_transient_prob = 0.5;
+  const faults::FaultInjector x(plan, 7);
+  const faults::FaultInjector y(plan, 7);
+  for (int r = 0; r < 64; ++r)
+    EXPECT_EQ(x.shm_segment_fails(r), y.shm_segment_fails(r));
+  // Pair decisions are symmetric: EPERM hits the pair, not a direction.
+  for (int a = 0; a < 16; ++a)
+    for (int b = 0; b < 16; ++b)
+      EXPECT_EQ(x.cma_permission_denied(a, b), x.cma_permission_denied(b, a));
+  for (int attempt = 0; attempt < 8; ++attempt)
+    EXPECT_EQ(x.hca_attempt(0, 1, 5, attempt, 100.0),
+              y.hca_attempt(0, 1, 5, attempt, 100.0));
+
+  // Backoff grows geometrically; jitter stays within [1, 1.25).
+  const Micros d0 = x.backoff_delay(0, 1, 5, 0, 4.0, 2.0);
+  const Micros d1 = x.backoff_delay(0, 1, 5, 1, 4.0, 2.0);
+  EXPECT_GE(d0, 4.0);
+  EXPECT_LT(d0, 5.0);
+  EXPECT_GE(d1, 8.0);
+  EXPECT_LT(d1, 10.0);
+}
+
+TEST(Faults, ReportSummaryCountsEveryKind) {
+  JobConfig config;
+  config.deployment = DeploymentSpec::containers(1, 2, 2);
+  config.policy = LocalityPolicy::ContainerAware;
+  config.faults.shm_segment_fail_prob = 1.0;
+
+  const auto result = run_job(config, pairwise_exchange(1024));
+  const std::string summary = result.fault_report.summary();
+  EXPECT_NE(summary.find("shm-segment-fail"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("hostname-locality-fallback"), std::string::npos)
+      << summary;
+}
+
+}  // namespace
+}  // namespace cbmpi
