@@ -54,6 +54,16 @@ inline ModeConfigs make_modes(int hosts, int containers_per_host, int procs_per_
   return modes;
 }
 
+/// Declares the shared --seed option the ext benches accept. The value feeds
+/// every JobConfig / scheduler seed in the bench, so a rerun with the same
+/// seed reproduces the run exactly and a different seed gives an independent
+/// sample of the same experiment.
+inline std::uint64_t declare_seed(Options& opts, std::uint64_t def = 42) {
+  return static_cast<std::uint64_t>(opts.get_int(
+      "seed", static_cast<std::int64_t>(def),
+      "base RNG seed: same seed -> bit-identical rerun"));
+}
+
 /// Message-size sweep 1 B .. max (powers of two), OSU-style.
 inline std::vector<Bytes> size_sweep(Bytes from, Bytes upto) {
   std::vector<Bytes> sizes;

@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
   Options opts(argc, argv);
   const int hosts = static_cast<int>(opts.get_int("hosts", 2, "hosts"));
   const int procs = static_cast<int>(opts.get_int("procs", 8, "procs per host"));
+  const std::uint64_t seed = declare_seed(opts);
   if (opts.finish("Extension: fault resilience vs locality policy")) return 0;
 
   print_banner("Extension", "job time vs HCA fault rate",
@@ -53,6 +54,8 @@ int main(int argc, char** argv) {
   for (const double rate : fault_rates) {
     mpi::JobConfig def = modes.def;
     mpi::JobConfig opt = modes.opt;
+    def.seed = seed;
+    opt.seed = seed;
     def.faults.hca_transient_prob = rate;
     opt.faults.hca_transient_prob = rate;
 
@@ -92,11 +95,13 @@ int main(int argc, char** argv) {
 
   // --- init-time degradation demo ------------------------------------------
   std::printf("\n--- graceful degradation of init-time paths ---\n");
-  mpi::JobConfig degraded = modes.opt;
+  mpi::JobConfig clean = modes.opt;
+  clean.seed = seed;
+  mpi::JobConfig degraded = clean;
   degraded.faults.private_ipc_prob = 0.5;
   degraded.faults.shm_segment_fail_prob = 0.1;
   degraded.faults.cma_eperm_prob = 0.25;
-  const auto clean_result = mpi::run_job(modes.opt, mixed_traffic);
+  const auto clean_result = mpi::run_job(clean, mixed_traffic);
   const auto degraded_result = mpi::run_job(degraded, mixed_traffic);
   std::printf("clean job: %.3f ms — degraded job: %.3f ms (%.2fx)\n",
               to_millis(clean_result.job_time), to_millis(degraded_result.job_time),

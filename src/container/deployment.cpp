@@ -1,8 +1,65 @@
 #include "container/deployment.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace cbmpi::container {
+
+int JobPlacement::containers_on(topo::HostId host) const {
+  if (heterogeneous()) {
+    CBMPI_REQUIRE(host >= 0 && host < num_hosts(), "placement has no host ", host);
+    return static_cast<int>(host_cpusets[static_cast<std::size_t>(host)].size());
+  }
+  return spec.native() ? 0 : spec.containers_per_host;
+}
+
+const std::vector<int>& JobPlacement::cpuset_of(topo::HostId host, int index) const {
+  CBMPI_REQUIRE(index >= 0 && index < containers_on(host), "host ", host,
+                " has no container ", index);
+  if (heterogeneous())
+    return host_cpusets[static_cast<std::size_t>(host)]
+                       [static_cast<std::size_t>(index)];
+  return container_cpusets[static_cast<std::size_t>(index)];
+}
+
+void validate_placement(const topo::Cluster& cluster, const JobPlacement& placement) {
+  CBMPI_REQUIRE(!placement.slots.empty(), "placement has no ranks");
+  CBMPI_REQUIRE(placement.num_hosts() <= cluster.num_hosts(), "placement spans ",
+                placement.num_hosts(), " hosts, cluster has ", cluster.num_hosts());
+  for (std::size_t r = 0; r < placement.slots.size(); ++r) {
+    const auto& slot = placement.slots[r];
+    CBMPI_REQUIRE(slot.host >= 0 && slot.host < placement.num_hosts(), "rank ", r,
+                  " placed on host ", slot.host, " outside the placement's ",
+                  placement.num_hosts(), " hosts");
+    const auto& shape = cluster.host(slot.host).shape();
+    CBMPI_REQUIRE(slot.core.socket >= 0 && slot.core.socket < shape.sockets &&
+                      slot.core.core >= 0 && slot.core.core < shape.cores_per_socket,
+                  "rank ", r, " pinned to nonexistent core (socket ",
+                  slot.core.socket, ", core ", slot.core.core, ")");
+    if (slot.container_index >= 0)
+      CBMPI_REQUIRE(slot.container_index < placement.containers_on(slot.host),
+                    "rank ", r, " assigned to container ", slot.container_index,
+                    " but host ", slot.host, " deploys only ",
+                    placement.containers_on(slot.host));
+  }
+  for (int h = 0; h < placement.num_hosts(); ++h) {
+    const int total = cluster.host(h).shape().total_cores();
+    std::vector<int> claimed;
+    for (int c = 0; c < placement.containers_on(h); ++c) {
+      for (const int core : placement.cpuset_of(h, c)) {
+        CBMPI_REQUIRE(core >= 0 && core < total, "container ", c, " on host ", h,
+                      " pins core ", core, " outside [0, ", total, ")");
+        claimed.push_back(core);
+      }
+    }
+    std::sort(claimed.begin(), claimed.end());
+    const auto dup = std::adjacent_find(claimed.begin(), claimed.end());
+    CBMPI_REQUIRE(dup == claimed.end(), "containers on host ", h,
+                  " share core ", dup == claimed.end() ? -1 : *dup,
+                  " (cpusets must be disjoint)");
+  }
+}
 
 std::string DeploymentSpec::label() const {
   if (native()) return "Native";

@@ -70,11 +70,37 @@ struct JobPlacement {
   /// cpuset (flat core indices) for each container on a host, same for all
   /// hosts; empty when native.
   std::vector<std::vector<int>> container_cpusets;
+  /// Heterogeneous placements (scheduler-emitted): cpusets per host, indexed
+  /// [host][container]. When non-empty this overrides `container_cpusets`
+  /// and the spec's homogeneous per-host counts; hosts may then carry
+  /// different container/rank counts (e.g. a 6-rank job split 4+2).
+  std::vector<std::vector<std::vector<int>>> host_cpusets;
+
+  bool heterogeneous() const { return !host_cpusets.empty(); }
+  int total_ranks() const { return static_cast<int>(slots.size()); }
+
+  /// Hosts the placement spans (dense ids 0..num_hosts()-1).
+  int num_hosts() const {
+    return heterogeneous() ? static_cast<int>(host_cpusets.size())
+                           : spec.num_hosts;
+  }
+
+  /// Containers deployed on one host (0 when the placement is native there).
+  int containers_on(topo::HostId host) const;
+
+  /// The cpuset of container `index` on `host`.
+  const std::vector<int>& cpuset_of(topo::HostId host, int index) const;
 };
 
 /// Computes the rank->slot mapping. Ranks are block-distributed: ranks
 /// [h*P, (h+1)*P) live on host h; within a host, consecutive ranks fill
 /// container 0 first (matching mpirun's default grouping).
 JobPlacement plan_deployment(const topo::Cluster& cluster, const DeploymentSpec& spec);
+
+/// Structural validation shared by the homogeneous and scheduler-driven
+/// paths: every slot's host/container/core must exist in the cluster and the
+/// placement, and container cpusets on one host must be in-range and
+/// pairwise disjoint. Throws `Error` with the offending entry otherwise.
+void validate_placement(const topo::Cluster& cluster, const JobPlacement& placement);
 
 }  // namespace cbmpi::container

@@ -1,12 +1,49 @@
 #include "container/engine.hpp"
 
+#include <algorithm>
+
+#include "common/error.hpp"
+
 namespace cbmpi::container {
 
 Container& Engine::run(topo::HostId host, ContainerSpec spec) {
   auto& host_os = machine_->host_os(host);
+  const int total = host_os.hardware().shape().total_cores();
+  std::vector<int> sorted(spec.cpuset);
+  std::sort(sorted.begin(), sorted.end());
+  for (const int core : sorted)
+    CBMPI_REQUIRE(core >= 0 && core < total, "container '", spec.name,
+                  "' pins core ", core, " outside [0, ", total, ") on ",
+                  host_os.hardware().name());
+  const auto dup = std::adjacent_find(sorted.begin(), sorted.end());
+  CBMPI_REQUIRE(dup == sorted.end(), "container '", spec.name,
+                "' lists core ", dup == sorted.end() ? -1 : *dup, " twice");
+  for (const auto& existing : containers_) {
+    if (&existing->host() != &host_os || existing->spec().cpuset.empty()) continue;
+    for (const int core : existing->spec().cpuset)
+      CBMPI_REQUIRE(!std::binary_search(sorted.begin(), sorted.end(), core),
+                    "container '", spec.name, "' pins core ", core,
+                    " already held by container '", existing->spec().name,
+                    "' on ", host_os.hardware().name());
+  }
   const int id = static_cast<int>(containers_.size());
   containers_.push_back(std::make_unique<Container>(id, std::move(spec), host_os));
   return *containers_.back();
+}
+
+std::vector<int> Engine::free_cores(topo::HostId host) const {
+  const auto& host_os = machine_->host_os(host);
+  std::vector<bool> used(
+      static_cast<std::size_t>(host_os.hardware().shape().total_cores()), false);
+  for (const auto& cont : containers_) {
+    if (&cont->host() != &host_os) continue;
+    for (const int core : cont->spec().cpuset)
+      used[static_cast<std::size_t>(core)] = true;
+  }
+  std::vector<int> free;
+  for (std::size_t c = 0; c < used.size(); ++c)
+    if (!used[c]) free.push_back(static_cast<int>(c));
+  return free;
 }
 
 std::unique_ptr<osl::SimProcess> Engine::spawn(Container& cont, int core_slot) const {

@@ -19,8 +19,18 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// Starts a container on a host (docker run).
+  /// Starts a container on a host (docker run). Rejects cpuset entries that
+  /// are out of range, repeated within the spec, or already pinned by another
+  /// container on the same host (containers never share cores — the paper
+  /// pins disjoint cpusets to avoid competition). Containers with an empty
+  /// cpuset (all host cores, docker's default) are exempt from the conflict
+  /// check, like real docker.
   Container& run(topo::HostId host, ContainerSpec spec);
+
+  /// Flat core indices on `host` not pinned by any container's explicit
+  /// cpuset, in ascending order. The scheduler's capacity queries and cpuset
+  /// carving build on this.
+  std::vector<int> free_cores(topo::HostId host) const;
 
   /// Spawns a process inside a container, pinned to the slot-th cpuset core.
   std::unique_ptr<osl::SimProcess> spawn(Container& cont, int core_slot) const;

@@ -193,9 +193,13 @@ const LocalityGroups& Communicator::locality_groups() {
   LocalityGroups groups;
   groups.leader_of.resize(static_cast<std::size_t>(n));
 
-  // leader_of[j] = smallest comm rank co-resident with j. Co-residency under
-  // any policy is transitive here (same hostname / same container list), so
-  // "smallest co-resident rank" is a consistent group representative.
+  // leader_of[j] = smallest comm rank co-resident with j. With homogeneous
+  // detection co-residency is transitive (same hostname / same container
+  // list) and this is already a partition — but fault degradation can mix
+  // container-aware and hostname-fallback rows in one job, breaking
+  // transitivity (j~k and k~i without j~i). Grouping must then still be a
+  // partition that every rank derives identically, or ranks disagree about
+  // who gathers whom and the collective deadlocks.
   for (int j = 0; j < n; ++j) {
     int leader = j;
     for (int k = 0; k < n; ++k) {
@@ -206,11 +210,22 @@ const LocalityGroups& Communicator::locality_groups() {
     }
     groups.leader_of[static_cast<std::size_t>(j)] = leader;
   }
+  // Path-compress leader chains (leader_of[j] <= j, so chains strictly
+  // descend and terminate) into that partition. Under a non-transitive
+  // matrix a member may reach its leader over a non-co-resident (HCA) link;
+  // that costs time, never correctness.
+  for (int j = 0; j < n; ++j) {
+    int leader = groups.leader_of[static_cast<std::size_t>(j)];
+    while (groups.leader_of[static_cast<std::size_t>(leader)] != leader)
+      leader = groups.leader_of[static_cast<std::size_t>(leader)];
+    groups.leader_of[static_cast<std::size_t>(j)] = leader;
+  }
 
+  const int mine = groups.leader_of[static_cast<std::size_t>(my_rank_)];
   for (int j = 0; j < n; ++j)
-    if (selector.co_resident(to_world(my_rank_), to_world(j)))
+    if (groups.leader_of[static_cast<std::size_t>(j)] == mine)
       groups.my_group.push_back(j);
-  groups.my_leader = groups.my_group.front();
+  groups.my_leader = mine;  // == my_group.front(): a leader leads itself
   groups.group_size = static_cast<int>(groups.my_group.size());
 
   std::vector<int> group_sizes(static_cast<std::size_t>(n), 0);
@@ -219,6 +234,8 @@ const LocalityGroups& Communicator::locality_groups() {
     if (leader == j) groups.leaders.push_back(j);
     ++group_sizes[static_cast<std::size_t>(leader)];
   }
+  for (const int size : group_sizes)
+    groups.max_group_size = std::max(groups.max_group_size, size);
 
   groups.uniform = true;
   for (int leader : groups.leaders)

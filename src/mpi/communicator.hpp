@@ -67,8 +67,13 @@ struct LocalityGroups {
   bool uniform = false;        ///< all groups have equal size
   bool contiguous = false;     ///< every group is a contiguous rank range
   int group_size = 1;          ///< size of *my* group
+  int max_group_size = 1;      ///< size of the largest group
 
-  bool trivial() const { return group_size <= 1 || leaders.size() <= 1; }
+  /// Whether two-level algorithms degenerate to flat ones. Must be a global
+  /// property — every rank has to pick the same algorithm — so it looks at
+  /// the largest group anywhere, not this rank's own (a placement can leave
+  /// one rank alone on a host while other hosts hold full groups).
+  bool trivial() const { return max_group_size <= 1 || leaders.size() <= 1; }
 };
 
 /// Index of `rank` within a rank list; -1 if absent.

@@ -1,0 +1,271 @@
+#include "mpi/job_registry.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace cbmpi::mpi {
+
+namespace {
+
+TrafficMatrix zero_matrix(int nranks) {
+  return TrafficMatrix(static_cast<std::size_t>(nranks),
+                       std::vector<double>(static_cast<std::size_t>(nranks), 0.0));
+}
+
+void bump(TrafficMatrix& m, int a, int b, double w) {
+  if (a == b) return;
+  m[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] += w;
+  m[static_cast<std::size_t>(b)][static_cast<std::size_t>(a)] += w;
+}
+
+/// Blocking neighbour exchange that is deadlock-free for any peer pattern:
+/// the lower rank of each pair sends first.
+template <typename Peer>
+JobBody exchange_body(const JobBodyParams& params, Peer peer_of) {
+  return [params, peer_of](Process& p) {
+    std::vector<std::uint8_t> buf(params.message_size);
+    for (int round = 0; round < params.rounds; ++round) {
+      if (params.compute_ops > 0.0) p.compute(params.compute_ops);
+      const int peer = peer_of(p.rank(), p.size(), round);
+      if (peer != p.rank() && peer >= 0 && peer < p.size()) {
+        if (p.rank() < peer) {
+          p.world().send(std::span<const std::uint8_t>(buf), peer, round);
+          p.world().recv(std::span<std::uint8_t>(buf), peer, round);
+        } else {
+          p.world().recv(std::span<std::uint8_t>(buf), peer, round);
+          p.world().send(std::span<const std::uint8_t>(buf), peer, round);
+        }
+      }
+      p.world().barrier();
+    }
+  };
+}
+
+/// The peer of `rank` in round `round` of the sparse-random body; pure
+/// function of (nranks, round) so the traffic hint and the body agree.
+int random_peer(int rank, int nranks, int round) {
+  if (nranks < 2) return rank;
+  // Pair ranks by a round-dependent offset: rank i talks to i xor'd partner
+  // via a shifted pairing, deterministic and symmetric.
+  constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+  const auto shift = static_cast<int>(
+      std::uint64_t{1} + mix64(static_cast<std::uint64_t>(round) * kGolden) %
+                             static_cast<std::uint64_t>(nranks - 1));
+  const int partner = (rank + shift) % nranks;
+  // Symmetric pairing: only valid when the relation is mutual; fall back to
+  // the mutual half of the shifted ring.
+  if ((partner + shift) % nranks == rank) return partner;  // involution
+  // Pair consecutive blocks of 2*shift: lower half talks up, upper half down.
+  const int phase = (rank / shift) % 2;
+  const int peer = phase == 0 ? rank + shift : rank - shift;
+  return (peer >= 0 && peer < nranks) ? peer : rank;
+}
+
+}  // namespace
+
+JobBodyRegistry& JobBodyRegistry::instance() {
+  static JobBodyRegistry registry;
+  return registry;
+}
+
+void JobBodyRegistry::add(const std::string& name, JobBodyInfo info) {
+  CBMPI_REQUIRE(!name.empty(), "job body needs a name");
+  CBMPI_REQUIRE(info.make != nullptr, "job body '", name, "' needs a factory");
+  CBMPI_REQUIRE(info.traffic != nullptr, "job body '", name,
+                "' needs a traffic hint");
+  bodies_[name] = std::move(info);
+}
+
+bool JobBodyRegistry::contains(const std::string& name) const {
+  return bodies_.count(name) > 0;
+}
+
+const JobBodyInfo& JobBodyRegistry::info(const std::string& name) const {
+  const auto it = bodies_.find(name);
+  if (it == bodies_.end()) {
+    std::string known;
+    for (const auto& [body_name, unused] : bodies_) {
+      (void)unused;
+      known += known.empty() ? body_name : ", " + body_name;
+    }
+    CBMPI_REQUIRE(false, "unknown job body '", name, "'; registered: ", known);
+  }
+  return it->second;
+}
+
+JobBody JobBodyRegistry::make(const std::string& name,
+                              const JobBodyParams& params) const {
+  return info(name).make(params);
+}
+
+TrafficMatrix JobBodyRegistry::traffic_hint(const std::string& name, int nranks,
+                                            const JobBodyParams& params) const {
+  CBMPI_REQUIRE(nranks > 0, "traffic hint needs at least one rank");
+  auto matrix = info(name).traffic(nranks, params);
+  CBMPI_REQUIRE(matrix.size() == static_cast<std::size_t>(nranks),
+                "job body '", name, "' returned a malformed traffic hint");
+  return matrix;
+}
+
+std::vector<std::string> JobBodyRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(bodies_.size());
+  for (const auto& [name, unused] : bodies_) {
+    (void)unused;
+    out.push_back(name);
+  }
+  return out;  // std::map iterates sorted
+}
+
+JobBodyRegistry::JobBodyRegistry() {
+  const double size_weight = 1.0;  // hints are relative, scale is irrelevant
+
+  add("ring", {
+      [](const JobBodyParams& params) {
+        // Ring shift is not a mutual pairing (peer(peer) != rank), so it
+        // cannot use the blocking exchange_body: send ahead nonblocking,
+        // receive from behind.
+        return [params](Process& p) {
+          std::vector<std::uint8_t> out(params.message_size);
+          std::vector<std::uint8_t> in(params.message_size);
+          for (int round = 0; round < params.rounds; ++round) {
+            if (params.compute_ops > 0.0) p.compute(params.compute_ops);
+            if (p.size() > 1) {
+              const int next = (p.rank() + 1) % p.size();
+              const int prev = (p.rank() + p.size() - 1) % p.size();
+              auto req = p.world().isend(std::span<const std::uint8_t>(out),
+                                         next, round);
+              p.world().recv(std::span<std::uint8_t>(in), prev, round);
+              p.world().wait(req);
+            }
+            p.world().barrier();
+          }
+        };
+      },
+      [size_weight](int nranks, const JobBodyParams& params) {
+        auto m = zero_matrix(nranks);
+        for (int r = 0; r < nranks; ++r)
+          bump(m, r, (r + 1) % nranks,
+               size_weight * static_cast<double>(params.message_size));
+        return m;
+      },
+      "nearest-neighbour ring exchange (alternating direction)"});
+
+  add("pairs", {
+      [](const JobBodyParams& params) {
+        return exchange_body(params, [](int rank, int nranks, int) {
+          const int peer = rank ^ 1;
+          return peer < nranks ? peer : rank;
+        });
+      },
+      [size_weight](int nranks, const JobBodyParams& params) {
+        auto m = zero_matrix(nranks);
+        for (int r = 0; r + 1 < nranks; r += 2)
+          bump(m, r, r + 1,
+               size_weight * static_cast<double>(params.message_size));
+        return m;
+      },
+      "even/odd partner exchange (rank ^ 1)"});
+
+  add("shift", {
+      [](const JobBodyParams& params) {
+        return exchange_body(params, [](int rank, int nranks, int) {
+          const int half = nranks / 2;
+          if (half == 0) return rank;
+          if (rank < half) return rank + half;
+          return rank - half < half ? rank - half : rank;
+        });
+      },
+      [size_weight](int nranks, const JobBodyParams& params) {
+        auto m = zero_matrix(nranks);
+        const int half = nranks / 2;
+        for (int r = 0; r < half; ++r)
+          bump(m, r, r + half,
+               size_weight * static_cast<double>(params.message_size));
+        return m;
+      },
+      "half-shift exchange (rank i <-> i + n/2): adversarial for contiguous "
+      "packing"});
+
+  add("sparse-random", {
+      [](const JobBodyParams& params) {
+        return exchange_body(params, random_peer);
+      },
+      [size_weight](int nranks, const JobBodyParams& params) {
+        auto m = zero_matrix(nranks);
+        for (int round = 0; round < params.rounds; ++round)
+          for (int r = 0; r < nranks; ++r) {
+            const int peer = random_peer(r, nranks, round);
+            if (peer > r)
+              bump(m, r, peer,
+                   size_weight * static_cast<double>(params.message_size));
+          }
+        return m;
+      },
+      "round-varying shifted pairings (irregular sparse pattern)"});
+
+  add("allreduce", {
+      [](const JobBodyParams& params) {
+        return [params](Process& p) {
+          const std::size_t elems =
+              std::max<std::size_t>(1, params.message_size / sizeof(double));
+          std::vector<double> in(elems, 1.0), out(elems, 0.0);
+          for (int round = 0; round < params.rounds; ++round) {
+            if (params.compute_ops > 0.0) p.compute(params.compute_ops);
+            p.world().allreduce(std::span<const double>(in),
+                                std::span<double>(out), ReduceOp::Sum);
+          }
+        };
+      },
+      [](int nranks, const JobBodyParams& params) {
+        // Collective traffic touches every pair; weight spread uniformly.
+        auto m = zero_matrix(nranks);
+        const double w = static_cast<double>(params.message_size) /
+                         std::max(1, nranks - 1);
+        for (int a = 0; a < nranks; ++a)
+          for (int b = a + 1; b < nranks; ++b) bump(m, a, b, w);
+        return m;
+      },
+      "allreduce over a message_size vector each round"});
+
+  add("alltoall", {
+      [](const JobBodyParams& params) {
+        return [params](Process& p) {
+          const std::size_t per_peer = std::max<std::size_t>(
+              1, params.message_size / static_cast<std::size_t>(p.size()));
+          std::vector<std::uint8_t> send(per_peer *
+                                         static_cast<std::size_t>(p.size()));
+          std::vector<std::uint8_t> recv(send.size());
+          for (int round = 0; round < params.rounds; ++round) {
+            if (params.compute_ops > 0.0) p.compute(params.compute_ops);
+            p.world().alltoall(std::span<const std::uint8_t>(send),
+                               std::span<std::uint8_t>(recv));
+          }
+        };
+      },
+      [](int nranks, const JobBodyParams& params) {
+        auto m = zero_matrix(nranks);
+        const double w =
+            static_cast<double>(params.message_size) / std::max(1, nranks);
+        for (int a = 0; a < nranks; ++a)
+          for (int b = a + 1; b < nranks; ++b) bump(m, a, b, w);
+        return m;
+      },
+      "personalized all-to-all each round"});
+
+  add("compute", {
+      [](const JobBodyParams& params) {
+        return [params](Process& p) {
+          const double ops =
+              params.compute_ops > 0.0 ? params.compute_ops : 1000.0;
+          for (int round = 0; round < params.rounds; ++round) p.compute(ops);
+          p.world().barrier();
+        };
+      },
+      [](int nranks, const JobBodyParams&) { return zero_matrix(nranks); },
+      "embarrassingly parallel compute; placement-indifferent"});
+}
+
+}  // namespace cbmpi::mpi

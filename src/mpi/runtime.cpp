@@ -46,29 +46,35 @@ namespace {
 /// deep in the stack (or silently "fixing" the config).
 void validate_config(const JobConfig& config) {
   const auto& spec = config.deployment;
-  CBMPI_REQUIRE(spec.num_hosts > 0,
-                "deployment needs at least one host, got num_hosts = ",
-                spec.num_hosts);
-  CBMPI_REQUIRE(spec.procs_per_host > 0,
-                "deployment needs at least one process per host, got "
-                "procs_per_host = ",
-                spec.procs_per_host);
-  CBMPI_REQUIRE(spec.containers_per_host >= 0,
-                "containers_per_host must be >= 0 (0 = native), got ",
-                spec.containers_per_host);
-  if (!spec.native())
-    CBMPI_REQUIRE(
-        spec.procs_per_host % spec.containers_per_host == 0,
-        "procs_per_host (", spec.procs_per_host,
-        ") must divide evenly among containers_per_host (",
-        spec.containers_per_host, ")");
+  // An explicit placement bypasses the homogeneous spec shape; it is
+  // structurally validated by container::validate_placement instead.
+  const int hosts_needed =
+      config.placement ? config.placement->num_hosts() : spec.num_hosts;
+  if (!config.placement) {
+    CBMPI_REQUIRE(spec.num_hosts > 0,
+                  "deployment needs at least one host, got num_hosts = ",
+                  spec.num_hosts);
+    CBMPI_REQUIRE(spec.procs_per_host > 0,
+                  "deployment needs at least one process per host, got "
+                  "procs_per_host = ",
+                  spec.procs_per_host);
+    CBMPI_REQUIRE(spec.containers_per_host >= 0,
+                  "containers_per_host must be >= 0 (0 = native), got ",
+                  spec.containers_per_host);
+    if (!spec.native())
+      CBMPI_REQUIRE(
+          spec.procs_per_host % spec.containers_per_host == 0,
+          "procs_per_host (", spec.procs_per_host,
+          ") must divide evenly among containers_per_host (",
+          spec.containers_per_host, ")");
+  }
   CBMPI_REQUIRE(config.cluster_hosts >= 0,
                 "cluster_hosts must be >= 0 (0 = exactly what the deployment "
                 "needs), got ",
                 config.cluster_hosts);
-  CBMPI_REQUIRE(config.cluster_hosts == 0 || config.cluster_hosts >= spec.num_hosts,
+  CBMPI_REQUIRE(config.cluster_hosts == 0 || config.cluster_hosts >= hosts_needed,
                 "cluster_hosts (", config.cluster_hosts,
-                ") is smaller than the deployment needs (", spec.num_hosts,
+                ") is smaller than the deployment needs (", hosts_needed,
                 " hosts)");
 
   const auto& tuning = config.tuning;
@@ -118,7 +124,7 @@ container::ContainerSpec container_spec_for(const container::DeploymentSpec& spe
   cont.share_host_pid = spec.share_host_pid;
   cont.virtual_machine = vm;
   cont.ivshmem = vm && spec.ivshmem;
-  cont.cpuset = placement.container_cpusets[static_cast<std::size_t>(index)];
+  cont.cpuset = placement.cpuset_of(host, index);
   return cont;
 }
 
@@ -127,7 +133,18 @@ container::ContainerSpec container_spec_for(const container::DeploymentSpec& spe
 JobResult run_job(const JobConfig& config, const std::function<void(Process&)>& body) {
   validate_config(config);
   const auto& spec = config.deployment;
-  const int nranks = spec.total_ranks();
+
+  // --- hardware + OS ------------------------------------------------------
+  const int hosts_needed =
+      config.placement ? config.placement->num_hosts() : spec.num_hosts;
+  const int hosts = std::max(config.cluster_hosts, hosts_needed);
+  osl::Machine machine(topo::ClusterBuilder().hosts(hosts).build(), config.profile);
+  container::Engine engine(machine);
+  const auto placement = config.placement
+                             ? *config.placement
+                             : container::plan_deployment(machine.cluster(), spec);
+  container::validate_placement(machine.cluster(), placement);
+  const int nranks = placement.total_ranks();
   CBMPI_REQUIRE(nranks > 0, "job needs at least one rank");
 
   // --- fault injection ------------------------------------------------------
@@ -138,32 +155,27 @@ JobResult run_job(const JobConfig& config, const std::function<void(Process&)>& 
   faults::FaultLog fault_log(nranks);
   const bool inject = injector.enabled();
 
-  // --- hardware + OS ------------------------------------------------------
-  const int hosts = std::max(config.cluster_hosts, spec.num_hosts);
-  osl::Machine machine(topo::ClusterBuilder().hosts(hosts).build(), config.profile);
-  container::Engine engine(machine);
-  const auto placement = container::plan_deployment(machine.cluster(), spec);
-
   // --- containers -----------------------------------------------------------
   // containers[h][c] is container c on host h (empty when native).
+  const int place_hosts = placement.num_hosts();
   std::vector<std::vector<container::Container*>> containers(
-      static_cast<std::size_t>(spec.num_hosts));
+      static_cast<std::size_t>(place_hosts));
   // ipc_injected[h][c]: the container was forced into a private IPC
   // namespace by fault injection even though the spec asked for --ipc=host.
   std::vector<std::vector<bool>> ipc_injected(
-      static_cast<std::size_t>(spec.num_hosts));
-  if (!spec.native()) {
-    for (int h = 0; h < spec.num_hosts; ++h) {
-      auto& on_host = containers[static_cast<std::size_t>(h)];
-      auto& injected_on_host = ipc_injected[static_cast<std::size_t>(h)];
-      for (int c = 0; c < spec.containers_per_host; ++c) {
-        auto cont_spec = container_spec_for(spec, placement, h, c);
-        const bool force_private_ipc =
-            inject && cont_spec.share_host_ipc && injector.private_ipc(h, c);
-        if (force_private_ipc) cont_spec.share_host_ipc = false;
-        injected_on_host.push_back(force_private_ipc);
-        on_host.push_back(&engine.run(h, cont_spec));
-      }
+      static_cast<std::size_t>(place_hosts));
+  bool any_containers = false;
+  for (int h = 0; h < place_hosts; ++h) {
+    auto& on_host = containers[static_cast<std::size_t>(h)];
+    auto& injected_on_host = ipc_injected[static_cast<std::size_t>(h)];
+    for (int c = 0; c < placement.containers_on(h); ++c) {
+      auto cont_spec = container_spec_for(spec, placement, h, c);
+      const bool force_private_ipc =
+          inject && cont_spec.share_host_ipc && injector.private_ipc(h, c);
+      if (force_private_ipc) cont_spec.share_host_ipc = false;
+      injected_on_host.push_back(force_private_ipc);
+      on_host.push_back(&engine.run(h, cont_spec));
+      any_containers = true;
     }
   }
 
@@ -212,7 +224,7 @@ JobResult run_job(const JobConfig& config, const std::function<void(Process&)>& 
   if (config.record_trace) job.trace = &recorder;
 
   const bool vm_mode =
-      spec.isolation == container::IsolationKind::VirtualMachine && !spec.native();
+      spec.isolation == container::IsolationKind::VirtualMachine && any_containers;
   std::vector<fabric::RankEndpoint> endpoints;
   endpoints.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {

@@ -29,6 +29,12 @@ namespace cbmpi::mpi {
 
 struct JobConfig {
   container::DeploymentSpec deployment;
+
+  /// Explicit rank->host/container/core placement (scheduler-emitted). When
+  /// set it replaces `plan_deployment(deployment)`; the deployment spec then
+  /// only contributes container flags (privileged, --ipc=host, --pid=host,
+  /// isolation kind). Hosts may carry different rank/container counts.
+  std::optional<container::JobPlacement> placement;
   fabric::TuningParams tuning{};
   fabric::LocalityPolicy policy = fabric::LocalityPolicy::HostnameBased;
   topo::MachineProfile profile = topo::MachineProfile::chameleon_fdr();

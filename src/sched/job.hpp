@@ -1,0 +1,126 @@
+// Multi-job control plane vocabulary: what a user submits (JobSpec), what a
+// placement achieved (PlacementStats), and what the scheduler reports per
+// job (ScheduledJob) and per run (ClusterMetrics).
+//
+// The paper's result hinges on *where* containers land: co-resident ranks
+// win only if the deployment puts them on the same host and the runtime
+// detects it. A JobSpec therefore carries everything placement needs —
+// rank count, container granularity, namespace flags, a *named* job body
+// (serializable via mpi::JobBodyRegistry) and an optional traffic matrix —
+// while the scheduler decides hosts and cores.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "fabric/selector.hpp"
+#include "faults/fault.hpp"
+#include "mpi/job_registry.hpp"
+#include "mpi/runtime.hpp"
+#include "topo/hardware.hpp"
+
+namespace cbmpi::sched {
+
+struct JobSpec {
+  int id = -1;       ///< assigned by the scheduler at submit time
+  std::string name;  ///< label for tables; defaults to "job<id>"
+
+  int ranks = 1;                ///< one core per rank
+  /// Container granularity: ranks per container on each host. 0 = native
+  /// processes (no containers); k = containers of up to k ranks each.
+  int ranks_per_container = 4;
+
+  // Docker flags applied to every container of the job.
+  bool privileged = true;
+  bool share_host_ipc = true;
+  bool share_host_pid = true;
+
+  fabric::LocalityPolicy policy = fabric::LocalityPolicy::ContainerAware;
+
+  /// Named app closure from mpi::JobBodyRegistry plus its knobs — the pair
+  /// that makes the spec serializable (no std::function in a JobSpec).
+  std::string body = "ring";
+  mpi::JobBodyParams params{};
+
+  int priority = 0;           ///< breaks submit-time ties; higher runs first
+  Micros submit_time = 0.0;   ///< virtual submission time
+  /// Walltime estimate driving backfill decisions only (the classic
+  /// user-supplied estimate); actual runtime comes from executing the job.
+  Micros est_runtime = millis(5.0);
+
+  /// Communication-volume hint for the LocalityAware placer; overrides the
+  /// body's registry hint (e.g. a measured matrix from a prior prof run).
+  std::optional<mpi::TrafficMatrix> traffic;
+
+  /// Fault plan forwarded into the job's runtime (PR 1 integration).
+  faults::FaultPlan faults{};
+};
+
+/// What a concrete placement achieved, before the job even runs. Pair
+/// classification mirrors the channel stack: same container -> SHM eligible;
+/// same host, different container -> SHM/CMA *iff* namespaces are shared and
+/// locality detection works; different hosts -> HCA, always.
+struct PlacementStats {
+  int hosts_used = 0;
+  int intra_container_pairs = 0;
+  int intra_host_pairs = 0;  ///< same host, includes intra-container
+  int inter_host_pairs = 0;
+  /// Traffic-hint weight kept co-resident / total weight (1.0 when the job
+  /// has no communication).
+  double local_traffic_share = 1.0;
+
+  int total_pairs() const { return intra_host_pairs + inter_host_pairs; }
+  double intra_host_share() const {
+    return total_pairs() == 0
+               ? 1.0
+               : static_cast<double>(intra_host_pairs) / total_pairs();
+  }
+};
+
+/// Per-job outcome record.
+struct ScheduledJob {
+  JobSpec spec;
+  std::vector<topo::HostId> hosts;  ///< physical hosts used, ascending
+  PlacementStats placement;
+  bool backfilled = false;  ///< started ahead of a FIFO-earlier blocked job
+  Micros start_time = 0.0;
+  Micros end_time = 0.0;
+  mpi::JobResult result;
+
+  Micros queue_wait() const { return start_time - spec.submit_time; }
+  Micros runtime() const { return end_time - start_time; }
+};
+
+/// Whole-run metrics over one scheduled workload.
+struct ClusterMetrics {
+  Micros makespan = 0.0;  ///< last completion minus first submission
+  /// Claimed core-time / (cluster cores x makespan).
+  double utilization = 0.0;
+  Micros mean_queue_wait = 0.0;
+  Micros max_queue_wait = 0.0;
+  int backfilled_jobs = 0;
+
+  // Placement-quality aggregates over all jobs.
+  int intra_host_pairs = 0;
+  int inter_host_pairs = 0;
+
+  // Actual channel traffic summed over job profiles (Table-I style).
+  std::uint64_t shm_ops = 0;
+  std::uint64_t cma_ops = 0;
+  std::uint64_t hca_ops = 0;
+
+  double intra_host_pair_share() const {
+    const int total = intra_host_pairs + inter_host_pairs;
+    return total == 0 ? 1.0 : static_cast<double>(intra_host_pairs) / total;
+  }
+  double local_op_share() const {
+    const auto total = shm_ops + cma_ops + hca_ops;
+    return total == 0 ? 1.0
+                      : static_cast<double>(shm_ops + cma_ops) /
+                            static_cast<double>(total);
+  }
+};
+
+}  // namespace cbmpi::sched

@@ -1,0 +1,82 @@
+// Placement policies: which hosts and cores a job's ranks land on.
+//
+// This is the axis the paper's result rides on. The runtime can only
+// reschedule intra-host traffic onto SHM/CMA if the *deployment* put the
+// communicating ranks on the same host — so the placer decides, before a
+// byte moves, how much of a job's traffic can ever leave the HCA.
+//
+//   * Packed        — fill the emptiest hosts first, contiguous rank blocks
+//                     (minimum host count; maximum co-residence for
+//                     neighbour-structured traffic).
+//   * Spread        — balance ranks round-robin across all hosts (classic
+//                     load-levelling; worst case for locality).
+//   * Random        — seeded uniform host choice per rank (the baseline a
+//                     naive cloud scheduler gives you).
+//   * LocalityAware — greedy graph growing over a communication-volume hint
+//                     (from the job's body registry entry, or an explicit
+//                     matrix, e.g. out of a prior prof run): maximizes the
+//                     traffic weight kept co-resident under the current free
+//                     core distribution.
+//
+// A placement maps onto the runtime as one container per `ranks_per_container`
+// chunk per host with an explicit disjoint cpuset — i.e. placers ultimately
+// emit a DeploymentSpec + heterogeneous JobPlacement pair for mpi::run_job.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sched/cluster_state.hpp"
+#include "sched/job.hpp"
+
+namespace cbmpi::sched {
+
+enum class PlacementPolicy { Packed, Spread, Random, LocalityAware };
+
+const char* to_string(PlacementPolicy policy);
+std::optional<PlacementPolicy> parse_policy(const std::string& name);
+
+/// One host's share of a job: which job ranks run there, on which physical
+/// cores (parallel arrays; consecutive ranks fill containers in order).
+struct HostAssignment {
+  topo::HostId host = 0;
+  std::vector<int> ranks;
+  std::vector<int> cores;
+};
+
+struct Placement {
+  std::vector<HostAssignment> hosts;  ///< ascending physical host id
+};
+
+class Placer {
+ public:
+  virtual ~Placer() = default;
+  virtual const char* name() const = 0;
+
+  /// Chooses hosts/cores for `job` given current free capacity, or nullopt
+  /// when the job cannot start now. Pure function of (job, state, seed):
+  /// repeated calls — e.g. backfill probes — return identical placements.
+  virtual std::optional<Placement> place(const JobSpec& job,
+                                         const ClusterState& state) const = 0;
+};
+
+std::unique_ptr<Placer> make_placer(PlacementPolicy policy, std::uint64_t seed);
+
+/// The job's effective communication-volume hint: the spec's explicit matrix
+/// when present, else the body's registry hint.
+mpi::TrafficMatrix effective_traffic(const JobSpec& job);
+
+/// Pair/traffic locality achieved by a placement.
+PlacementStats placement_stats(const JobSpec& job, const Placement& placement,
+                               const mpi::TrafficMatrix& traffic);
+
+/// Materializes the placement as a runnable JobConfig: dense job-local host
+/// ids, one container per ranks_per_container chunk with an explicit cpuset
+/// (or native processes when ranks_per_container == 0), namespace flags from
+/// the spec.
+mpi::JobConfig make_job_config(const JobSpec& job, const Placement& placement,
+                               const topo::HostShape& shape);
+
+}  // namespace cbmpi::sched

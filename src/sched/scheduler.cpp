@@ -1,0 +1,213 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace cbmpi::sched {
+
+namespace {
+constexpr Micros kNever = std::numeric_limits<Micros>::infinity();
+}
+
+Scheduler::Scheduler(SchedulerConfig config)
+    : config_(config),
+      cluster_(config.cluster_hosts, config.host_shape),
+      state_(cluster_),
+      placer_(make_placer(config.policy, config.seed)) {
+  CBMPI_REQUIRE(config.cluster_hosts > 0, "scheduler needs at least one host");
+  runner_ = [](const mpi::JobConfig& job_config, const JobSpec& job) {
+    return mpi::run_job(job_config, mpi::JobBodyRegistry::instance().make(
+                                        job.body, job.params));
+  };
+}
+
+int Scheduler::submit(JobSpec spec) {
+  CBMPI_REQUIRE(!ran_, "scheduler already ran; submit before run()");
+  CBMPI_REQUIRE(spec.ranks > 0, "job needs at least one rank");
+  CBMPI_REQUIRE(spec.ranks <= state_.total_cores(), "job '", spec.name,
+                "' needs ", spec.ranks, " cores, the cluster has ",
+                state_.total_cores());
+  CBMPI_REQUIRE(spec.ranks_per_container >= 0,
+                "ranks_per_container must be >= 0 (0 = native)");
+  CBMPI_REQUIRE(spec.submit_time >= 0.0, "submit_time must be >= 0");
+  CBMPI_REQUIRE(spec.est_runtime > 0.0, "est_runtime must be positive");
+  if (!spec.traffic)
+    mpi::JobBodyRegistry::instance().info(spec.body);  // fails fast if unknown
+  spec.id = next_id_++;
+  if (spec.name.empty()) spec.name = "job" + std::to_string(spec.id);
+  pending_.push_back(std::move(spec));
+  return pending_.back().id;
+}
+
+bool Scheduler::try_start(const JobSpec& job, Micros now, bool backfilled) {
+  const auto placement = placer_->place(job, state_);
+  if (!placement) return false;
+
+  ScheduledJob record;
+  record.spec = job;
+  record.backfilled = backfilled;
+  record.start_time = now;
+  for (const auto& assignment : placement->hosts) {
+    const auto claimed = state_.claim(
+        assignment.host, static_cast<int>(assignment.ranks.size()), job.id);
+    // Placers assign the lowest free cores per host, which is exactly what
+    // claim() hands out; a mismatch means the placer raced its own state.
+    CBMPI_REQUIRE(claimed == assignment.cores, "placer/state core mismatch on host ",
+                  assignment.host, " for job ", job.id);
+    record.hosts.push_back(assignment.host);
+  }
+  record.placement = placement_stats(job, *placement, effective_traffic(job));
+
+  auto job_config = make_job_config(job, *placement, config_.host_shape);
+  job_config.tuning = config_.tuning;
+  job_config.profile = config_.profile;
+  job_config.seed =
+      mix64(config_.seed ^ mix64(static_cast<std::uint64_t>(job.id) * 2 + 1));
+  record.result = runner_(job_config, job);
+  record.end_time = now + record.result.job_time;
+
+  running_.push_back({job.id, record.end_time, job.ranks});
+  done_.push_back(std::move(record));
+  return true;
+}
+
+void Scheduler::reservation_for(int cores_needed, Micros now, Micros* shadow_time,
+                                int* spare_cores) const {
+  int free = state_.total_free();
+  if (free >= cores_needed) {
+    *shadow_time = now;
+    *spare_cores = free - cores_needed;
+    return;
+  }
+  auto ends = running_;
+  std::sort(ends.begin(), ends.end(), [](const Running& a, const Running& b) {
+    return a.end_time != b.end_time ? a.end_time < b.end_time
+                                    : a.job_id < b.job_id;
+  });
+  for (const auto& run : ends) {
+    free += run.cores;
+    if (free >= cores_needed) {
+      *shadow_time = run.end_time;
+      *spare_cores = free - cores_needed;
+      return;
+    }
+  }
+  CBMPI_REQUIRE(false, "queue head needs ", cores_needed,
+                " cores but the cluster cannot ever free them");
+}
+
+const std::vector<ScheduledJob>& Scheduler::run() {
+  CBMPI_REQUIRE(!ran_, "scheduler can only run once");
+  ran_ = true;
+  if (pending_.empty()) return done_;
+
+  // FIFO order: submit time, then priority (higher first), then submission
+  // order (stable sort keeps it).
+  std::stable_sort(pending_.begin(), pending_.end(),
+                   [](const JobSpec& a, const JobSpec& b) {
+                     if (a.submit_time != b.submit_time)
+                       return a.submit_time < b.submit_time;
+                     return a.priority > b.priority;
+                   });
+
+  const Micros first_submit = pending_.front().submit_time;
+  Micros now = first_submit;
+
+  while (!pending_.empty() || !running_.empty()) {
+    // --- placement pass at `now` -----------------------------------------
+    for (;;) {
+      std::size_t head = 0;
+      while (head < pending_.size() && pending_[head].submit_time > now) ++head;
+      if (head == pending_.size()) break;
+
+      if (try_start(pending_[head], now, /*backfilled=*/false)) {
+        pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(head));
+        continue;
+      }
+
+      // Head is blocked: EASY backfill. Reserve the head's start (shadow
+      // time); later jobs may jump the queue only if they are predicted to
+      // finish before the reservation or fit in cores the head will not
+      // need — so the head's start is never pushed back by a backfill
+      // (given honest runtime estimates).
+      if (config_.backfill) {
+        Micros shadow = kNever;
+        int spare = 0;
+        reservation_for(pending_[head].ranks, now, &shadow, &spare);
+        for (std::size_t i = head + 1; i < pending_.size();) {
+          auto& candidate = pending_[i];
+          if (candidate.submit_time > now) {
+            ++i;
+            continue;
+          }
+          const bool ends_before_shadow = now + candidate.est_runtime <= shadow;
+          const bool fits_spare = candidate.ranks <= spare;
+          if ((ends_before_shadow || fits_spare) &&
+              try_start(candidate, now, /*backfilled=*/true)) {
+            if (!ends_before_shadow) spare -= candidate.ranks;
+            pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+            continue;
+          }
+          ++i;
+        }
+      }
+      break;  // head stays blocked until capacity frees up
+    }
+
+    // --- advance virtual time to the next event ---------------------------
+    Micros next = kNever;
+    for (const auto& run : running_) next = std::min(next, run.end_time);
+    for (const auto& job : pending_)
+      if (job.submit_time > now) next = std::min(next, job.submit_time);
+    if (pending_.empty() && running_.empty()) break;
+    CBMPI_REQUIRE(next < kNever, "scheduler stuck: jobs queued but no event pending");
+    now = std::max(now, next);
+
+    // --- completions at or before `now` -----------------------------------
+    for (std::size_t i = 0; i < running_.size();) {
+      if (running_[i].end_time <= now) {
+        state_.release(running_[i].job_id);
+        running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  // Completion order, deterministic tie-break by id.
+  std::sort(done_.begin(), done_.end(),
+            [](const ScheduledJob& a, const ScheduledJob& b) {
+              return a.end_time != b.end_time ? a.end_time < b.end_time
+                                              : a.spec.id < b.spec.id;
+            });
+
+  // --- cluster metrics -----------------------------------------------------
+  metrics_ = ClusterMetrics{};
+  Micros last_end = first_submit;
+  double busy_core_time = 0.0;
+  for (const auto& job : done_) {
+    last_end = std::max(last_end, job.end_time);
+    busy_core_time += static_cast<double>(job.spec.ranks) * job.runtime();
+    metrics_.mean_queue_wait += job.queue_wait();
+    metrics_.max_queue_wait = std::max(metrics_.max_queue_wait, job.queue_wait());
+    if (job.backfilled) ++metrics_.backfilled_jobs;
+    metrics_.intra_host_pairs += job.placement.intra_host_pairs;
+    metrics_.inter_host_pairs += job.placement.inter_host_pairs;
+    metrics_.shm_ops += job.result.profile.total.channel_ops(fabric::ChannelKind::Shm);
+    metrics_.cma_ops += job.result.profile.total.channel_ops(fabric::ChannelKind::Cma);
+    metrics_.hca_ops += job.result.profile.total.channel_ops(fabric::ChannelKind::Hca);
+  }
+  metrics_.makespan = last_end - first_submit;
+  if (!done_.empty())
+    metrics_.mean_queue_wait /= static_cast<double>(done_.size());
+  if (metrics_.makespan > 0.0)
+    metrics_.utilization =
+        busy_core_time /
+        (static_cast<double>(state_.total_cores()) * metrics_.makespan);
+  return done_;
+}
+
+}  // namespace cbmpi::sched

@@ -240,16 +240,16 @@ TEST(Selector, ContainerAwareUsesDetectedLocality) {
 
 TEST(Selector, ContainerAwareRequiresDetection) {
   SelectorFixture fx;
-  fx.add_container_proc(0, "cont-a");
-  fx.add_container_proc(0, "cont-b");
+  fx.add_container_proc(0, "cont-a", true, true, 0);
+  fx.add_container_proc(0, "cont-b", true, true, 1);
   auto selector = fx.make(LocalityPolicy::ContainerAware);
   EXPECT_THROW(selector.co_resident(0, 1), Error);
 }
 
 TEST(Selector, EagerThresholdSplitsShmAndCma) {
   SelectorFixture fx;
-  fx.add_container_proc(0, "cont-a");
-  fx.add_container_proc(0, "cont-b");
+  fx.add_container_proc(0, "cont-a", true, true, 0);
+  fx.add_container_proc(0, "cont-b", true, true, 1);
   auto selector = fx.make(LocalityPolicy::ContainerAware);
   selector.set_detected_locality({{1, 1}, {1, 1}});
   EXPECT_EQ(selector.select(0, 1, 8_KiB - 1).channel, ChannelKind::Shm);
@@ -260,8 +260,8 @@ TEST(Selector, EagerThresholdSplitsShmAndCma) {
 
 TEST(Selector, CmaDisabledFallsBackToShmRendezvous) {
   SelectorFixture fx;
-  fx.add_container_proc(0, "cont-a");
-  fx.add_container_proc(0, "cont-b");
+  fx.add_container_proc(0, "cont-a", true, true, 0);
+  fx.add_container_proc(0, "cont-b", true, true, 1);
   auto tuning = tuned();
   tuning.use_cma = false;
   auto selector = fx.make(LocalityPolicy::ContainerAware, tuning);

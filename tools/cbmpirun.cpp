@@ -8,6 +8,10 @@
 //            --isolation=vm --ivshmem
 //   cbmpirun --app=osu-latency --containers-per-host=2 --procs-per-host=2
 //
+// or schedules a whole queue of jobs instead of launching one:
+//
+//   cbmpirun --schedule=locality --hosts=4 --jobs=12
+//
 // Prints the application's own result plus the job's mpiP-style profile, so
 // it doubles as the interactive exploration tool for the whole system.
 #include <cstdio>
@@ -20,8 +24,10 @@
 #include "apps/npb/npb.hpp"
 #include "apps/osu/microbench.hpp"
 #include "common/options.hpp"
+#include "common/rng.hpp"
 #include "common/table.hpp"
 #include "mpi/runtime.hpp"
+#include "sched/scheduler.hpp"
 
 namespace {
 
@@ -116,6 +122,77 @@ int run_osu(const LaunchPlan& plan) {
   return 0;
 }
 
+/// Multi-job mode: submit a deterministic mix of registry jobs to the
+/// cluster scheduler and report the per-job schedule plus cluster metrics.
+int run_schedule(const std::string& policy_name, int hosts, int jobs,
+                 bool backfill, std::uint64_t seed) {
+  const auto policy = sched::parse_policy(policy_name);
+  if (!policy) {
+    std::fprintf(stderr,
+                 "unknown --schedule policy '%s'; use packed | spread | "
+                 "random | locality\n",
+                 policy_name.c_str());
+    return 2;
+  }
+
+  sched::SchedulerConfig config;
+  config.cluster_hosts = hosts;
+  config.policy = *policy;
+  config.backfill = backfill;
+  config.seed = seed;
+  sched::Scheduler scheduler(config);
+
+  const int cores = hosts * config.host_shape.total_cores();
+  const auto bodies = mpi::JobBodyRegistry::instance().names();
+  Xoshiro256 rng(mix64(seed));
+  Micros t = 0.0;
+  for (int i = 0; i < jobs; ++i) {
+    sched::JobSpec job;
+    job.body = bodies[static_cast<std::size_t>(i) % bodies.size()];
+    job.ranks = i > 0 && i % 5 == 0
+                    ? std::max(4, cores / 2)
+                    : 4 + 2 * static_cast<int>(rng.below(3));
+    job.ranks_per_container = 4;
+    job.params.rounds = 2 + static_cast<int>(rng.below(3));
+    job.submit_time = t;
+    job.est_runtime = millis(50.0);
+    if (i >= jobs / 3) t += 10.0 + 10.0 * static_cast<double>(rng.below(4));
+    scheduler.submit(job);
+  }
+
+  std::printf("scheduling %d jobs on %d hosts (%d cores), policy %s%s, seed "
+              "%llu\n\n",
+              jobs, hosts, cores, sched::to_string(*policy),
+              backfill ? " + backfill" : "", static_cast<unsigned long long>(seed));
+
+  Table table({"job", "body", "ranks", "hosts", "submit (us)", "start (us)",
+               "end (us)", "wait (us)", "intra-host", "backfilled"});
+  for (const auto& job : scheduler.run())
+    table.add_row({job.spec.name, job.spec.body, std::to_string(job.spec.ranks),
+                   std::to_string(job.placement.hosts_used),
+                   Table::num(job.spec.submit_time, 1),
+                   Table::num(job.start_time, 1), Table::num(job.end_time, 1),
+                   Table::num(job.queue_wait(), 1),
+                   Table::num(job.placement.intra_host_share() * 100.0, 0) + "%",
+                   job.backfilled ? "yes" : ""});
+  table.print(std::cout);
+
+  const auto& metrics = scheduler.metrics();
+  std::printf("\nmakespan %.1f us — utilization %.1f%% — mean wait %.1f us "
+              "(max %.1f) — %d backfilled\n",
+              metrics.makespan, metrics.utilization * 100.0,
+              metrics.mean_queue_wait, metrics.max_queue_wait,
+              metrics.backfilled_jobs);
+  std::printf("placement: %.1f%% of rank pairs intra-host — channel ops: "
+              "%llu shm, %llu cma, %llu hca (%.1f%% local)\n",
+              metrics.intra_host_pair_share() * 100.0,
+              static_cast<unsigned long long>(metrics.shm_ops),
+              static_cast<unsigned long long>(metrics.cma_ops),
+              static_cast<unsigned long long>(metrics.hca_ops),
+              metrics.local_op_share() * 100.0);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -145,9 +222,20 @@ int main(int argc, char** argv) {
   plan.iterations = static_cast<int>(opts.get_int("iters", 10, "osu-* iterations"));
   plan.config.seed = static_cast<std::uint64_t>(opts.get_int("seed", 42, "job seed"));
   plan.show_profile = opts.get_flag("profile", "print the mpiP-style profile");
+  const std::string schedule = opts.get(
+      "schedule", "",
+      "multi-job mode: packed | spread | random | locality placement");
+  const int jobs =
+      static_cast<int>(opts.get_int("jobs", 12, "jobs to schedule (--schedule)"));
+  const bool no_backfill =
+      opts.get_flag("no-backfill", "pure FIFO, no EASY backfill (--schedule)");
   if (opts.finish("cbmpirun — launch an application on the simulated "
                   "container/VM cluster"))
     return 0;
+
+  if (!schedule.empty())
+    return run_schedule(schedule, std::max(hosts, 2), jobs, !no_backfill,
+                        plan.config.seed);
 
   if (containers == 0) {
     plan.config.deployment = container::DeploymentSpec::native_hosts(hosts, procs);
