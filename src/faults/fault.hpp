@@ -29,6 +29,7 @@
 
 namespace cbmpi::faults {
 
+/// What went wrong — one enumerator per injectable failure mode.
 enum class FaultKind : std::uint8_t {
   ShmSegmentFail,   ///< a rank's /dev/shm segment open failed
   PrivateIpc,       ///< a container came up without --ipc=host
@@ -37,8 +38,10 @@ enum class FaultKind : std::uint8_t {
   HcaLinkFlap,      ///< HCA attempt fell into a link-down window
 };
 
+/// Human-readable kind name for reports and tables.
 const char* to_string(FaultKind kind);
 
+/// How the runtime coped — one enumerator per graceful-degradation path.
 enum class DegradationKind : std::uint8_t {
   HostnameLocalityFallback,  ///< rank reverted to hostname-based locality
   IsolatedIpcLocality,       ///< rank only detects peers inside its container
@@ -46,6 +49,7 @@ enum class DegradationKind : std::uint8_t {
   ShmFallbackToHca,          ///< pair: SHM knocked out, HCA loopback used
 };
 
+/// Human-readable kind name for reports and tables.
 const char* to_string(DegradationKind kind);
 
 /// Fault rates for one job. All-zero (the default) means "no faults"; the
@@ -72,6 +76,8 @@ struct FaultPlan {
   Micros hca_link_flap_period = 0.0;
   Micros hca_link_flap_duration = 0.0;
 
+  /// True when any rate is nonzero — i.e. the runtime must consult the
+  /// injector at all.
   bool enabled() const {
     return shm_segment_fail_prob > 0.0 || private_ipc_prob > 0.0 ||
            cma_eperm_prob > 0.0 || hca_transient_prob > 0.0 ||
@@ -79,6 +85,7 @@ struct FaultPlan {
   }
 };
 
+/// One injected fault, as it will appear in the FaultReport.
 struct FaultEvent {
   FaultKind kind = FaultKind::HcaTransient;
   int rank_a = -1;
@@ -87,10 +94,11 @@ struct FaultEvent {
   std::string detail;
 };
 
+/// One degradation decision (per rank or per pair) forced by a fault.
 struct DegradationEvent {
   DegradationKind kind = DegradationKind::HostnameLocalityFallback;
   int rank_a = -1;
-  int rank_b = -1;
+  int rank_b = -1;  ///< peer rank, -1 when the decision is per-rank
 };
 
 /// What the job survived: injected faults, the degradation decisions they
@@ -105,10 +113,12 @@ struct FaultReport {
   std::uint64_t hca_retries = 0;
   Micros time_lost = 0.0;  ///< virtual time spent on backoff + fallbacks
 
+  /// Did anything at all happen? False for a clean (or fault-free) run.
   bool any() const {
     return !injected.empty() || !degradations.empty() || shm_retries > 0 ||
            cma_retries > 0 || hca_retries > 0;
   }
+  /// Retries summed over all channels.
   std::uint64_t total_retries() const { return shm_retries + cma_retries + hca_retries; }
 
   /// Per-kind counts, one line each — for benches and EXPERIMENTS.md.
@@ -120,9 +130,12 @@ struct FaultReport {
 /// never depend on call order.
 class FaultInjector {
  public:
+  /// Binds a plan to the job seed; decisions are fixed from here on.
   FaultInjector(FaultPlan plan, std::uint64_t seed);
 
+  /// The plan this injector was built from.
   const FaultPlan& plan() const { return plan_; }
+  /// Shorthand for plan().enabled().
   bool enabled() const { return plan_.enabled(); }
 
   /// Does this rank's /dev/shm segment open fail (locality list + staging)?
@@ -160,14 +173,20 @@ class FaultInjector {
 /// race-free and totals fold deterministically in rank order.
 class FaultLog {
  public:
+  /// One slot per rank; `owner_rank` in every call below must be the rank
+  /// whose thread is calling (or the init thread before ranks start).
   explicit FaultLog(int nranks);
 
+  /// Appends an injected-fault observation to the owner's slot.
   void record_fault(int owner_rank, FaultEvent event);
   /// Deduplicated per (kind, pair); returns true when newly recorded.
   bool record_degradation(int owner_rank, DegradationEvent event);
+  /// Counts one retry against the channel that `kind` degraded.
   void add_retry(int owner_rank, FaultKind kind);
+  /// Adds virtual time spent on backoff / fallback detection.
   void add_time_lost(int owner_rank, Micros lost);
 
+  /// Folds every slot, in rank order, into one canonical sorted report.
   FaultReport finalize() const;
 
  private:

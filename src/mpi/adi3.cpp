@@ -113,7 +113,7 @@ Request Adi3Engine::start_send(std::span<const std::byte> data, int dst_world, i
 }
 
 Request Adi3Engine::post_recv(std::span<std::byte> buffer, int src_world, int tag,
-                              std::uint64_t comm_id) {
+                              std::uint64_t comm_id, bool immediate) {
   auto request = std::make_shared<RequestState>();
   request->kind = RequestState::Kind::Recv;
   request->buffer = buffer;
@@ -122,11 +122,70 @@ Request Adi3Engine::post_recv(std::span<std::byte> buffer, int src_world, int ta
   request->comm_id = comm_id;
   request->posted_at = clock().now();
   posted_.push_back(request);
-  // A matching message may already be waiting in the unexpected queue.
-  try_complete_recv(*request);
-  if (request->complete)
-    posted_.erase(std::remove(posted_.begin(), posted_.end(), request), posted_.end());
+  if (immediate) {
+    // A matching message may already be waiting in the unexpected queue.
+    try_complete_recv(*request);
+    if (request->complete)
+      posted_.erase(std::remove(posted_.begin(), posted_.end(), request),
+                    posted_.end());
+  }
   return request;
+}
+
+void Adi3Engine::complete_in_arrival_order(std::span<const Request> recvs) {
+  std::vector<RequestState*> pending;
+  pending.reserve(recvs.size());
+  for (const auto& request : recvs) {
+    CBMPI_REQUIRE(request != nullptr && request->kind == RequestState::Kind::Recv,
+                  "complete_in_arrival_order needs receive requests");
+    CBMPI_REQUIRE(request->src_world != kAnySource,
+                  "complete_in_arrival_order cannot order wildcard receives");
+    if (!request->complete) pending.push_back(request.get());
+  }
+
+  // Phase 1: collect every envelope without completing anything — which
+  // messages have arrived at any instant is wall-clock noise.
+  std::vector<std::optional<fabric::Envelope>> matched(pending.size());
+  std::size_t remaining = pending.size();
+  while (remaining > 0) {
+    check_abort();
+    const std::uint64_t seen = job_->matcher(rank_).version();
+    bool any = false;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      if (matched[i]) continue;
+      auto env = job_->matcher(rank_).try_match(pending[i]->src_world,
+                                                pending[i]->tag,
+                                                pending[i]->comm_id);
+      if (env) {
+        matched[i] = std::move(env);
+        --remaining;
+        any = true;
+      }
+    }
+    if (!any && remaining > 0) job_->matcher(rank_).wait_past(seen);
+  }
+
+  // Phase 2: process in virtual arrival order, so the receiver busy chain
+  // is a pure function of the envelopes' timestamps.
+  std::vector<std::size_t> order(pending.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const auto& ea = *matched[a];
+    const auto& eb = *matched[b];
+    if (ea.available_at != eb.available_at) return ea.available_at < eb.available_at;
+    if (ea.src != eb.src) return ea.src < eb.src;
+    return ea.seq < eb.seq;
+  });
+  for (const std::size_t i : order) {
+    RequestState& request = *pending[i];
+    if (matched[i]->protocol == fabric::Protocol::Eager)
+      complete_eager(request, *matched[i]);
+    else
+      complete_rendezvous(request, *matched[i]);
+    posted_.erase(std::remove_if(posted_.begin(), posted_.end(),
+                                 [&](const Request& r) { return r.get() == &request; }),
+                  posted_.end());
+  }
 }
 
 void Adi3Engine::complete_eager(RequestState& request, fabric::Envelope& env) {

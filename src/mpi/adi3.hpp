@@ -49,8 +49,21 @@ class Adi3Engine {
                      std::uint64_t comm_id);
 
   /// Posts a receive. The buffer must stay valid until completion.
+  /// With immediate=false the engine skips the match attempt against
+  /// already-arrived messages at post time; pair with
+  /// complete_in_arrival_order().
   Request post_recv(std::span<std::byte> buffer, int src_world, int tag,
-                    std::uint64_t comm_id);
+                    std::uint64_t comm_id, bool immediate = true);
+
+  /// Completes every receive in `recvs`, processing messages in *virtual*
+  /// arrival order (available_at, src, seq) rather than wall-clock arrival
+  /// order — the receiver busy chain then serializes identically
+  /// run-to-run no matter how sender threads were scheduled. Blocks until
+  /// all matching messages have been delivered, so every matching send
+  /// must already be started and non-blocking (e.g. alltoall, where each
+  /// rank posts all transfers before waiting). Wildcard receives are not
+  /// supported here.
+  void complete_in_arrival_order(std::span<const Request> recvs);
 
   /// Non-blocking progress + completion check (MPI_Test).
   bool test(const Request& request);

@@ -1,0 +1,221 @@
+// Engine-driven dispatch of the tunable user-level collectives.
+//
+// Each collective asks the job's coll::Engine for an algorithm, keyed on the
+// message size (payload bytes for bcast/reduce/allreduce, per-rank block
+// bytes for allgather, per-peer block bytes for alltoall), the communicator
+// size, and the job's containers-per-host. TwoLevel routes into the
+// leader-based hierarchy over the detected locality groups; its local and
+// leader phases re-enter the engine with their sub-list sizes (and no
+// further hierarchy) so each phase gets its own size-appropriate flat
+// algorithm. The algorithm that actually ran — after any structural
+// downgrade inside the primitives — is recorded via note_algo() so selection
+// is observable in the rank profile and the trace.
+//
+// This header is included at the bottom of mpi/communicator.hpp and must not
+// be included directly anywhere else.
+#pragma once
+
+#include "mpi/communicator.hpp"
+
+namespace cbmpi::mpi {
+
+template <typename T>
+void Communicator::bcast(std::span<T> data, int root) {
+  const ProfiledCall prof_scope(*engine_, prof::CallKind::Bcast);
+  const int tag = begin_collective();
+  const Bytes bytes = data.size() * sizeof(T);
+  const auto& groups = locality_groups();
+  const bool two_level_ok = two_level_enabled() && !groups.trivial();
+  const coll::Algo algo =
+      coll_engine().choose(coll::Coll::Bcast, bytes, size(), two_level_ok);
+  if (algo != coll::Algo::TwoLevel) {
+    note_algo(coll::Coll::Bcast, bcast_over(all_ranks(), data, root, tag, algo),
+              bytes);
+    return;
+  }
+  const int root_leader = groups.leader_of[static_cast<std::size_t>(root)];
+  // Phase 1: if the root is not its group's leader, hand the data to it.
+  if (root != root_leader) {
+    if (rank() == root)
+      raw_send(std::span<const T>(data.data(), data.size()), root_leader, tag);
+    else if (rank() == root_leader)
+      raw_recv(data, root, tag);
+  }
+  // Phase 2: broadcast across leaders, rooted at the root's leader.
+  if (rank() == groups.my_leader)
+    bcast_over(groups.leaders, data, position_of(groups.leaders, root_leader),
+               tag + 1,
+               pick(coll::Coll::Bcast, bytes, static_cast<int>(groups.leaders.size())));
+  // Phase 3: each leader broadcasts within its group.
+  bcast_over(groups.my_group, data, position_of(groups.my_group, groups.my_leader),
+             tag + 2, pick(coll::Coll::Bcast, bytes, groups.group_size));
+  note_algo(coll::Coll::Bcast, coll::Algo::TwoLevel, bytes);
+}
+
+template <typename T>
+void Communicator::reduce(std::span<const T> in, std::span<T> out, ReduceOp op,
+                          int root) {
+  const ProfiledCall prof_scope(*engine_, prof::CallKind::Reduce);
+  const int tag = begin_collective();
+  const Bytes bytes = in.size() * sizeof(T);
+  const auto& groups = locality_groups();
+  const bool two_level_ok = two_level_enabled() && !groups.trivial();
+  const coll::Algo algo =
+      coll_engine().choose(coll::Coll::Reduce, bytes, size(), two_level_ok);
+  if (algo != coll::Algo::TwoLevel) {
+    note_algo(coll::Coll::Reduce,
+              reduce_over(all_ranks(), in, out, op, root, tag, algo), bytes);
+    return;
+  }
+  // Phase 1: reduce within each group, to its leader (commutative ops, so
+  // group-local combination order is free).
+  const int root_leader = groups.leader_of[static_cast<std::size_t>(root)];
+  const int leader_pos = position_of(groups.my_group, groups.my_leader);
+  std::vector<T> local(rank() == groups.my_leader ? in.size() : 0);
+  reduce_over(groups.my_group, in, std::span<T>(local), op, leader_pos, tag,
+              pick(coll::Coll::Reduce, bytes, groups.group_size));
+  // Phase 2: reduce across leaders, to the root's leader.
+  if (rank() == groups.my_leader) {
+    std::vector<T> global(rank() == root_leader ? in.size() : 0);
+    reduce_over(groups.leaders, std::span<const T>(local), std::span<T>(global), op,
+                position_of(groups.leaders, root_leader), tag + 4,
+                pick(coll::Coll::Reduce, bytes, static_cast<int>(groups.leaders.size())));
+    // Phase 3: hand the result from the root's leader to the root.
+    if (rank() == root_leader) {
+      if (rank() == root) {
+        CBMPI_REQUIRE(out.size() >= in.size(), "reduce output buffer too small");
+        std::copy(global.begin(), global.end(), out.begin());
+      } else {
+        raw_send(std::span<const T>(global), root, tag + 8);
+      }
+    }
+  }
+  if (rank() == root && root != root_leader)
+    raw_recv(out.subspan(0, in.size()), root_leader, tag + 8);
+  note_algo(coll::Coll::Reduce, coll::Algo::TwoLevel, bytes);
+}
+
+template <typename T>
+void Communicator::allreduce(std::span<const T> in, std::span<T> out, ReduceOp op) {
+  const ProfiledCall prof_scope(*engine_, prof::CallKind::Allreduce);
+  const int tag = begin_collective();
+  const Bytes bytes = in.size() * sizeof(T);
+  const auto& groups = locality_groups();
+  const bool two_level_ok = two_level_enabled() && !groups.trivial();
+  const coll::Algo algo =
+      coll_engine().choose(coll::Coll::Allreduce, bytes, size(), two_level_ok);
+  if (algo != coll::Algo::TwoLevel) {
+    note_algo(coll::Coll::Allreduce,
+              allreduce_over(all_ranks(), in, out, op, tag, algo), bytes);
+    return;
+  }
+  // Local reduce to the leader, allreduce across leaders, local bcast.
+  const int leader_pos = position_of(groups.my_group, groups.my_leader);
+  reduce_over(groups.my_group, in, out, op, leader_pos, tag,
+              pick(coll::Coll::Reduce, bytes, groups.group_size));
+  if (rank() == groups.my_leader) {
+    std::vector<T> tmp(out.begin(),
+                       out.begin() + static_cast<std::ptrdiff_t>(in.size()));
+    allreduce_over(groups.leaders, std::span<const T>(tmp), out, op, tag + 4,
+                   pick(coll::Coll::Allreduce, bytes,
+                        static_cast<int>(groups.leaders.size())));
+  }
+  bcast_over(groups.my_group, out.subspan(0, in.size()), leader_pos, tag + 8,
+             pick(coll::Coll::Bcast, bytes, groups.group_size));
+  note_algo(coll::Coll::Allreduce, coll::Algo::TwoLevel, bytes);
+}
+
+template <typename T>
+void Communicator::allgather(std::span<const T> mine, std::span<T> all) {
+  const ProfiledCall prof_scope(*engine_, prof::CallKind::Allgather);
+  const int tag = begin_collective();
+  const auto& groups = locality_groups();
+  const std::size_t block = mine.size();
+  const Bytes bytes = block * sizeof(T);
+  // The hierarchical variant additionally needs uniform contiguous groups so
+  // the leader-level exchange lands in rank order.
+  const bool two_level_ok = two_level_enabled() && !groups.trivial() &&
+                            groups.uniform && groups.contiguous;
+  const coll::Algo algo =
+      coll_engine().choose(coll::Coll::Allgather, bytes, size(), two_level_ok);
+  if (algo != coll::Algo::TwoLevel) {
+    note_algo(coll::Coll::Allgather, allgather_over(all_ranks(), mine, all, tag, algo),
+              bytes);
+    return;
+  }
+  // Two-level with contiguous uniform groups: gather locally to the leader,
+  // allgather the concatenated group blocks across leaders, then bcast the
+  // full result locally. Group contiguity makes the concatenation land in
+  // rank order (each group's block starts at its leader's rank offset).
+  const std::size_t group_block = block * static_cast<std::size_t>(groups.group_size);
+  if (rank() == groups.my_leader) {
+    std::copy(mine.begin(), mine.end(),
+              all.begin() +
+                  static_cast<std::ptrdiff_t>(block * static_cast<std::size_t>(rank())));
+    for (int member : groups.my_group) {
+      if (member == rank()) continue;
+      raw_recv(
+          std::span<T>(all.data() + block * static_cast<std::size_t>(member), block),
+          member, tag);
+    }
+    const std::size_t my_leader_pos =
+        static_cast<std::size_t>(position_of(groups.leaders, groups.my_leader));
+    std::vector<T> packed(group_block * groups.leaders.size());
+    std::copy(all.data() + block * static_cast<std::size_t>(rank()),
+              all.data() + block * static_cast<std::size_t>(rank()) + group_block,
+              packed.data() + group_block * my_leader_pos);
+    allgather_over(groups.leaders,
+                   std::span<const T>(packed.data() + group_block * my_leader_pos,
+                                      group_block),
+                   std::span<T>(packed), tag + 4,
+                   pick(coll::Coll::Allgather, group_block * sizeof(T),
+                        static_cast<int>(groups.leaders.size())));
+    for (std::size_t g = 0; g < groups.leaders.size(); ++g) {
+      const std::size_t offset = block * static_cast<std::size_t>(groups.leaders[g]);
+      std::copy(packed.begin() + static_cast<std::ptrdiff_t>(group_block * g),
+                packed.begin() + static_cast<std::ptrdiff_t>(group_block * (g + 1)),
+                all.begin() + static_cast<std::ptrdiff_t>(offset));
+    }
+  } else {
+    raw_send(mine, groups.my_leader, tag);
+  }
+  bcast_over(groups.my_group, all, position_of(groups.my_group, groups.my_leader),
+             tag + 8, pick(coll::Coll::Bcast, all.size() * sizeof(T), groups.group_size));
+  note_algo(coll::Coll::Allgather, coll::Algo::TwoLevel, bytes);
+}
+
+template <typename T>
+void Communicator::alltoall(std::span<const T> send_data, std::span<T> recv_data) {
+  const ProfiledCall prof_scope(*engine_, prof::CallKind::Alltoall);
+  const int tag = begin_collective();
+  const int n = size();
+  const std::size_t block = send_data.size() / static_cast<std::size_t>(n);
+  CBMPI_REQUIRE(send_data.size() == block * static_cast<std::size_t>(n) &&
+                    recv_data.size() >= send_data.size(),
+                "alltoall buffer size mismatch");
+  const Bytes bytes = block * sizeof(T);
+  const auto my = static_cast<std::size_t>(rank());
+  std::copy(send_data.data() + block * my, send_data.data() + block * (my + 1),
+            recv_data.data() + block * my);
+  // No hierarchical variant (matches the paper: alltoall gains least from
+  // locality), so the engine never sees TwoLevel here.
+  coll::Algo algo = coll_engine().choose(coll::Coll::Alltoall, bytes, n,
+                                         /*two_level_available=*/false);
+  if (n > 1) {
+    switch (algo) {
+      case coll::Algo::Bruck:
+        alltoall_bruck(send_data, recv_data, block, tag);
+        break;
+      case coll::Algo::Spread:
+        alltoall_spread(send_data, recv_data, block, tag);
+        break;
+      default:
+        algo = coll::Algo::Pairwise;
+        alltoall_pairwise(send_data, recv_data, block, tag);
+        break;
+    }
+  }
+  note_algo(coll::Coll::Alltoall, algo, bytes);
+}
+
+}  // namespace cbmpi::mpi

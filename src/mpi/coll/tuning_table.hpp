@@ -1,0 +1,102 @@
+// TuningTable: declarative algorithm selection for collectives.
+//
+// A table is an ordered list of entries, each matching a (collective, rank
+// count, containers-per-host, message size) region and naming the algorithm
+// to run there. Selection scans the entries in order and the *last* match
+// wins, so a table reads like a layered config: broad defaults first, narrow
+// overrides after. On top of the entries sit per-collective env-var pins
+// (`CBMPI_BCAST_ALGORITHM=flat_tree` and friends, in the spirit of the MV2_*
+// channel knobs) which beat every file/table entry.
+//
+// Text format (one entry per line, '#' starts a comment):
+//
+//   # collective  ranks  containers/host  msg-size   algorithm
+//   bcast         *      *                0-64K      binomial
+//   bcast         *      *                64K-       vandegeijn
+//   allreduce     16-    2-               -32K       two_level
+//
+// Range syntax for the three numeric fields: `*` (any), `N` (exactly N),
+// `A-B` (inclusive), `A-` (at least A), `-B` (at most B). Sizes take K/M/G
+// suffixes (powers of 1024). `parse()` rejects malformed lines with their
+// line number; `serialize()` emits the same format back (round-trips).
+//
+// The shipped `container_defaults()` table encodes the paper-derived choices
+// for container deployments; `bench/ablation_collectives --autotune` sweeps
+// the real algorithms and emits a fresh best-of table in this format.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "mpi/coll/types.hpp"
+
+namespace cbmpi::coll {
+
+/// One selection rule. All bounds are inclusive; the defaults match anything.
+struct TuningEntry {
+  Coll coll = Coll::Bcast;
+  int min_ranks = 0;
+  int max_ranks = std::numeric_limits<int>::max();
+  int min_cph = 0;                      ///< containers per host (1 = native)
+  int max_cph = std::numeric_limits<int>::max();
+  Bytes min_size = 0;
+  Bytes max_size = std::numeric_limits<Bytes>::max();
+  Algo algo = Algo::Auto;
+
+  bool matches(Coll c, Bytes size, int ranks, int cph) const {
+    return c == coll && ranks >= min_ranks && ranks <= max_ranks &&
+           cph >= min_cph && cph <= max_cph && size >= min_size &&
+           size <= max_size;
+  }
+};
+
+class TuningTable {
+ public:
+  /// Paper-derived defaults for container deployments: hierarchy wherever
+  /// locality groups exist, bandwidth algorithms past the large-message
+  /// switch points, Bruck for small alltoalls.
+  static TuningTable container_defaults();
+
+  /// Parses the text format above; throws Error naming `origin` and the
+  /// 1-based line number on any malformed line.
+  static TuningTable parse(const std::string& text,
+                           const std::string& origin = "<string>");
+
+  /// Reads and parses a tuning file; throws Error if unreadable or malformed.
+  static TuningTable load_file(const std::string& path);
+
+  /// Appends one rule; later rules beat earlier ones.
+  void add(TuningEntry entry) { entries_.push_back(entry); }
+
+  /// Appends all of `other`'s entries after ours and adopts its env pins —
+  /// i.e. `other` wins wherever both tables speak.
+  void merge(const TuningTable& other);
+
+  /// Pins one collective to `algo` regardless of entries (what the env vars
+  /// install). Algo::Auto clears the pin.
+  void set_override(Coll coll, Algo algo);
+
+  /// Reads the CBMPI_<COLL>_ALGORITHM env vars and installs the pins; throws
+  /// Error on an unknown or invalid algorithm name.
+  void apply_env();
+
+  /// The algorithm for this call site: env pin if set, else the last matching
+  /// entry, else Algo::Auto. `cph` is containers per host (1 = native).
+  Algo select(Coll coll, Bytes size, int ranks, int cph) const;
+
+  /// Emits the parseable text form (entries only; pins are env-scoped).
+  std::string serialize() const;
+
+  const std::vector<TuningEntry>& entries() const { return entries_; }
+  std::optional<Algo> override_for(Coll coll) const;
+
+ private:
+  std::vector<TuningEntry> entries_;
+  std::optional<Algo> overrides_[kColls]{};
+};
+
+}  // namespace cbmpi::coll

@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "common/rng.hpp"
+#include "mpi/coll/engine.hpp"
 
 namespace cbmpi::mpi {
 
@@ -138,11 +139,47 @@ bool Communicator::two_level_enabled() const {
   return engine_->job().tuning.two_level_collectives;
 }
 
-void Communicator::barrier_over(const std::vector<int>& list, int tag) {
+const coll::Engine& Communicator::coll_engine() const { return engine_->job().coll; }
+
+coll::Algo Communicator::pick(coll::Coll coll, Bytes bytes, int list_size) const {
+  return coll_engine().choose(coll, bytes, list_size,
+                              /*two_level_available=*/false);
+}
+
+void Communicator::note_algo(coll::Coll coll, coll::Algo algo, Bytes bytes) {
+  engine_->profile().add_coll_algo(coll, algo);
+  if (engine_->job().trace) {
+    engine_->job().trace->record(
+        {sim::TraceKind::CollAlgo, engine_->world_rank(), -1, bytes,
+         engine_->clock().now(),
+         std::string(coll::to_string(coll)) + "/" + coll::to_string(algo)});
+  }
+}
+
+coll::Algo Communicator::barrier_over(const std::vector<int>& list, int tag,
+                                      coll::Algo algo) {
   const int m = static_cast<int>(list.size());
-  if (m <= 1) return;
+  if (m <= 1) return algo;
   const int pos = position_in(list);
   std::uint8_t token = 1;
+
+  if (algo == coll::Algo::FlatTree) {
+    // Linear through the list head: gather tokens at tag, release at tag+1.
+    std::uint8_t incoming = 0;
+    if (pos == 0) {
+      for (int q = 1; q < m; ++q)
+        raw_recv(std::span<std::uint8_t>(&incoming, 1),
+                 list[static_cast<std::size_t>(q)], tag);
+      for (int q = 1; q < m; ++q)
+        raw_send(std::span<const std::uint8_t>(&token, 1),
+                 list[static_cast<std::size_t>(q)], tag + 1);
+    } else {
+      raw_send(std::span<const std::uint8_t>(&token, 1), list[0], tag);
+      raw_recv(std::span<std::uint8_t>(&incoming, 1), list[0], tag + 1);
+    }
+    return algo;
+  }
+
   // Dissemination: log2(m) rounds; distances are distinct modulo m, so one
   // tag per round pair is unnecessary — but rounds reuse partners only with
   // distinct distances, so a single tag is safe under per-sender FIFO.
@@ -153,17 +190,21 @@ void Communicator::barrier_over(const std::vector<int>& list, int tag) {
     raw_sendrecv(std::span<const std::uint8_t>(&token, 1), to,
                  std::span<std::uint8_t>(&incoming, 1), from, tag);
   }
+  return coll::Algo::Dissemination;
 }
 
 void Communicator::barrier() {
   const ProfiledCall prof_scope(*engine_, prof::CallKind::Barrier);
   const int tag = begin_collective();
   const auto& groups = locality_groups();
-  if (!two_level_enabled() || groups.trivial()) {
-    barrier_over(all_ranks(), tag);
+  const bool two_level_ok = two_level_enabled() && !groups.trivial();
+  const coll::Algo algo =
+      coll_engine().choose(coll::Coll::Barrier, 0, size(), two_level_ok);
+  if (algo != coll::Algo::TwoLevel) {
+    note_algo(coll::Coll::Barrier, barrier_over(all_ranks(), tag, algo), 0);
     return;
   }
-  // Local gather to the leader, leader dissemination, local release.
+  // Local gather to the leader, leader barrier, local release.
   std::uint8_t token = 1;
   if (rank() == groups.my_leader) {
     std::uint8_t incoming = 0;
@@ -171,7 +212,8 @@ void Communicator::barrier() {
       if (member == rank()) continue;
       raw_recv(std::span<std::uint8_t>(&incoming, 1), member, tag);
     }
-    barrier_over(groups.leaders, tag + 4);
+    barrier_over(groups.leaders, tag + 4,
+                 pick(coll::Coll::Barrier, 0, static_cast<int>(groups.leaders.size())));
     for (int member : groups.my_group) {
       if (member == rank()) continue;
       raw_send(std::span<const std::uint8_t>(&token, 1), member, tag + 8);
@@ -181,9 +223,12 @@ void Communicator::barrier() {
     std::uint8_t incoming = 0;
     raw_recv(std::span<std::uint8_t>(&incoming, 1), groups.my_leader, tag + 8);
   }
+  note_algo(coll::Coll::Barrier, coll::Algo::TwoLevel, 0);
 }
 
-void Communicator::raw_barrier() { barrier_over(all_ranks(), begin_collective()); }
+void Communicator::raw_barrier() {
+  barrier_over(all_ranks(), begin_collective(), coll::Algo::Dissemination);
+}
 
 const LocalityGroups& Communicator::locality_groups() {
   if (locality_) return *locality_;
@@ -267,7 +312,7 @@ std::optional<Communicator> Communicator::split(int color, int key) {
   const Triple mine{color, key, my_rank_};
   std::vector<Triple> all(static_cast<std::size_t>(size()));
   allgather_over(all_ranks(), std::span<const Triple>(&mine, 1), std::span<Triple>(all),
-                 tag);
+                 tag, coll::Algo::Ring);
 
   if (color < 0) return std::nullopt;
 

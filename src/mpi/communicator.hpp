@@ -10,19 +10,28 @@
 // paper's design) — so the benefit of locality awareness flows through both
 // point-to-point channel selection and collective topology.
 //
-// Algorithms:
-//   barrier     dissemination                   (2-level: gather + release)
-//   bcast       binomial tree                   (2-level: leaders then local)
-//   reduce      binomial tree (commutative ops)
-//   allreduce   recursive doubling on power-of-two lists, reduce+bcast else
+// Which algorithm runs for a given call is no longer hard-wired: the six
+// tunable collectives (barrier, bcast, reduce, allreduce, allgather,
+// alltoall) consult the job's coll::Engine, which resolves (collective,
+// message size, rank count, containers-per-host) through the TuningTable —
+// see src/mpi/coll/. The available algorithms:
+//   barrier     dissemination | flat-tree       (2-level: gather + release)
+//   bcast       binomial | flat-tree | van de Geijn (2-level: leaders, local)
+//   reduce      binomial | flat-tree (commutative ops)
+//               (2-level: local reduce, leader reduce, hand-off to root)
+//   allreduce   recursive doubling | Rabenseifner | reduce+bcast
 //               (2-level: local reduce, leader allreduce, local bcast)
 //   gather      linear to root
 //   scatter     linear from root
-//   allgather   ring (bandwidth-optimal)        (2-level when groups are
+//   allgather   ring | gather+bcast             (2-level when groups are
 //                                                uniform and contiguous)
-//   alltoall    pairwise exchange (no 2-level variant — consistent with the
-//               paper, where alltoall shows the smallest collective gain)
+//   alltoall    pairwise | Bruck | spread (no 2-level variant — consistent
+//               with the paper, where alltoall shows the smallest gain)
 //   alltoallv   pairwise exchange with per-peer counts
+// Algorithms with structural preconditions (power-of-two list, payload at
+// least one element per rank, zero-identity reduce op) are downgraded
+// deterministically at the dispatch site; the algorithm that actually ran is
+// recorded in the rank profile and (when tracing) as a CollAlgo trace event.
 //
 // Tag discipline: every user-level collective reserves a block of reserved
 // tags (same sequence on every rank, because collectives are called in the
@@ -44,7 +53,12 @@
 
 #include "common/error.hpp"
 #include "mpi/adi3.hpp"
+#include "mpi/coll/types.hpp"
 #include "mpi/types.hpp"
+
+namespace cbmpi::coll {
+class Engine;
+}
 
 namespace cbmpi::mpi {
 
@@ -234,7 +248,7 @@ class Communicator {
   template <typename T>
   Request raw_isend(std::span<const T> data, int dst, int tag);
   template <typename T>
-  Request raw_irecv(std::span<T> buffer, int src, int tag);
+  Request raw_irecv(std::span<T> buffer, int src, int tag, bool immediate = true);
   template <typename T>
   void raw_send(std::span<const T> data, int dst, int tag);
   template <typename T>
@@ -245,19 +259,33 @@ class Communicator {
 
   // Collective algorithms over an arbitrary sorted list of comm ranks; `list`
   // must contain rank() exactly once and be identical on all listed ranks.
-  void barrier_over(const std::vector<int>& list, int tag);
+  // Each takes the engine-chosen algorithm, downgrades it deterministically
+  // when its structural preconditions fail, and returns what actually ran.
+  coll::Algo barrier_over(const std::vector<int>& list, int tag, coll::Algo algo);
   template <typename T>
-  void bcast_over(const std::vector<int>& list, std::span<T> data, int root_pos,
-                  int tag);
+  coll::Algo bcast_over(const std::vector<int>& list, std::span<T> data,
+                        int root_pos, int tag, coll::Algo algo);
   template <typename T>
-  void reduce_over(const std::vector<int>& list, std::span<const T> in,
-                   std::span<T> out, ReduceOp op, int root_pos, int tag);
+  coll::Algo reduce_over(const std::vector<int>& list, std::span<const T> in,
+                         std::span<T> out, ReduceOp op, int root_pos, int tag,
+                         coll::Algo algo);
   template <typename T>
-  void allreduce_over(const std::vector<int>& list, std::span<const T> in,
-                      std::span<T> out, ReduceOp op, int tag);
+  coll::Algo allreduce_over(const std::vector<int>& list, std::span<const T> in,
+                            std::span<T> out, ReduceOp op, int tag,
+                            coll::Algo algo);
   template <typename T>
-  void allgather_over(const std::vector<int>& list, std::span<const T> mine,
-                      std::span<T> all, int tag);
+  coll::Algo allgather_over(const std::vector<int>& list, std::span<const T> mine,
+                            std::span<T> all, int tag, coll::Algo algo);
+  // Alltoall bodies (full communicator; `block` elements per peer).
+  template <typename T>
+  void alltoall_pairwise(std::span<const T> send_data, std::span<T> recv_data,
+                         std::size_t block, int tag);
+  template <typename T>
+  void alltoall_bruck(std::span<const T> send_data, std::span<T> recv_data,
+                      std::size_t block, int tag);
+  template <typename T>
+  void alltoall_spread(std::span<const T> send_data, std::span<T> recv_data,
+                       std::size_t block, int tag);
   /// counts/displs indexed by *position* in the list.
   template <typename T>
   void allgatherv_over(const std::vector<int>& list, std::span<const T> mine,
@@ -284,6 +312,14 @@ class Communicator {
   std::vector<int> all_ranks() const;
   int position_in(const std::vector<int>& list) const;
   bool two_level_enabled() const;
+
+  /// The job's collective-algorithm engine.
+  const coll::Engine& coll_engine() const;
+  /// Engine choice for an internal (sub-list) phase: no further hierarchy.
+  coll::Algo pick(coll::Coll coll, Bytes bytes, int list_size) const;
+  /// Records the algorithm a user-level collective actually ran (profile
+  /// counter + CollAlgo trace event when tracing).
+  void note_algo(coll::Coll coll, coll::Algo algo, Bytes bytes);
 
   Adi3Engine* engine_;
   std::shared_ptr<const CommGroup> group_;
@@ -344,10 +380,11 @@ Request Communicator::raw_isend(std::span<const T> data, int dst, int tag) {
 }
 
 template <typename T>
-Request Communicator::raw_irecv(std::span<T> buffer, int src, int tag) {
+Request Communicator::raw_irecv(std::span<T> buffer, int src, int tag,
+                                bool immediate) {
   const int src_world = src == kAnySource ? kAnySource : to_world(src);
   return engine_->post_recv(detail::as_writable_bytes_checked(buffer), src_world,
-                            tag, id_);
+                            tag, id_, immediate);
 }
 
 template <typename T>
@@ -419,186 +456,9 @@ T Communicator::recv_value(int src, int tag) {
   return value;
 }
 
-// ---- collective algorithms over rank lists -------------------------------------
-
-template <typename T>
-void Communicator::bcast_over(const std::vector<int>& list, std::span<T> data,
-                              int root_pos, int tag) {
-  const int m = static_cast<int>(list.size());
-  if (m <= 1) return;
-  if (data.size() * sizeof(T) >= engine_->job().tuning.bcast_large_threshold &&
-      m >= 4 && data.size() >= static_cast<std::size_t>(m)) {
-    bcast_vandegeijn_over(list, data, root_pos, tag);
-    return;
-  }
-  const int pos = position_in(list);
-  const int vrank = (pos - root_pos + m) % m;
-
-  auto real = [&](int v) { return list[static_cast<std::size_t>((v + root_pos) % m)]; };
-
-  int mask = 1;
-  while (mask < m) {
-    if (vrank & mask) {
-      raw_recv(data, real(vrank - mask), tag);
-      break;
-    }
-    mask <<= 1;
-  }
-  mask >>= 1;
-  while (mask > 0) {
-    if (vrank + mask < m)
-      raw_send(std::span<const T>(data.data(), data.size()), real(vrank + mask), tag);
-    mask >>= 1;
-  }
-}
-
-template <typename T>
-void Communicator::reduce_over(const std::vector<int>& list, std::span<const T> in,
-                               std::span<T> out, ReduceOp op, int root_pos, int tag) {
-  const int m = static_cast<int>(list.size());
-  const int pos = position_in(list);
-  const int vrank = (pos - root_pos + m) % m;
-
-  std::vector<T> acc(in.begin(), in.end());
-  if (m > 1) {
-    auto real = [&](int v) { return list[static_cast<std::size_t>((v + root_pos) % m)]; };
-    std::vector<T> incoming(in.size());
-
-    int mask = 1;
-    while (mask < m) {
-      if (vrank & mask) {
-        raw_send(std::span<const T>(acc), real(vrank - mask), tag);
-        break;
-      }
-      const int child = vrank + mask;
-      if (child < m) {
-        raw_recv(std::span<T>(incoming), real(child), tag);
-        apply_reduce<T>(op, incoming, acc);
-      }
-      mask <<= 1;
-    }
-  }
-  if (vrank == 0) {
-    CBMPI_REQUIRE(out.size() >= in.size(), "reduce output buffer too small");
-    std::copy(acc.begin(), acc.end(), out.begin());
-  }
-}
-
-template <typename T>
-void Communicator::allreduce_over(const std::vector<int>& list, std::span<const T> in,
-                                  std::span<T> out, ReduceOp op, int tag) {
-  const int m = static_cast<int>(list.size());
-  CBMPI_REQUIRE(out.size() >= in.size(), "allreduce output buffer too small");
-  if (m == 1) {
-    std::copy(in.begin(), in.end(), out.begin());
-    return;
-  }
-  if (detail::is_power_of_two(static_cast<std::size_t>(m))) {
-    // Rabenseifner pads the vector with value-initialized elements, which is
-    // only an identity for zero-identity operators.
-    const bool zero_identity = op == ReduceOp::Sum || op == ReduceOp::BitOr ||
-                               op == ReduceOp::LogicalOr;
-    if (zero_identity &&
-        in.size() * sizeof(T) >= engine_->job().tuning.allreduce_large_threshold &&
-        m >= 4) {
-      allreduce_rabenseifner_over(list, in, out, op, tag);
-      return;
-    }
-    const int pos = position_in(list);
-    std::vector<T> acc(in.begin(), in.end());
-    std::vector<T> incoming(in.size());
-    for (int mask = 1; mask < m; mask <<= 1) {
-      const int partner = list[static_cast<std::size_t>(pos ^ mask)];
-      raw_sendrecv(std::span<const T>(acc), partner, std::span<T>(incoming), partner,
-                   tag);
-      apply_reduce<T>(op, incoming, acc);
-    }
-    std::copy(acc.begin(), acc.end(), out.begin());
-    return;
-  }
-  reduce_over(list, in, out, op, 0, tag);
-  bcast_over(list, out.subspan(0, in.size()), 0, tag + 1);
-}
-
-template <typename T>
-void Communicator::allgather_over(const std::vector<int>& list, std::span<const T> mine,
-                                  std::span<T> all, int tag) {
-  const int m = static_cast<int>(list.size());
-  const std::size_t block = mine.size();
-  CBMPI_REQUIRE(all.size() >= block * static_cast<std::size_t>(m),
-                "allgather output buffer too small");
-  const int pos = position_in(list);
-  T* const my_slot = all.data() + block * static_cast<std::size_t>(pos);
-  if (my_slot != mine.data()) std::copy(mine.begin(), mine.end(), my_slot);
-  if (m == 1) return;
-
-  // Ring: in step s we forward the block received in step s-1. Per-sender
-  // FIFO matching makes one tag safe for all steps.
-  const int right = list[static_cast<std::size_t>((pos + 1) % m)];
-  const int left = list[static_cast<std::size_t>((pos - 1 + m) % m)];
-  for (int s = 0; s < m - 1; ++s) {
-    const std::size_t send_pos = static_cast<std::size_t>((pos - s + m) % m);
-    const std::size_t recv_pos = static_cast<std::size_t>((pos - s - 1 + m) % m);
-    raw_sendrecv(std::span<const T>(all.data() + block * send_pos, block), right,
-                 std::span<T>(all.data() + block * recv_pos, block), left, tag);
-  }
-}
-
-// ---- user-level collectives -----------------------------------------------------
-
-template <typename T>
-void Communicator::bcast(std::span<T> data, int root) {
-  const ProfiledCall prof_scope(*engine_, prof::CallKind::Bcast);
-  const int tag = begin_collective();
-  const auto& groups = locality_groups();
-  if (!two_level_enabled() || groups.trivial()) {
-    bcast_over(all_ranks(), data, root, tag);
-    return;
-  }
-  const int root_leader = groups.leader_of[static_cast<std::size_t>(root)];
-  // Phase 1: if the root is not its group's leader, hand the data to it.
-  if (root != root_leader) {
-    if (rank() == root)
-      raw_send(std::span<const T>(data.data(), data.size()), root_leader, tag);
-    else if (rank() == root_leader)
-      raw_recv(data, root, tag);
-  }
-  // Phase 2: broadcast across leaders, rooted at the root's leader.
-  if (rank() == groups.my_leader)
-    bcast_over(groups.leaders, data, position_of(groups.leaders, root_leader),
-               tag + 1);
-  // Phase 3: each leader broadcasts within its group.
-  bcast_over(groups.my_group, data, position_of(groups.my_group, groups.my_leader),
-             tag + 2);
-}
-
-template <typename T>
-void Communicator::reduce(std::span<const T> in, std::span<T> out, ReduceOp op,
-                          int root) {
-  const ProfiledCall prof_scope(*engine_, prof::CallKind::Reduce);
-  const int tag = begin_collective();
-  reduce_over(all_ranks(), in, out, op, root, tag);
-}
-
-template <typename T>
-void Communicator::allreduce(std::span<const T> in, std::span<T> out, ReduceOp op) {
-  const ProfiledCall prof_scope(*engine_, prof::CallKind::Allreduce);
-  const int tag = begin_collective();
-  const auto& groups = locality_groups();
-  if (!two_level_enabled() || groups.trivial()) {
-    allreduce_over(all_ranks(), in, out, op, tag);
-    return;
-  }
-  // Local reduce to the leader, allreduce across leaders, local bcast.
-  const int leader_pos = position_of(groups.my_group, groups.my_leader);
-  reduce_over(groups.my_group, in, out, op, leader_pos, tag);
-  if (rank() == groups.my_leader) {
-    std::vector<T> tmp(out.begin(),
-                       out.begin() + static_cast<std::ptrdiff_t>(in.size()));
-    allreduce_over(groups.leaders, std::span<const T>(tmp), out, op, tag + 4);
-  }
-  bcast_over(groups.my_group, out.subspan(0, in.size()), leader_pos, tag + 8);
-}
+// The tunable collective algorithms (the `*_over` primitives and the
+// engine-dispatched user-level collectives) live in mpi/coll/algorithms.hpp
+// and mpi/coll/dispatch.hpp, included at the end of this header.
 
 template <typename T>
 T Communicator::allreduce_value(T value, ReduceOp op) {
@@ -629,55 +489,6 @@ void Communicator::gather(std::span<const T> mine, std::span<T> all, int root) {
 }
 
 template <typename T>
-void Communicator::allgather(std::span<const T> mine, std::span<T> all) {
-  const ProfiledCall prof_scope(*engine_, prof::CallKind::Allgather);
-  const int tag = begin_collective();
-  const auto& groups = locality_groups();
-  const std::size_t block = mine.size();
-  if (!two_level_enabled() || groups.trivial() || !groups.uniform ||
-      !groups.contiguous) {
-    allgather_over(all_ranks(), mine, all, tag);
-    return;
-  }
-  // Two-level with contiguous uniform groups: gather locally to the leader,
-  // ring-allgather the concatenated group blocks across leaders, then bcast
-  // the full result locally. Group contiguity makes the concatenation land
-  // in rank order (each group's block starts at its leader's rank offset).
-  const std::size_t group_block = block * static_cast<std::size_t>(groups.group_size);
-  if (rank() == groups.my_leader) {
-    std::copy(mine.begin(), mine.end(),
-              all.begin() +
-                  static_cast<std::ptrdiff_t>(block * static_cast<std::size_t>(rank())));
-    for (int member : groups.my_group) {
-      if (member == rank()) continue;
-      raw_recv(
-          std::span<T>(all.data() + block * static_cast<std::size_t>(member), block),
-          member, tag);
-    }
-    const std::size_t my_leader_pos =
-        static_cast<std::size_t>(position_of(groups.leaders, groups.my_leader));
-    std::vector<T> packed(group_block * groups.leaders.size());
-    std::copy(all.data() + block * static_cast<std::size_t>(rank()),
-              all.data() + block * static_cast<std::size_t>(rank()) + group_block,
-              packed.data() + group_block * my_leader_pos);
-    allgather_over(groups.leaders,
-                   std::span<const T>(packed.data() + group_block * my_leader_pos,
-                                      group_block),
-                   std::span<T>(packed), tag + 4);
-    for (std::size_t g = 0; g < groups.leaders.size(); ++g) {
-      const std::size_t offset = block * static_cast<std::size_t>(groups.leaders[g]);
-      std::copy(packed.begin() + static_cast<std::ptrdiff_t>(group_block * g),
-                packed.begin() + static_cast<std::ptrdiff_t>(group_block * (g + 1)),
-                all.begin() + static_cast<std::ptrdiff_t>(offset));
-    }
-  } else {
-    raw_send(mine, groups.my_leader, tag);
-  }
-  bcast_over(groups.my_group, all, position_of(groups.my_group, groups.my_leader),
-             tag + 8);
-}
-
-template <typename T>
 void Communicator::scatter(std::span<const T> all, std::span<T> mine, int root) {
   const ProfiledCall prof_scope(*engine_, prof::CallKind::Scatter);
   const int tag = begin_collective();
@@ -695,32 +506,6 @@ void Communicator::scatter(std::span<const T> all, std::span<T> mine, int root) 
               all.data() + block * static_cast<std::size_t>(root) + block, mine.data());
   } else {
     raw_recv(mine, root, tag);
-  }
-}
-
-template <typename T>
-void Communicator::alltoall(std::span<const T> send_data, std::span<T> recv_data) {
-  const ProfiledCall prof_scope(*engine_, prof::CallKind::Alltoall);
-  const int tag = begin_collective();
-  const int n = size();
-  const std::size_t block = send_data.size() / static_cast<std::size_t>(n);
-  CBMPI_REQUIRE(send_data.size() == block * static_cast<std::size_t>(n) &&
-                    recv_data.size() >= send_data.size(),
-                "alltoall buffer size mismatch");
-  const auto my = static_cast<std::size_t>(rank());
-  std::copy(send_data.data() + block * my, send_data.data() + block * (my + 1),
-            recv_data.data() + block * my);
-  const bool pow2 = detail::is_power_of_two(static_cast<std::size_t>(n));
-  for (int step = 1; step < n; ++step) {
-    const int send_to = pow2 ? (rank() ^ step) : (rank() + step) % n;
-    const int recv_from = pow2 ? (rank() ^ step) : (rank() - step + n) % n;
-    raw_sendrecv(
-        std::span<const T>(send_data.data() + block * static_cast<std::size_t>(send_to),
-                           block),
-        send_to,
-        std::span<T>(recv_data.data() + block * static_cast<std::size_t>(recv_from),
-                     block),
-        recv_from, tag);
   }
 }
 
@@ -764,132 +549,6 @@ void Communicator::alltoallv(std::span<const T> send_data,
 }
 
 // ---- v-variants, reduce_scatter, prefix scans -----------------------------------
-
-template <typename T>
-void Communicator::allgatherv_over(const std::vector<int>& list,
-                                   std::span<const T> mine, std::span<T> all,
-                                   std::span<const int> counts,
-                                   std::span<const int> displs, int tag) {
-  const int m = static_cast<int>(list.size());
-  const int pos = position_in(list);
-  CBMPI_REQUIRE(counts.size() == static_cast<std::size_t>(m) &&
-                    displs.size() == static_cast<std::size_t>(m),
-                "allgatherv counts/displs must have one entry per position");
-  CBMPI_REQUIRE(mine.size() == static_cast<std::size_t>(counts[static_cast<std::size_t>(pos)]),
-                "allgatherv input size mismatch");
-  T* const my_slot = all.data() + static_cast<std::size_t>(displs[static_cast<std::size_t>(pos)]);
-  if (my_slot != mine.data()) std::copy(mine.begin(), mine.end(), my_slot);
-  if (m == 1) return;
-
-  const int right = list[static_cast<std::size_t>((pos + 1) % m)];
-  const int left = list[static_cast<std::size_t>((pos - 1 + m) % m)];
-  for (int s = 0; s < m - 1; ++s) {
-    const auto send_pos = static_cast<std::size_t>((pos - s + m) % m);
-    const auto recv_pos = static_cast<std::size_t>((pos - s - 1 + m) % m);
-    raw_sendrecv(std::span<const T>(all.data() + static_cast<std::size_t>(displs[send_pos]),
-                                    static_cast<std::size_t>(counts[send_pos])),
-                 right,
-                 std::span<T>(all.data() + static_cast<std::size_t>(displs[recv_pos]),
-                              static_cast<std::size_t>(counts[recv_pos])),
-                 left, tag);
-  }
-}
-
-template <typename T>
-void Communicator::bcast_vandegeijn_over(const std::vector<int>& list,
-                                         std::span<T> data, int root_pos, int tag) {
-  const int m = static_cast<int>(list.size());
-  const int pos = position_in(list);
-  const std::size_t n = data.size();
-  // Block partition of the payload by position.
-  std::vector<int> counts(static_cast<std::size_t>(m));
-  std::vector<int> displs(static_cast<std::size_t>(m));
-  const std::size_t base = n / static_cast<std::size_t>(m);
-  const std::size_t rem = n % static_cast<std::size_t>(m);
-  std::size_t offset = 0;
-  for (int q = 0; q < m; ++q) {
-    const std::size_t c = base + (static_cast<std::size_t>(q) < rem ? 1 : 0);
-    counts[static_cast<std::size_t>(q)] = static_cast<int>(c);
-    displs[static_cast<std::size_t>(q)] = static_cast<int>(offset);
-    offset += c;
-  }
-  // Scatter phase (linear from the root).
-  if (pos == root_pos) {
-    for (int q = 0; q < m; ++q) {
-      if (q == root_pos) continue;
-      raw_send(std::span<const T>(data.data() + static_cast<std::size_t>(
-                                                    displs[static_cast<std::size_t>(q)]),
-                                  static_cast<std::size_t>(counts[static_cast<std::size_t>(q)])),
-               list[static_cast<std::size_t>(q)], tag);
-    }
-  } else {
-    raw_recv(std::span<T>(data.data() + static_cast<std::size_t>(
-                                            displs[static_cast<std::size_t>(pos)]),
-                          static_cast<std::size_t>(counts[static_cast<std::size_t>(pos)])),
-             list[static_cast<std::size_t>(root_pos)], tag);
-  }
-  // Ring allgather of the blocks completes the broadcast.
-  allgatherv_over(list,
-                  std::span<const T>(data.data() + static_cast<std::size_t>(
-                                                       displs[static_cast<std::size_t>(pos)]),
-                                     static_cast<std::size_t>(counts[static_cast<std::size_t>(pos)])),
-                  data, counts, displs, tag + 1);
-}
-
-template <typename T>
-void Communicator::reduce_scatter_halving_over(const std::vector<int>& list,
-                                               std::span<const T> in,
-                                               std::span<T> block_out, ReduceOp op,
-                                               int tag) {
-  const int m = static_cast<int>(list.size());
-  CBMPI_REQUIRE(detail::is_power_of_two(static_cast<std::size_t>(m)),
-                "recursive halving requires a power-of-two list");
-  const std::size_t block = in.size() / static_cast<std::size_t>(m);
-  CBMPI_REQUIRE(in.size() == block * static_cast<std::size_t>(m) &&
-                    block_out.size() >= block,
-                "reduce_scatter buffer size mismatch");
-  const int pos = position_in(list);
-
-  std::vector<T> acc(in.begin(), in.end());
-  std::vector<T> incoming(in.size() / 2 + 1);
-  std::size_t start = 0;        // in blocks
-  std::size_t count = static_cast<std::size_t>(m);
-  for (int mask = m >> 1; mask > 0; mask >>= 1) {
-    const int partner = list[static_cast<std::size_t>(pos ^ mask)];
-    const std::size_t half = count / 2;
-    const bool upper = (pos & mask) != 0;
-    const std::size_t keep_start = upper ? start + half : start;
-    const std::size_t send_start = upper ? start : start + half;
-    raw_sendrecv(std::span<const T>(acc.data() + send_start * block, half * block),
-                 partner, std::span<T>(incoming.data(), half * block), partner, tag);
-    apply_reduce<T>(op, std::span<const T>(incoming.data(), half * block),
-                    std::span<T>(acc.data() + keep_start * block, half * block));
-    start = keep_start;
-    count = half;
-  }
-  // After log2(m) rounds this rank holds the reduction of block `pos`.
-  std::copy(acc.data() + start * block, acc.data() + (start + 1) * block,
-            block_out.data());
-}
-
-template <typename T>
-void Communicator::allreduce_rabenseifner_over(const std::vector<int>& list,
-                                               std::span<const T> in, std::span<T> out,
-                                               ReduceOp op, int tag) {
-  const int m = static_cast<int>(list.size());
-  const std::size_t block =
-      (in.size() + static_cast<std::size_t>(m) - 1) / static_cast<std::size_t>(m);
-  // Pad to m equal blocks with identity-ish zeros (safe for Sum/Or; Min/Max
-  // and Prod fall back to recursive doubling at the dispatch site).
-  std::vector<T> padded(block * static_cast<std::size_t>(m), T{});
-  std::copy(in.begin(), in.end(), padded.begin());
-  std::vector<T> my_block(block);
-  reduce_scatter_halving_over(list, std::span<const T>(padded),
-                              std::span<T>(my_block), op, tag);
-  allgather_over(list, std::span<const T>(my_block), std::span<T>(padded), tag + 1);
-  std::copy(padded.begin(), padded.begin() + static_cast<std::ptrdiff_t>(in.size()),
-            out.begin());
-}
 
 template <typename T>
 void Communicator::gatherv(std::span<const T> mine, std::span<T> all,
@@ -967,7 +626,7 @@ void Communicator::reduce_scatter_block(std::span<const T> in, std::span<T> out,
   }
   // Fallback: reduce to rank 0, then scatter (uses the tag block's tail).
   std::vector<T> full(rank() == 0 ? in.size() : 0);
-  reduce_over(all_ranks(), in, std::span<T>(full), op, 0, tag);
+  reduce_over(all_ranks(), in, std::span<T>(full), op, 0, tag, coll::Algo::Binomial);
   const int stag = tag + 1;
   if (rank() == 0) {
     for (int r = 1; r < n; ++r)
@@ -1050,3 +709,10 @@ T Communicator::exscan_value(T value, ReduceOp op) {
 }
 
 }  // namespace cbmpi::mpi
+
+// Template definitions of the tunable collective algorithms and their
+// engine-driven dispatch. Included here (not standalone) so every user of
+// Communicator sees the definitions; both headers re-include this one, which
+// `#pragma once` resolves to a no-op.
+#include "mpi/coll/algorithms.hpp"  // IWYU pragma: keep
+#include "mpi/coll/dispatch.hpp"    // IWYU pragma: keep

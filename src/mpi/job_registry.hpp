@@ -27,14 +27,18 @@ struct JobBodyParams {
   double compute_ops = 0.0;    ///< abstract work units per rank per round
 };
 
+/// What every rank executes; the closure run_job() hands each rank thread.
 using JobBody = std::function<void(Process&)>;
+/// Symmetric nranks x nranks relative traffic weight per rank pair.
 using TrafficMatrix = std::vector<std::vector<double>>;
 
+/// Everything the registry knows about one named body.
 struct JobBodyInfo {
+  /// Builds the runnable closure for one launch.
   std::function<JobBody(const JobBodyParams&)> make;
   /// Relative per-pair communication volume for an nranks-rank run.
   std::function<TrafficMatrix(int nranks, const JobBodyParams&)> traffic;
-  std::string description;
+  std::string description;  ///< one line, shown by `cbmpirun --help`-style listings
 };
 
 /// Process-wide registry. Built-in bodies (ring, pairs, shift, allreduce,
@@ -42,11 +46,13 @@ struct JobBodyInfo {
 /// may add their own before submitting jobs that name them.
 class JobBodyRegistry {
  public:
+  /// The process-wide singleton (built-ins registered on first call).
   static JobBodyRegistry& instance();
 
   /// Registers (or replaces) a body under `name`.
   void add(const std::string& name, JobBodyInfo info);
 
+  /// Is `name` registered?
   bool contains(const std::string& name) const;
   const JobBodyInfo& info(const std::string& name) const;  ///< throws if unknown
 

@@ -19,6 +19,7 @@
 #include "fabric/shm_channel.hpp"
 #include "fabric/tuning.hpp"
 #include "faults/fault.hpp"
+#include "mpi/coll/engine.hpp"
 #include "mpi/matcher.hpp"
 #include "prof/profile.hpp"
 #include "sim/trace.hpp"
@@ -40,6 +41,13 @@ struct WindowInfo {
 struct JobState {
   const topo::MachineProfile* profile = nullptr;
   fabric::TuningParams tuning;
+
+  /// Collective-algorithm engine; the runtime rebuilds it from the job's
+  /// tuning table, TuningParams and placement before any rank starts.
+  /// (Fully qualified: the member name shadows the `coll` namespace inside
+  /// this class scope.)
+  cbmpi::coll::Engine coll{cbmpi::coll::TuningTable::container_defaults(),
+                           fabric::TuningParams{}, 1};
 
   std::unique_ptr<fabric::ShmChannel> shm;
   std::unique_ptr<fabric::CmaChannel> cma;

@@ -210,6 +210,16 @@ JobResult run_job(const JobConfig& config, const std::function<void(Process&)>& 
   JobState job;
   job.profile = &machine.profile();
   job.tuning = config.tuning;
+  {
+    // Locality-shape key for the tuning table: the densest container packing
+    // anywhere in the placement (1 = native / one container per host).
+    int cph = 1;
+    for (int h = 0; h < placement.num_hosts(); ++h)
+      cph = std::max(cph, placement.containers_on(h));
+    coll::TuningTable table = config.coll_tuning;
+    table.apply_env();  // CBMPI_<COLL>_ALGORITHM pins beat every table entry
+    job.coll = coll::Engine(std::move(table), config.tuning, cph);
+  }
   job.shm = std::make_unique<fabric::ShmChannel>(machine.profile(), config.tuning);
   job.cma = std::make_unique<fabric::CmaChannel>(machine.profile());
   job.hca = std::make_unique<fabric::HcaChannel>(machine.profile(), config.tuning);

@@ -19,6 +19,7 @@
 #include "container/deployment.hpp"
 #include "fabric/selector.hpp"
 #include "faults/fault.hpp"
+#include "mpi/coll/tuning_table.hpp"
 #include "mpi/communicator.hpp"
 #include "mpi/time_barrier.hpp"
 #include "prof/profile.hpp"
@@ -36,6 +37,12 @@ struct JobConfig {
   /// isolation kind). Hosts may carry different rank/container counts.
   std::optional<container::JobPlacement> placement;
   fabric::TuningParams tuning{};
+
+  /// Collective-algorithm selection rules. Ships the paper-derived container
+  /// defaults; merge a parsed file over them (`cbmpirun --tuning=<file>`) to
+  /// re-tune without a recompile. CBMPI_<COLL>_ALGORITHM env pins are applied
+  /// on top at job start and beat every table entry.
+  coll::TuningTable coll_tuning = coll::TuningTable::container_defaults();
   fabric::LocalityPolicy policy = fabric::LocalityPolicy::HostnameBased;
   topo::MachineProfile profile = topo::MachineProfile::chameleon_fdr();
 

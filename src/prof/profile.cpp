@@ -53,6 +53,14 @@ void RankProfile::add_channel_op(fabric::ChannelKind channel, Bytes bytes) {
   channel_bytes_[static_cast<std::size_t>(channel)] += bytes;
 }
 
+void RankProfile::add_coll_algo(coll::Coll coll, coll::Algo algo) {
+  ++coll_algos_[static_cast<std::size_t>(coll)][static_cast<std::size_t>(algo)];
+}
+
+std::uint64_t RankProfile::coll_algo(coll::Coll coll, coll::Algo algo) const {
+  return coll_algos_[static_cast<std::size_t>(coll)][static_cast<std::size_t>(algo)];
+}
+
 void RankProfile::add_compute(Micros elapsed) { compute_time_ += elapsed; }
 
 void RankProfile::add_recovery(Micros elapsed) { recovery_time_ += elapsed; }
@@ -85,6 +93,9 @@ void RankProfile::merge(const RankProfile& other) {
     calls_[i].count += other.calls_[i].count;
     calls_[i].time += other.calls_[i].time;
   }
+  for (std::size_t c = 0; c < coll::kColls; ++c)
+    for (std::size_t a = 0; a < coll::kAlgos; ++a)
+      coll_algos_[c][a] += other.coll_algos_[c][a];
   for (std::size_t i = 0; i < fabric::kChannelKinds; ++i) {
     channel_ops_[i] += other.channel_ops_[i];
     channel_bytes_[i] += other.channel_bytes_[i];
@@ -124,6 +135,20 @@ std::string JobProfile::report() const {
                       std::to_string(total.channel_bytes(kind))});
   }
   channels.print(os);
+  Table algos({"collective", "algorithm", "calls"});
+  bool any_algos = false;
+  for (std::size_t c = 0; c < coll::kColls; ++c) {
+    for (std::size_t a = 0; a < coll::kAlgos; ++a) {
+      const auto n = total.coll_algo(static_cast<coll::Coll>(c),
+                                     static_cast<coll::Algo>(a));
+      if (n == 0) continue;
+      algos.add_row({coll::to_string(static_cast<coll::Coll>(c)),
+                     coll::to_string(static_cast<coll::Algo>(a)),
+                     std::to_string(n)});
+      any_algos = true;
+    }
+  }
+  if (any_algos) algos.print(os);
   os << "communication fraction: " << Table::num(100.0 * comm_fraction(), 1) << "%\n";
   if (total.recovery_time() > 0.0)
     os << "fault recovery time: " << Table::num(to_millis(total.recovery_time()), 3)

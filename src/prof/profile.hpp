@@ -10,6 +10,7 @@
 
 #include "common/units.hpp"
 #include "fabric/message.hpp"
+#include "mpi/coll/types.hpp"
 
 namespace cbmpi::prof {
 
@@ -36,12 +37,18 @@ class RankProfile {
  public:
   void add_call(CallKind kind, Micros elapsed);
   void add_channel_op(fabric::ChannelKind channel, Bytes bytes);
+  /// One user-level collective resolved to `algo` (TwoLevel for hierarchical
+  /// paths; never Auto). Pairs with the channel counters so placement quality
+  /// and algorithm quality are observable together.
+  void add_coll_algo(coll::Coll coll, coll::Algo algo);
   void add_compute(Micros elapsed);
   /// Virtual time spent recovering from injected faults (retry backoff,
   /// fallback detection) — reported separately from comm/compute.
   void add_recovery(Micros elapsed);
 
   const CallStats& call(CallKind kind) const;
+  /// How many calls of `coll` ran with `algo` on this rank.
+  std::uint64_t coll_algo(coll::Coll coll, coll::Algo algo) const;
   std::uint64_t channel_ops(fabric::ChannelKind channel) const;
   Bytes channel_bytes(fabric::ChannelKind channel) const;
   Micros comm_time() const;    ///< sum over all MPI calls
@@ -52,6 +59,7 @@ class RankProfile {
 
  private:
   std::array<CallStats, kCallKinds> calls_{};
+  std::array<std::array<std::uint64_t, coll::kAlgos>, coll::kColls> coll_algos_{};
   std::array<std::uint64_t, fabric::kChannelKinds> channel_ops_{};
   std::array<Bytes, fabric::kChannelKinds> channel_bytes_{};
   Micros compute_time_ = 0.0;

@@ -33,9 +33,12 @@
 
 namespace cbmpi::sched {
 
+/// The four placement strategies described above.
 enum class PlacementPolicy { Packed, Spread, Random, LocalityAware };
 
+/// Lower-case CLI token for the policy ("packed", "locality", ...).
 const char* to_string(PlacementPolicy policy);
+/// Inverse of to_string(); nullopt for unknown names.
 std::optional<PlacementPolicy> parse_policy(const std::string& name);
 
 /// One host's share of a job: which job ranks run there, on which physical
@@ -46,13 +49,17 @@ struct HostAssignment {
   std::vector<int> cores;
 };
 
+/// A complete job-to-cluster mapping: every rank appears in exactly one
+/// host's assignment.
 struct Placement {
   std::vector<HostAssignment> hosts;  ///< ascending physical host id
 };
 
+/// Strategy interface implemented by each PlacementPolicy.
 class Placer {
  public:
   virtual ~Placer() = default;
+  /// Stable display name ("packed", "locality", ...) for tables and logs.
   virtual const char* name() const = 0;
 
   /// Chooses hosts/cores for `job` given current free capacity, or nullopt
@@ -62,6 +69,8 @@ class Placer {
                                          const ClusterState& state) const = 0;
 };
 
+/// Factory: the Placer implementing `policy`. `seed` only matters for
+/// Random (and ties in LocalityAware); same seed, same placements.
 std::unique_ptr<Placer> make_placer(PlacementPolicy policy, std::uint64_t seed);
 
 /// The job's effective communication-volume hint: the spec's explicit matrix

@@ -20,16 +20,20 @@
 
 namespace cbmpi::sched {
 
+/// Everything a Scheduler needs to know before the first submit. Plain data;
+/// copy freely. One config describes one simulated cluster.
 struct SchedulerConfig {
-  int cluster_hosts = 4;
+  int cluster_hosts = 4;         ///< identical hosts in the cluster
   topo::HostShape host_shape{};  ///< defaults to the paper's 2x12 testbed
   PlacementPolicy policy = PlacementPolicy::LocalityAware;
-  bool backfill = true;
-  std::uint64_t seed = 42;
-  fabric::TuningParams tuning{};
+  bool backfill = true;          ///< EASY backfill; false = pure FIFO
+  std::uint64_t seed = 42;       ///< root of every placement / job seed
+  fabric::TuningParams tuning{};             ///< forwarded to every job
   topo::MachineProfile profile = topo::MachineProfile::chameleon_fdr();
 };
 
+/// The cluster control plane: submit jobs, then run() once to drain the
+/// queue in virtual time. Not thread-safe; drive it from one thread.
 class Scheduler {
  public:
   explicit Scheduler(SchedulerConfig config);
@@ -44,8 +48,12 @@ class Scheduler {
   /// completion order. Call once after all submits.
   const std::vector<ScheduledJob>& run();
 
+  /// Completed jobs, in completion order (empty before run()).
   const std::vector<ScheduledJob>& jobs() const { return done_; }
+  /// Cluster-wide aggregates (makespan, utilization, waits, channel ops);
+  /// meaningful after run().
   const ClusterMetrics& metrics() const { return metrics_; }
+  /// The configuration this scheduler was built with (never changes).
   const SchedulerConfig& config() const { return config_; }
 
   /// Test seam: replaces mpi::run_job execution (e.g. with a canned-duration

@@ -16,6 +16,7 @@ const char* to_string(TraceKind kind) {
     case TraceKind::FaultInject: return "fault-inject";
     case TraceKind::Retry: return "retry";
     case TraceKind::Degrade: return "degrade";
+    case TraceKind::CollAlgo: return "coll-algo";
   }
   return "?";
 }

@@ -28,6 +28,7 @@ enum class TraceKind : std::uint8_t {
   FaultInject,  ///< an injected fault fired at this point
   Retry,        ///< a transfer attempt was retried after a transient fault
   Degrade,      ///< a fallback decision (locality or channel) was taken
+  CollAlgo,     ///< a collective resolved to an algorithm ("bcast/binomial")
 };
 
 const char* to_string(TraceKind kind);

@@ -189,6 +189,7 @@ TEST(LargeAlgorithms, BcastVanDeGeijnMatchesBinomial) {
   auto run_with = [&](Bytes threshold) {
     JobConfig cfg;
     cfg.deployment = DeploymentSpec::native_hosts(4, 2);
+    cfg.coll_tuning = {};  // empty table: Auto heuristic, honours the threshold
     cfg.tuning.bcast_large_threshold = threshold;
     Micros time = 0.0;
     std::uint64_t checksum = 0;
@@ -221,6 +222,7 @@ TEST(LargeAlgorithms, AllreduceRabenseifnerMatchesRecursiveDoubling) {
   auto run_with = [&](Bytes threshold) {
     JobConfig cfg;
     cfg.deployment = DeploymentSpec::native_hosts(4, 2);
+    cfg.coll_tuning = {};  // empty table: Auto heuristic, honours the threshold
     cfg.tuning.allreduce_large_threshold = threshold;
     Micros time = 0.0;
     double checksum = 0.0;

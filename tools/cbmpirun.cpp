@@ -216,6 +216,8 @@ int main(int argc, char** argv) {
   const bool no_pid = opts.get_flag("no-pid-sharing", "drop --pid=host");
   const bool no_cma = opts.get_flag("no-cma", "disable the CMA channel");
   const bool flat = opts.get_flag("flat-collectives", "disable 2-level collectives");
+  const std::string tuning_file = opts.get(
+      "tuning", "", "collective tuning file (see DESIGN.md §11 for the format)");
   plan.scale = static_cast<int>(opts.get_int("scale", 13, "graph500 scale"));
   plan.message_size = static_cast<Bytes>(
       opts.get_int("message-size", 1024, "osu-* message size in bytes"));
@@ -252,6 +254,17 @@ int main(int argc, char** argv) {
                                            : fabric::LocalityPolicy::ContainerAware;
   plan.config.tuning.use_cma = !no_cma;
   plan.config.tuning.two_level_collectives = !flat;
+  if (!tuning_file.empty()) {
+    // User entries append after the shipped container defaults, so a file
+    // overrides exactly the (collective, size, ranks, cph) regions it names —
+    // last match wins. CBMPI_*_ALGORITHM env pins still beat both.
+    try {
+      plan.config.coll_tuning.merge(coll::TuningTable::load_file(tuning_file));
+    } catch (const Error& e) {
+      std::fprintf(stderr, "cbmpirun: %s\n", e.what());
+      return 2;
+    }
+  }
 
   std::printf("cbmpirun: %s on %s, %d ranks, %s runtime\n", plan.app.c_str(),
               plan.config.deployment.label().c_str(),

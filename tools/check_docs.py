@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Documentation consistency checks, run by the CI `docs` job.
+
+1. Every relative markdown link in the core docs resolves to an existing
+   file (anchors and external http(s)/mailto links are skipped).
+2. Every directory under src/ is documented in docs/ARCHITECTURE.md.
+
+Exit status is the number of problems found; each problem is printed as
+`file: message` so editors can jump to it.
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+DOCS = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "docs/ARCHITECTURE.md",
+]
+
+# [text](target) — excludes images' leading "!" handling (images are links
+# to files too, so check them the same way).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+
+def strip_code_blocks(lines):
+    """Yields (lineno, line) for lines outside fenced code blocks."""
+    in_fence = False
+    for lineno, line in enumerate(lines, start=1):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            yield lineno, line
+
+
+def check_links(doc, problems):
+    path = os.path.join(REPO, doc)
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    for lineno, line in strip_code_blocks(lines):
+        for target in LINK_RE.findall(line):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            rel = target.split("#", 1)[0]  # drop in-page anchor
+            if not rel:
+                continue
+            resolved = os.path.normpath(os.path.join(os.path.dirname(path), rel))
+            if not os.path.exists(resolved):
+                problems.append(f"{doc}:{lineno}: broken link '{target}'")
+
+
+def check_architecture_covers_src(problems):
+    arch_doc = "docs/ARCHITECTURE.md"
+    with open(os.path.join(REPO, arch_doc), encoding="utf-8") as f:
+        arch = f.read()
+    src = os.path.join(REPO, "src")
+    for entry in sorted(os.listdir(src)):
+        if not os.path.isdir(os.path.join(src, entry)):
+            continue
+        if not re.search(rf"src/{re.escape(entry)}\b", arch):
+            problems.append(
+                f"{arch_doc}: src/{entry} is not documented "
+                f"(expected a 'src/{entry}' mention)")
+
+
+def main():
+    problems = []
+    for doc in DOCS:
+        if not os.path.exists(os.path.join(REPO, doc)):
+            problems.append(f"{doc}: missing (listed in tools/check_docs.py)")
+            continue
+        check_links(doc, problems)
+    check_architecture_covers_src(problems)
+    for problem in problems:
+        print(problem)
+    if not problems:
+        print(f"docs OK: {len(DOCS)} files, all links resolve, "
+              "all src/ subsystems documented")
+    return len(problems)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
