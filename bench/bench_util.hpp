@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "common/units.hpp"
 #include "container/deployment.hpp"
 #include "mpi/runtime.hpp"
+#include "obs/json.hpp"
 
 namespace cbmpi::bench {
 
@@ -74,5 +76,70 @@ inline std::vector<Bytes> size_sweep(Bytes from, Bytes upto) {
 inline double percent_better(double baseline, double improved) {
   return (baseline - improved) / baseline * 100.0;
 }
+
+/// Declares the shared --json option: path for the machine-readable result
+/// document (empty = no JSON output).
+inline std::string declare_json(Options& opts) {
+  return opts.get("json", "",
+                  "write the bench results as JSON to this file");
+}
+
+/// Machine-readable bench results: one row per measured point, serialized as
+///   {"bench": ..., "config": ..., "seed": ..., "rows":
+///    [{"label": ..., "bytes": ..., "latency_us": ..., "bandwidth_mbps": ...}]}
+/// Rows are emitted in add() order and numbers use obs::format_double, so a
+/// rerun with the same seed writes a byte-identical file.
+class JsonRows {
+ public:
+  JsonRows(std::string bench, std::string config, std::uint64_t seed)
+      : bench_(std::move(bench)), config_(std::move(config)), seed_(seed) {}
+
+  /// A measured point. Pass 0 for whichever of latency/bandwidth the panel
+  /// does not report.
+  void add(const std::string& label, Bytes bytes, double latency_us,
+           double bandwidth_mbps) {
+    rows_.push_back({label, bytes, latency_us, bandwidth_mbps});
+  }
+
+  std::string str() const {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.field("bench", bench_);
+    w.field("config", config_);
+    w.field("seed", seed_);
+    w.key("rows").begin_array();
+    for (const auto& row : rows_) {
+      w.begin_object();
+      w.field("label", row.label);
+      w.field("bytes", static_cast<std::uint64_t>(row.bytes));
+      w.field("latency_us", row.latency_us);
+      w.field("bandwidth_mbps", row.bandwidth_mbps);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    return w.str() + "\n";
+  }
+
+  /// Writes the document; no-op when `path` is empty (--json not given).
+  void write(const std::string& path) const {
+    if (path.empty()) return;
+    std::ofstream out(path, std::ios::binary);
+    out << str();
+    std::printf("results written to %s\n", path.c_str());
+  }
+
+ private:
+  struct Row {
+    std::string label;
+    Bytes bytes = 0;
+    double latency_us = 0.0;
+    double bandwidth_mbps = 0.0;
+  };
+  std::string bench_;
+  std::string config_;
+  std::uint64_t seed_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace cbmpi::bench

@@ -9,6 +9,7 @@
 #include "bench_util.hpp"
 
 #include "apps/osu/microbench.hpp"
+#include "sim/trace_export.hpp"
 
 using namespace cbmpi;
 using namespace cbmpi::bench;
@@ -17,11 +18,17 @@ namespace {
 
 enum class Metric { Latency, Bandwidth, BiBandwidth };
 
-double measure(const mpi::JobConfig& config, Metric metric, Bytes size, int iters) {
+struct Measurement {
+  double value = 0.0;
+  mpi::JobResult result;
+};
+
+Measurement measure(const mpi::JobConfig& config, Metric metric, Bytes size,
+                    int iters) {
   apps::osu::PairOptions pair;
   pair.iterations = iters;
-  double value = 0.0;
-  mpi::run_job(config, [&](mpi::Process& p) {
+  Measurement m;
+  m.result = mpi::run_job(config, [&](mpi::Process& p) {
     double v = 0.0;
     switch (metric) {
       case Metric::Latency: v = apps::osu::pt2pt_latency(p, size, pair); break;
@@ -30,9 +37,9 @@ double measure(const mpi::JobConfig& config, Metric metric, Bytes size, int iter
         v = apps::osu::pt2pt_bi_bandwidth(p, size, pair);
         break;
     }
-    if (p.rank() == 0) value = v;
+    if (p.rank() == 0) m.value = v;
   });
-  return value;
+  return m;
 }
 
 }  // namespace
@@ -42,6 +49,10 @@ int main(int argc, char** argv) {
   const auto max_size = static_cast<Bytes>(
       opts.get_int("max-size", static_cast<std::int64_t>(1_MiB), "largest message"));
   const int iters = static_cast<int>(opts.get_int("iters", 8, "iterations per point"));
+  const std::uint64_t seed = declare_seed(opts);
+  const std::string json_file = declare_json(opts);
+  const std::string trace_file = opts.get(
+      "trace-out", "", "write a chrome://tracing JSON of one run to this file");
   if (opts.finish("Figure 8: two-sided pt2pt latency/bw/bibw, Def vs Opt vs Native"))
     return 0;
 
@@ -62,16 +73,25 @@ int main(int argc, char** argv) {
 
   double best_lat_gain = 0, best_bw_gain = 0, best_bibw_gain = 0;
   double lat1k_def = 0, lat1k_opt = 0, lat1k_native = 0;
+  JsonRows json("fig08_pt2pt_two_sided", "1 host x 2 containers x 2 procs", seed);
 
   for (const auto& panel : panels) {
     for (int pl = 0; pl < 2; ++pl) {
-      const auto modes = make_modes(1, 2, 2, placements[pl]);
+      auto modes = make_modes(1, 2, 2, placements[pl]);
+      modes.def.seed = modes.opt.seed = modes.native.seed = seed;
       std::printf("-- %s, %s --\n", panel.name, placement_names[pl]);
       Table table({"size", "Cont-Def", "Cont-Opt", "Native", "Opt vs Def"});
       for (const Bytes size : size_sweep(1, max_size)) {
-        const double def = measure(modes.def, panel.metric, size, iters);
-        const double opt = measure(modes.opt, panel.metric, size, iters);
-        const double native = measure(modes.native, panel.metric, size, iters);
+        const double def = measure(modes.def, panel.metric, size, iters).value;
+        const double opt = measure(modes.opt, panel.metric, size, iters).value;
+        const double native = measure(modes.native, panel.metric, size, iters).value;
+        const bool is_lat = panel.metric == Metric::Latency;
+        for (const auto& [mode, v] : {std::pair{"def", def}, {"opt", opt},
+                                      {"native", native}})
+          json.add(std::string(placement_names[pl]) + "/" + mode +
+                       (is_lat ? "/latency"
+                               : panel.metric == Metric::Bandwidth ? "/bw" : "/bibw"),
+                   size, is_lat ? v : 0.0, is_lat ? 0.0 : v);
         double gain;
         if (panel.metric == Metric::Latency) {
           gain = percent_better(def, opt);
@@ -106,5 +126,36 @@ int main(int argc, char** argv) {
                     "bi-directional gain at least comparable");
   print_shape_check(lat1k_opt < lat1k_native * 1.25,
                     "Opt within ~25% of native at 1 KiB");
+
+  // Observability must be free in virtual time: rerun one point with the
+  // full obs layer (metrics + spans + instant trace) attached and compare
+  // job times. The acceptance bar is <5%; the design gives exactly 0%.
+  {
+    auto modes = make_modes(1, 2, 2, container::SocketPolicy::SameSocket);
+    modes.opt.seed = seed;
+    const auto plain = measure(modes.opt, Metric::Latency, 1_KiB, iters);
+    modes.opt.observe = true;
+    modes.opt.record_trace = true;
+    const auto observed = measure(modes.opt, Metric::Latency, 1_KiB, iters);
+    const double overhead =
+        plain.result.job_time == 0.0
+            ? 0.0
+            : (observed.result.job_time - plain.result.job_time) /
+                  plain.result.job_time;
+    std::printf("observability overhead: %.2f%% virtual time (%zu spans, %zu "
+                "metrics)\n",
+                overhead * 100.0, observed.result.spans.size(),
+                observed.result.metrics.counters.size() +
+                    observed.result.metrics.gauges.size() +
+                    observed.result.metrics.histograms.size());
+    print_shape_check(overhead < 0.05, "observability costs <5% virtual time");
+    if (!trace_file.empty()) {
+      std::ofstream(trace_file, std::ios::binary)
+          << sim::to_chrome_trace(observed.result.trace);
+      std::printf("trace written to %s\n", trace_file.c_str());
+    }
+  }
+
+  json.write(json_file);
   return 0;
 }

@@ -1,7 +1,9 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 namespace cbmpi::logging {
@@ -19,11 +21,34 @@ const char* name(LogLevel level) {
   }
   return "?";
 }
+
+/// Runs init_from_env() during static initialization, so CBMPI_LOG_LEVEL
+/// takes effect before main() without any call-site cooperation.
+const LogLevel g_env_init = init_from_env();
 }  // namespace
 
 void set_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
 LogLevel level() { return g_level.load(std::memory_order_relaxed); }
+
+std::optional<LogLevel> parse_level(std::string_view text) {
+  std::string lower(text);
+  for (char& c : lower) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "debug") return LogLevel::Debug;
+  if (lower == "info") return LogLevel::Info;
+  if (lower == "warn" || lower == "warning") return LogLevel::Warn;
+  if (lower == "off" || lower == "none") return LogLevel::Off;
+  return std::nullopt;
+}
+
+LogLevel init_from_env(LogLevel fallback) {
+  LogLevel level = fallback;
+  if (const char* env = std::getenv("CBMPI_LOG_LEVEL")) {
+    if (const auto parsed = parse_level(env)) level = *parsed;
+  }
+  set_level(level);
+  return level;
+}
 
 void emit(LogLevel lvl, const std::string& message) {
   const std::scoped_lock lock(g_mutex);

@@ -1,9 +1,13 @@
 // Tiny leveled logger. Disabled by default (Warn); benches/examples can turn
-// on Info/Debug with --verbose-style flags. Thread-safe line-at-a-time output.
+// on Info/Debug with --verbose-style flags, and the CBMPI_LOG_LEVEL
+// environment variable (debug | info | warn | off) sets the startup level
+// without touching any flags. Thread-safe line-at-a-time output.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace cbmpi {
 
@@ -13,6 +17,15 @@ namespace logging {
 void set_level(LogLevel level);
 LogLevel level();
 void emit(LogLevel level, const std::string& message);
+
+/// Parses a level name as accepted by CBMPI_LOG_LEVEL (case-insensitive:
+/// debug | info | warn | off); nullopt for anything else.
+std::optional<LogLevel> parse_level(std::string_view name);
+
+/// Applies CBMPI_LOG_LEVEL from the environment: the parsed level, or
+/// `fallback` when the variable is unset or unparsable. Called once
+/// automatically before main(); exposed for tests.
+LogLevel init_from_env(LogLevel fallback = LogLevel::Warn);
 }  // namespace logging
 
 namespace detail {

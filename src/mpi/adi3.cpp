@@ -24,6 +24,16 @@ constexpr Micros kRtsPostOverhead = 0.10;
 Adi3Engine::Adi3Engine(JobState& job, int world_rank, osl::SimProcess& proc)
     : job_(&job), rank_(world_rank), proc_(&proc) {
   CBMPI_REQUIRE(world_rank >= 0 && world_rank < job.nranks, "bad world rank");
+  if (job.metrics != nullptr) {
+    obs_.eager_sends = &job.metrics->counter("adi3.eager_sends");
+    obs_.rndv_sends = &job.metrics->counter("adi3.rndv_sends");
+    for (std::size_t c = 0; c < fabric::kChannelKinds; ++c)
+      obs_.channel_ops[c] = &job.metrics->counter(
+          std::string("channel.") +
+          fabric::to_string(static_cast<fabric::ChannelKind>(c)) + ".ops");
+    obs_.msg_size = &job.metrics->histogram("adi3.message_bytes");
+    obs_.recv_latency = &job.metrics->histogram("adi3.recv_latency_us");
+  }
 }
 
 std::uint64_t Adi3Engine::queue_pair_key(int dst_world) const {
@@ -38,6 +48,13 @@ Request Adi3Engine::start_send(std::span<const std::byte> data, int dst_world, i
   const Bytes size = data.size();
   const auto decision = job_->selector->select(rank_, dst_world, size);
   profile().add_channel_op(decision.channel, size);
+  if (obs_.msg_size != nullptr) {
+    obs_.msg_size->observe(size);
+    obs_.channel_ops[static_cast<std::size_t>(decision.channel)]->add(1);
+    (decision.protocol == fabric::Protocol::Eager ? obs_.eager_sends
+                                                  : obs_.rndv_sends)
+        ->add(1);
+  }
   const std::uint64_t seq = next_seq_++;
   if (decision.channel == fabric::ChannelKind::Hca) {
     job_->hca->ensure_connected(rank_, dst_world);
@@ -203,6 +220,13 @@ void Adi3Engine::complete_eager(RequestState& request, fabric::Envelope& env) {
   if (job_->trace)
     job_->trace->record({sim::TraceKind::RecvComplete, env.src, rank_, env.size,
                          request.complete_at, fabric::to_string(env.channel)});
+  if (job_->spans)
+    job_->spans->record({"eager", obs::SpanCat::Proto, rank_, env.src,
+                         static_cast<int>(env.channel), env.size, start,
+                         request.complete_at, fabric::to_string(env.channel)});
+  if (obs_.recv_latency != nullptr)
+    obs_.recv_latency->observe(
+        static_cast<std::uint64_t>(request.complete_at - request.posted_at));
 }
 
 void Adi3Engine::complete_rendezvous(RequestState& request, fabric::Envelope& env) {
@@ -253,6 +277,15 @@ void Adi3Engine::complete_rendezvous(RequestState& request, fabric::Envelope& en
     job_->trace->record({sim::TraceKind::SendRndvData, env.src, rank_, env.size,
                          times.receiver_done, fabric::to_string(env.channel)});
   }
+  if (job_->spans)
+    // The whole handshake: RTS availability through receiver-side
+    // completion, on the channel's track.
+    job_->spans->record({"rndv", obs::SpanCat::Proto, rank_, env.src,
+                         static_cast<int>(env.channel), env.size, env.available_at,
+                         times.receiver_done, fabric::to_string(env.channel)});
+  if (obs_.recv_latency != nullptr)
+    obs_.recv_latency->observe(
+        static_cast<std::uint64_t>(request.complete_at - request.posted_at));
 }
 
 bool Adi3Engine::try_complete_recv(RequestState& request) {
@@ -364,6 +397,10 @@ void Adi3Engine::charge_hca_retries(int dst_world, std::uint64_t seq, Bytes size
     if (job_->trace)
       job_->trace->record({sim::TraceKind::Retry, rank_, dst_world, size,
                            clock().now(), "HCA"});
+    if (job_->spans)
+      job_->spans->record({"hca-retry", obs::SpanCat::Fault, rank_, dst_world, -1,
+                           size, clock().now() - delay, clock().now(),
+                           to_string(kind)});
   }
 }
 

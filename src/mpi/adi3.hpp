@@ -96,6 +96,23 @@ class Adi3Engine {
   JobState* job_;
   int rank_;
   osl::SimProcess* proc_;
+
+  /// Observability handles, resolved once at construction when the job has a
+  /// metrics registry attached (all null otherwise, so the hot path is one
+  /// pointer test). Values are virtual-time-deterministic, so concurrent
+  /// atomic bumps still yield bit-identical snapshots.
+  struct ObsHandles {
+    obs::Counter* eager_sends = nullptr;
+    obs::Counter* rndv_sends = nullptr;
+    obs::Counter* channel_ops[fabric::kChannelKinds] = {};
+    obs::Histogram* msg_size = nullptr;
+    /// Post-to-completion time of each receive, in whole virtual
+    /// microseconds. Derived from virtual timestamps only — never from queue
+    /// occupancy, which depends on wall-clock drain order.
+    obs::Histogram* recv_latency = nullptr;
+  };
+  ObsHandles obs_;
+
   std::uint64_t next_seq_ = 0;
   std::vector<Request> posted_;
   /// Receiver-side copies/pulls serialize on this rank's CPU: the next

@@ -30,7 +30,7 @@ void Communicator::bcast(std::span<T> data, int root) {
       coll_engine().choose(coll::Coll::Bcast, bytes, size(), two_level_ok);
   if (algo != coll::Algo::TwoLevel) {
     note_algo(coll::Coll::Bcast, bcast_over(all_ranks(), data, root, tag, algo),
-              bytes);
+              bytes, prof_scope.start());
     return;
   }
   const int root_leader = groups.leader_of[static_cast<std::size_t>(root)];
@@ -49,7 +49,7 @@ void Communicator::bcast(std::span<T> data, int root) {
   // Phase 3: each leader broadcasts within its group.
   bcast_over(groups.my_group, data, position_of(groups.my_group, groups.my_leader),
              tag + 2, pick(coll::Coll::Bcast, bytes, groups.group_size));
-  note_algo(coll::Coll::Bcast, coll::Algo::TwoLevel, bytes);
+  note_algo(coll::Coll::Bcast, coll::Algo::TwoLevel, bytes, prof_scope.start());
 }
 
 template <typename T>
@@ -64,7 +64,8 @@ void Communicator::reduce(std::span<const T> in, std::span<T> out, ReduceOp op,
       coll_engine().choose(coll::Coll::Reduce, bytes, size(), two_level_ok);
   if (algo != coll::Algo::TwoLevel) {
     note_algo(coll::Coll::Reduce,
-              reduce_over(all_ranks(), in, out, op, root, tag, algo), bytes);
+              reduce_over(all_ranks(), in, out, op, root, tag, algo), bytes,
+              prof_scope.start());
     return;
   }
   // Phase 1: reduce within each group, to its leader (commutative ops, so
@@ -92,7 +93,7 @@ void Communicator::reduce(std::span<const T> in, std::span<T> out, ReduceOp op,
   }
   if (rank() == root && root != root_leader)
     raw_recv(out.subspan(0, in.size()), root_leader, tag + 8);
-  note_algo(coll::Coll::Reduce, coll::Algo::TwoLevel, bytes);
+  note_algo(coll::Coll::Reduce, coll::Algo::TwoLevel, bytes, prof_scope.start());
 }
 
 template <typename T>
@@ -106,7 +107,8 @@ void Communicator::allreduce(std::span<const T> in, std::span<T> out, ReduceOp o
       coll_engine().choose(coll::Coll::Allreduce, bytes, size(), two_level_ok);
   if (algo != coll::Algo::TwoLevel) {
     note_algo(coll::Coll::Allreduce,
-              allreduce_over(all_ranks(), in, out, op, tag, algo), bytes);
+              allreduce_over(all_ranks(), in, out, op, tag, algo), bytes,
+              prof_scope.start());
     return;
   }
   // Local reduce to the leader, allreduce across leaders, local bcast.
@@ -122,7 +124,8 @@ void Communicator::allreduce(std::span<const T> in, std::span<T> out, ReduceOp o
   }
   bcast_over(groups.my_group, out.subspan(0, in.size()), leader_pos, tag + 8,
              pick(coll::Coll::Bcast, bytes, groups.group_size));
-  note_algo(coll::Coll::Allreduce, coll::Algo::TwoLevel, bytes);
+  note_algo(coll::Coll::Allreduce, coll::Algo::TwoLevel, bytes,
+            prof_scope.start());
 }
 
 template <typename T>
@@ -140,7 +143,7 @@ void Communicator::allgather(std::span<const T> mine, std::span<T> all) {
       coll_engine().choose(coll::Coll::Allgather, bytes, size(), two_level_ok);
   if (algo != coll::Algo::TwoLevel) {
     note_algo(coll::Coll::Allgather, allgather_over(all_ranks(), mine, all, tag, algo),
-              bytes);
+              bytes, prof_scope.start());
     return;
   }
   // Two-level with contiguous uniform groups: gather locally to the leader,
@@ -181,7 +184,8 @@ void Communicator::allgather(std::span<const T> mine, std::span<T> all) {
   }
   bcast_over(groups.my_group, all, position_of(groups.my_group, groups.my_leader),
              tag + 8, pick(coll::Coll::Bcast, all.size() * sizeof(T), groups.group_size));
-  note_algo(coll::Coll::Allgather, coll::Algo::TwoLevel, bytes);
+  note_algo(coll::Coll::Allgather, coll::Algo::TwoLevel, bytes,
+            prof_scope.start());
 }
 
 template <typename T>
@@ -215,7 +219,7 @@ void Communicator::alltoall(std::span<const T> send_data, std::span<T> recv_data
         break;
     }
   }
-  note_algo(coll::Coll::Alltoall, algo, bytes);
+  note_algo(coll::Coll::Alltoall, algo, bytes, prof_scope.start());
 }
 
 }  // namespace cbmpi::mpi

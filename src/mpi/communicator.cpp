@@ -146,7 +146,8 @@ coll::Algo Communicator::pick(coll::Coll coll, Bytes bytes, int list_size) const
                               /*two_level_available=*/false);
 }
 
-void Communicator::note_algo(coll::Coll coll, coll::Algo algo, Bytes bytes) {
+void Communicator::note_algo(coll::Coll coll, coll::Algo algo, Bytes bytes,
+                             Micros begin) {
   engine_->profile().add_coll_algo(coll, algo);
   if (engine_->job().trace) {
     engine_->job().trace->record(
@@ -154,6 +155,11 @@ void Communicator::note_algo(coll::Coll coll, coll::Algo algo, Bytes bytes) {
          engine_->clock().now(),
          std::string(coll::to_string(coll)) + "/" + coll::to_string(algo)});
   }
+  if (engine_->job().spans)
+    engine_->job().spans->record(
+        {std::string(coll::to_string(coll)), obs::SpanCat::Coll,
+         engine_->world_rank(), -1, -1, bytes, begin, engine_->clock().now(),
+         coll::to_string(algo)});
 }
 
 coll::Algo Communicator::barrier_over(const std::vector<int>& list, int tag,
@@ -201,7 +207,8 @@ void Communicator::barrier() {
   const coll::Algo algo =
       coll_engine().choose(coll::Coll::Barrier, 0, size(), two_level_ok);
   if (algo != coll::Algo::TwoLevel) {
-    note_algo(coll::Coll::Barrier, barrier_over(all_ranks(), tag, algo), 0);
+    note_algo(coll::Coll::Barrier, barrier_over(all_ranks(), tag, algo), 0,
+              prof_scope.start());
     return;
   }
   // Local gather to the leader, leader barrier, local release.
@@ -223,7 +230,7 @@ void Communicator::barrier() {
     std::uint8_t incoming = 0;
     raw_recv(std::span<std::uint8_t>(&incoming, 1), groups.my_leader, tag + 8);
   }
-  note_algo(coll::Coll::Barrier, coll::Algo::TwoLevel, 0);
+  note_algo(coll::Coll::Barrier, coll::Algo::TwoLevel, 0, prof_scope.start());
 }
 
 void Communicator::raw_barrier() {

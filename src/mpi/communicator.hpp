@@ -318,8 +318,10 @@ class Communicator {
   /// Engine choice for an internal (sub-list) phase: no further hierarchy.
   coll::Algo pick(coll::Coll coll, Bytes bytes, int list_size) const;
   /// Records the algorithm a user-level collective actually ran (profile
-  /// counter + CollAlgo trace event when tracing).
-  void note_algo(coll::Coll coll, coll::Algo algo, Bytes bytes);
+  /// counter + CollAlgo trace event when tracing + Coll span when the job
+  /// records spans). `begin` is the enclosing call's start time so the span
+  /// nests exactly inside the ProfiledCall's Mpi span.
+  void note_algo(coll::Coll coll, coll::Algo algo, Bytes bytes, Micros begin);
 
   Adi3Engine* engine_;
   std::shared_ptr<const CommGroup> group_;
@@ -331,16 +333,27 @@ class Communicator {
   std::optional<LocalityGroups> locality_;
 };
 
-/// RAII profiling scope for one user-level MPI call.
+/// RAII profiling scope for one user-level MPI call. Doubles as the single
+/// instrumentation point for obs: when the job records spans, the destructor
+/// emits one Mpi-category span covering the call's virtual-time interval.
 class ProfiledCall {
  public:
   ProfiledCall(Adi3Engine& engine, prof::CallKind kind)
       : engine_(&engine), kind_(kind), start_(engine.clock().now()) {}
   ~ProfiledCall() {
-    engine_->profile().add_call(kind_, engine_->clock().now() - start_);
+    const Micros end = engine_->clock().now();
+    engine_->profile().add_call(kind_, end - start_);
+    if (engine_->job().spans)
+      engine_->job().spans->record({std::string(prof::to_string(kind_)),
+                                    obs::SpanCat::Mpi, engine_->world_rank(), -1,
+                                    -1, 0, start_, end, {}});
   }
   ProfiledCall(const ProfiledCall&) = delete;
   ProfiledCall& operator=(const ProfiledCall&) = delete;
+
+  /// Call start in virtual time; collective dispatch passes it to note_algo
+  /// so the Coll span nests exactly inside this call's Mpi span.
+  Micros start() const { return start_; }
 
  private:
   Adi3Engine* engine_;

@@ -21,6 +21,8 @@
 #include "faults/fault.hpp"
 #include "mpi/coll/engine.hpp"
 #include "mpi/matcher.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "prof/profile.hpp"
 #include "sim/trace.hpp"
 #include "topo/calibration.hpp"
@@ -58,6 +60,12 @@ struct JobState {
   std::vector<prof::RankProfile> rank_profiles;     // one per world rank
 
   sim::TraceRecorder* trace = nullptr;              // optional, may be null
+
+  /// Observability (JobConfig::observe): both null when disabled, so hot
+  /// paths pay a single pointer test. Metrics handles are resolved once per
+  /// engine; spans carry virtual-time intervals only.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::SpanRecorder* spans = nullptr;
 
   /// Fault injection (null when the job's FaultPlan is empty — the common
   /// case — so the hot paths skip every injection check).

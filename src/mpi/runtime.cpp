@@ -27,6 +27,10 @@ void Process::compute(double ops) {
   if (engine_.job().trace)
     engine_.job().trace->record({sim::TraceKind::Compute, rank(), rank(),
                                  static_cast<Bytes>(ops), os_->clock().now(), ""});
+  if (engine_.job().spans)
+    engine_.job().spans->record({"compute", obs::SpanCat::Compute, rank(), -1, -1,
+                                 static_cast<Bytes>(ops), before,
+                                 os_->clock().now(), ""});
 }
 
 Xoshiro256 Process::make_rng(std::uint64_t salt) const {
@@ -233,6 +237,13 @@ JobResult run_job(const JobConfig& config, const std::function<void(Process&)>& 
   sim::TraceRecorder recorder;
   if (config.record_trace) job.trace = &recorder;
 
+  obs::MetricsRegistry metrics_registry;
+  obs::SpanRecorder span_recorder;
+  if (config.observe) {
+    job.metrics = &metrics_registry;
+    job.spans = &span_recorder;
+  }
+
   const bool vm_mode =
       spec.isolation == container::IsolationKind::VirtualMachine && any_containers;
   std::vector<fabric::RankEndpoint> endpoints;
@@ -296,6 +307,10 @@ JobResult run_job(const JobConfig& config, const std::function<void(Process&)>& 
       if (job.trace)
         job.trace->record({sim::TraceKind::Degrade, r, -1, 0, proc.clock().now(),
                            "hostname-locality-fallback"});
+      if (job.spans)
+        job.spans->record({"locality-fallback", obs::SpanCat::Fault, r, -1, -1, 0,
+                           proc.clock().now() - detector.fallback_cost(),
+                           proc.clock().now(), "hostname-locality-fallback"});
     }
     // Peers cannot see a degraded rank's (missing) announcement; give them
     // the same hostname-based view of it so the matrix stays symmetric.
@@ -411,6 +426,15 @@ JobResult run_job(const JobConfig& config, const std::function<void(Process&)>& 
   result.hca_queue_pairs = job.hca->queue_pairs();
   if (config.record_trace) result.trace = recorder.events();
   result.fault_report = fault_log.finalize();
+  if (config.observe) {
+    // Job-level summary gauges ride in the same registry the engines fed,
+    // so one snapshot carries everything.
+    metrics_registry.gauge("job.virtual_time_us").set(result.job_time);
+    metrics_registry.gauge("job.comm_fraction").set(result.profile.comm_fraction());
+    metrics_registry.counter("job.ranks").add(static_cast<std::uint64_t>(nranks));
+    result.metrics = metrics_registry.snapshot();
+    result.spans = span_recorder.spans();
+  }
   return result;
 }
 

@@ -22,6 +22,8 @@
 #include "mpi/coll/tuning_table.hpp"
 #include "mpi/communicator.hpp"
 #include "mpi/time_barrier.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "prof/profile.hpp"
 #include "sim/trace.hpp"
 #include "topo/calibration.hpp"
@@ -58,6 +60,12 @@ struct JobConfig {
   faults::FaultPlan faults{};
 
   bool record_trace = false;
+
+  /// Attaches the observability layer (obs::MetricsRegistry + span tracing)
+  /// to the job: JobResult then carries a metrics snapshot and the recorded
+  /// spans. All sampling is in virtual time, so enabling this never changes
+  /// job_time and reruns stay bit-identical.
+  bool observe = false;
   std::uint64_t seed = 42;
 };
 
@@ -70,6 +78,11 @@ struct JobResult {
   /// Injected faults, degradation decisions, retry counts, recovery time.
   /// Empty when the job's FaultPlan is the default.
   faults::FaultReport fault_report;
+  /// Observability (empty unless JobConfig::observe): the job's metrics
+  /// registry snapshot and the recorded spans in append order. Feed both to
+  /// obs::run_report_json / obs::to_perfetto.
+  obs::MetricsSnapshot metrics;
+  std::vector<obs::Span> spans;
 };
 
 /// The per-rank handle passed to the job body.

@@ -1,0 +1,123 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cbmpi::obs {
+
+std::string escape_json(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default: {
+        const auto byte = static_cast<unsigned char>(c);
+        if (byte < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", byte);
+          out += buf;
+        } else {
+          out += c;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string format_double(double value) {
+  if (!std::isfinite(value)) return "0";
+  // Integers (within uint53-ish range) render without a decimal point so
+  // counters passed as doubles stay readable; everything else gets %.10g.
+  if (value == std::floor(value) && std::fabs(value) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  return buf;
+}
+
+void JsonWriter::separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!has_elements_.empty()) {
+    if (has_elements_.back()) os_ << ",";
+    has_elements_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separate();
+  os_ << "{";
+  has_elements_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  os_ << "}";
+  has_elements_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separate();
+  os_ << "[";
+  has_elements_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  os_ << "]";
+  has_elements_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  separate();
+  os_ << "\"" << escape_json(name) << "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  separate();
+  os_ << "\"" << escape_json(text) << "\"";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  separate();
+  os_ << format_double(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  separate();
+  os_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  separate();
+  os_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool boolean) {
+  separate();
+  os_ << (boolean ? "true" : "false");
+  return *this;
+}
+
+}  // namespace cbmpi::obs

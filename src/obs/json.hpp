@@ -1,0 +1,76 @@
+// Minimal streaming JSON writer shared by every machine-readable emitter
+// (run reports, Perfetto traces, bench --json output).
+//
+// Determinism contract: the writer itself imposes no ordering, but number
+// formatting is fixed (shortest round-trip via %.17g collapsed to %g-style
+// text through a single snprintf call), so two runs that feed identical
+// values and key orders produce byte-identical documents. Callers are
+// responsible for iterating containers in a deterministic order (sorted
+// names, virtual-time order) before writing.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cbmpi::obs {
+
+/// Escapes `text` for inclusion inside a JSON string literal: quotes,
+/// backslashes, and every control character below 0x20 (the common ones as
+/// two-character escapes, the rest as \u00XX).
+std::string escape_json(std::string_view text);
+
+/// Fixed, locale-independent rendering of a double (no trailing noise for
+/// integers, "%.10g" otherwise; NaN/Inf become 0 since JSON has no spelling
+/// for them).
+std::string format_double(double value);
+
+/// Streaming writer with automatic comma placement. Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("name").value("fig08");
+///   w.key("rows").begin_array();
+///   ...
+///   w.end_array();
+///   w.end_object();
+///   std::string doc = w.str();
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Writes an object key; must be followed by exactly one value or
+  /// container.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(double number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(int number) { return value(static_cast<std::int64_t>(number)); }
+  JsonWriter& value(bool boolean);
+
+  /// key + value in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  std::string str() const { return os_.str(); }
+
+ private:
+  void separate();
+
+  std::ostringstream os_;
+  /// One entry per open container: true once the first element was written.
+  std::vector<bool> has_elements_;
+  bool after_key_ = false;
+};
+
+}  // namespace cbmpi::obs

@@ -1,0 +1,75 @@
+#include "obs/metrics.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace cbmpi::obs {
+
+std::uint64_t Histogram::bucket_upper(int index) {
+  if (index <= 0) return 0;
+  if (index >= 64) return std::numeric_limits<std::uint64_t>::max();
+  return (std::uint64_t{1} << index) - 1;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t n = buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+    if (n == 0) continue;
+    snap.buckets.push_back({bucket_upper(i), n});
+    snap.count += n;
+  }
+  return snap;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  auto& slot = instruments_[name];
+  if (!slot.counter) {
+    CBMPI_REQUIRE(!slot.gauge && !slot.histogram,
+                  "metric '", name, "' already registered with another kind");
+    slot.counter = std::make_unique<Counter>();
+  }
+  return *slot.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  auto& slot = instruments_[name];
+  if (!slot.gauge) {
+    CBMPI_REQUIRE(!slot.counter && !slot.histogram,
+                  "metric '", name, "' already registered with another kind");
+    slot.gauge = std::make_unique<Gauge>();
+  }
+  return *slot.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  const std::scoped_lock lock(mutex_);
+  auto& slot = instruments_[name];
+  if (!slot.histogram) {
+    CBMPI_REQUIRE(!slot.counter && !slot.gauge,
+                  "metric '", name, "' already registered with another kind");
+    slot.histogram = std::make_unique<Histogram>();
+  }
+  return *slot.histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  MetricsSnapshot snap;
+  // std::map iteration is already name-sorted — the deterministic order the
+  // exporters rely on.
+  for (const auto& [name, instrument] : instruments_) {
+    if (instrument.counter) snap.counters.emplace_back(name, instrument.counter->value());
+    if (instrument.gauge) snap.gauges.emplace_back(name, instrument.gauge->value());
+    if (instrument.histogram)
+      snap.histograms.emplace_back(name, instrument.histogram->snapshot());
+  }
+  return snap;
+}
+
+}  // namespace cbmpi::obs

@@ -1,0 +1,319 @@
+#include "obs/report.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "common/table.hpp"
+#include "sim/trace_export.hpp"
+
+namespace cbmpi::obs {
+
+namespace {
+
+void write_profile(JsonWriter& w, const prof::JobProfile& profile) {
+  w.key("profile").begin_object();
+  w.field("ranks", profile.ranks);
+  w.field("comm_fraction", profile.comm_fraction());
+  w.field("comm_time_us", profile.total.comm_time());
+  w.field("compute_time_us", profile.total.compute_time());
+  w.field("recovery_time_us", profile.total.recovery_time());
+
+  w.key("calls").begin_array();
+  for (std::size_t i = 0; i < prof::kCallKinds; ++i) {
+    const auto kind = static_cast<prof::CallKind>(i);
+    const auto& stats = profile.total.call(kind);
+    if (stats.count == 0) continue;
+    w.begin_object();
+    w.field("name", prof::to_string(kind));
+    w.field("count", stats.count);
+    w.field("time_us", stats.time);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("channels").begin_array();
+  for (auto kind : {fabric::ChannelKind::Shm, fabric::ChannelKind::Cma,
+                    fabric::ChannelKind::Hca}) {
+    w.begin_object();
+    w.field("name", fabric::to_string(kind));
+    w.field("ops", profile.total.channel_ops(kind));
+    w.field("bytes", profile.total.channel_bytes(kind));
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("coll_algos").begin_array();
+  for (std::size_t c = 0; c < coll::kColls; ++c) {
+    for (std::size_t a = 0; a < coll::kAlgos; ++a) {
+      const auto n = profile.total.coll_algo(static_cast<coll::Coll>(c),
+                                             static_cast<coll::Algo>(a));
+      if (n == 0) continue;
+      w.begin_object();
+      w.field("collective", coll::to_string(static_cast<coll::Coll>(c)));
+      w.field("algorithm", coll::to_string(static_cast<coll::Algo>(a)));
+      w.field("calls", n);
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void write_metrics(JsonWriter& w, const MetricsSnapshot& snapshot) {
+  w.key("metrics").begin_object();
+  w.key("counters").begin_array();
+  for (const auto& [name, value] : snapshot.counters) {
+    w.begin_object();
+    w.field("name", name);
+    w.field("value", value);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("gauges").begin_array();
+  for (const auto& [name, value] : snapshot.gauges) {
+    w.begin_object();
+    w.field("name", name);
+    w.field("value", value);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("histograms").begin_array();
+  for (const auto& [name, hist] : snapshot.histograms) {
+    w.begin_object();
+    w.field("name", name);
+    w.field("count", hist.count);
+    w.field("sum", hist.sum);
+    w.key("buckets").begin_array();
+    for (const auto& bucket : hist.buckets) {
+      w.begin_object();
+      w.field("le", bucket.upper);
+      w.field("count", bucket.count);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void write_span_summary(JsonWriter& w, std::span<const Span> spans) {
+  std::array<std::uint64_t, kSpanCats> counts{};
+  std::array<Micros, kSpanCats> times{};
+  for (const auto& span : spans) {
+    const auto i = static_cast<std::size_t>(span.cat);
+    ++counts[i];
+    times[i] += span.duration();
+  }
+  w.key("spans").begin_object();
+  w.field("count", static_cast<std::uint64_t>(spans.size()));
+  w.key("by_category").begin_array();
+  for (std::size_t i = 0; i < kSpanCats; ++i) {
+    if (counts[i] == 0) continue;
+    w.begin_object();
+    w.field("category", to_string(static_cast<SpanCat>(i)));
+    w.field("count", counts[i]);
+    w.field("time_us", times[i]);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void write_faults(JsonWriter& w, const faults::FaultReport& report) {
+  w.key("faults").begin_object();
+  w.field("injected", static_cast<std::uint64_t>(report.injected.size()));
+  w.field("degradations", static_cast<std::uint64_t>(report.degradations.size()));
+  w.key("retries").begin_object();
+  w.field("shm", report.shm_retries);
+  w.field("cma", report.cma_retries);
+  w.field("hca", report.hca_retries);
+  w.end_object();
+  w.field("time_lost_us", report.time_lost);
+  w.end_object();
+}
+
+void write_header(JsonWriter& w, const ReportContext& ctx, const char* mode) {
+  w.field("schema", "cbmpi.run_report");
+  w.field("version", std::int64_t{kRunReportVersion});
+  w.field("mode", mode);
+  w.key("job").begin_object();
+  w.field("app", ctx.app);
+  w.field("deployment", ctx.deployment);
+  w.field("policy", ctx.policy);
+  w.field("seed", ctx.seed);
+  w.end_object();
+}
+
+}  // namespace
+
+void write_cluster_metrics(JsonWriter& w, const sched::ClusterMetrics& metrics) {
+  w.begin_object();
+  w.field("makespan_us", metrics.makespan);
+  w.field("utilization", metrics.utilization);
+  w.field("mean_queue_wait_us", metrics.mean_queue_wait);
+  w.field("max_queue_wait_us", metrics.max_queue_wait);
+  w.field("backfilled_jobs", metrics.backfilled_jobs);
+  w.field("intra_host_pairs", metrics.intra_host_pairs);
+  w.field("inter_host_pairs", metrics.inter_host_pairs);
+  w.field("intra_host_pair_share", metrics.intra_host_pair_share());
+  w.key("channel_ops").begin_object();
+  w.field("shm", metrics.shm_ops);
+  w.field("cma", metrics.cma_ops);
+  w.field("hca", metrics.hca_ops);
+  w.end_object();
+  w.field("local_op_share", metrics.local_op_share());
+  w.end_object();
+}
+
+std::string run_report_json(const ReportContext& ctx, const mpi::JobResult& result) {
+  JsonWriter w;
+  w.begin_object();
+  write_header(w, ctx, "single");
+
+  w.key("result").begin_object();
+  w.field("job_time_us", result.job_time);
+  w.key("rank_times_us").begin_array();
+  for (const Micros t : result.rank_times) w.value(t);
+  w.end_array();
+  w.field("hca_queue_pairs", static_cast<std::uint64_t>(result.hca_queue_pairs));
+  w.end_object();
+
+  write_profile(w, result.profile);
+  write_metrics(w, result.metrics);
+  {
+    auto spans = result.spans;
+    sort_spans(spans);
+    write_span_summary(w, spans);
+  }
+  write_faults(w, result.fault_report);
+  if (ctx.cluster) {
+    w.key("cluster");
+    write_cluster_metrics(w, *ctx.cluster);
+  }
+  w.end_object();
+  return w.str();
+}
+
+std::string schedule_report_json(const ReportContext& ctx,
+                                 const sched::Scheduler& scheduler) {
+  JsonWriter w;
+  w.begin_object();
+  write_header(w, ctx, "schedule");
+  w.key("cluster");
+  write_cluster_metrics(w, scheduler.metrics());
+  w.key("jobs").begin_array();
+  for (const auto& job : scheduler.jobs()) {
+    w.begin_object();
+    w.field("name", job.spec.name);
+    w.field("body", job.spec.body);
+    w.field("ranks", job.spec.ranks);
+    w.field("hosts_used", job.placement.hosts_used);
+    w.field("submit_us", job.spec.submit_time);
+    w.field("start_us", job.start_time);
+    w.field("end_us", job.end_time);
+    w.field("queue_wait_us", job.queue_wait());
+    w.field("backfilled", job.backfilled);
+    w.field("intra_host_share", job.placement.intra_host_share());
+    w.field("job_time_us", job.result.job_time);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string to_perfetto(std::span<const Span> spans,
+                        std::span<const sim::TraceEvent> events) {
+  // Track layout: pid = rank for rank timelines, pid = kChannelPidBase +
+  // channel ordinal for per-channel transfer tracks.
+  constexpr int kChannelPidBase = 1000;
+
+  std::vector<Span> sorted(spans.begin(), spans.end());
+  sort_spans(sorted);
+
+  // Name every track we are about to emit (process_name metadata events).
+  std::array<bool, fabric::kChannelKinds> channel_seen{};
+  int max_rank = -1;
+  for (const auto& span : sorted) {
+    if (span.cat == SpanCat::Proto && span.channel >= 0 &&
+        span.channel < static_cast<int>(fabric::kChannelKinds))
+      channel_seen[static_cast<std::size_t>(span.channel)] = true;
+    max_rank = std::max(max_rank, span.rank);
+  }
+  for (const auto& event : events)
+    if (event.src >= 0) max_rank = std::max(max_rank, event.src);
+
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto meta = [&](int pid, const std::string& name) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"" << escape_json(name) << "\"}}";
+  };
+  for (int r = 0; r <= max_rank; ++r) meta(r, "rank " + std::to_string(r));
+  for (std::size_t c = 0; c < fabric::kChannelKinds; ++c)
+    if (channel_seen[c])
+      meta(kChannelPidBase + static_cast<int>(c),
+           std::string("channel ") +
+               fabric::to_string(static_cast<fabric::ChannelKind>(c)));
+
+  for (const auto& span : sorted) {
+    const bool channel_track = span.cat == SpanCat::Proto && span.channel >= 0;
+    const int pid = channel_track ? kChannelPidBase + span.channel : span.rank;
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << escape_json(span.name) << "\",\"cat\":\""
+       << to_string(span.cat) << "\",\"ph\":\"X\",\"pid\":" << pid
+       << ",\"tid\":" << span.rank << ",\"ts\":" << format_double(span.begin)
+       << ",\"dur\":" << format_double(span.duration()) << ",\"args\":{\"bytes\":"
+       << span.bytes << ",\"peer\":" << span.peer;
+    if (!span.note.empty()) os << ",\"note\":\"" << escape_json(span.note) << "\"";
+    os << "}}";
+  }
+
+  sim::append_chrome_events(os, events, first);
+  os << "],\"displayTimeUnit\":\"ns\"}";
+  return os.str();
+}
+
+std::string metrics_summary(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "metrics registry (" << snapshot.counters.size() << " counters, "
+     << snapshot.gauges.size() << " gauges, " << snapshot.histograms.size()
+     << " histograms)\n";
+  if (!snapshot.counters.empty()) {
+    Table counters({"counter", "value"});
+    for (const auto& [name, value] : snapshot.counters)
+      counters.add_row({name, std::to_string(value)});
+    counters.print(os);
+  }
+  if (!snapshot.gauges.empty()) {
+    Table gauges({"gauge", "value"});
+    for (const auto& [name, value] : snapshot.gauges)
+      gauges.add_row({name, Table::num(value, 3)});
+    gauges.print(os);
+  }
+  if (!snapshot.histograms.empty()) {
+    Table hists({"histogram", "count", "sum", "p50<=", "max<="});
+    for (const auto& [name, hist] : snapshot.histograms) {
+      std::uint64_t running = 0;
+      std::uint64_t median_upper = 0;
+      for (const auto& bucket : hist.buckets) {
+        running += bucket.count;
+        if (median_upper == 0 && running * 2 >= hist.count)
+          median_upper = bucket.upper;
+      }
+      const std::uint64_t max_upper =
+          hist.buckets.empty() ? 0 : hist.buckets.back().upper;
+      hists.add_row({name, std::to_string(hist.count), std::to_string(hist.sum),
+                     std::to_string(median_upper), std::to_string(max_upper)});
+    }
+    hists.print(os);
+  }
+  return os.str();
+}
+
+}  // namespace cbmpi::obs

@@ -1,0 +1,62 @@
+// Run-report emitter: serializes one job's profile + metrics + span summary
+// + fault report (+ optional scheduler ClusterMetrics) into a single
+// versioned JSON document, and renders the Perfetto trace that pairs with
+// it.
+//
+// Determinism: every section is emitted in a fixed order, metrics come from
+// a name-sorted MetricsSnapshot, spans are sorted into canonical
+// virtual-time order, and numbers use obs::format_double — so the same job
+// config and seed produce byte-identical documents (the acceptance test for
+// the whole observability layer). The JSON schema is documented in
+// DESIGN.md §12 and validated in CI by tools/check_report.py.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "mpi/runtime.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/trace.hpp"
+
+namespace cbmpi::obs {
+
+inline constexpr int kRunReportVersion = 1;
+
+/// What the emitter cannot read off a JobResult: how the job was launched.
+struct ReportContext {
+  std::string app;         ///< application / bench label
+  std::string deployment;  ///< deployment label (hosts x containers x procs)
+  std::string policy;      ///< locality policy name
+  std::uint64_t seed = 0;
+
+  /// Optional scheduler aggregates (multi-job runs); emitted as the
+  /// "cluster" section when non-null.
+  const sched::ClusterMetrics* cluster = nullptr;
+};
+
+/// The versioned single-job run report (schema "cbmpi.run_report").
+std::string run_report_json(const ReportContext& ctx, const mpi::JobResult& result);
+
+/// Multi-job (scheduler) run report: cluster metrics plus one row per
+/// scheduled job. Same schema id, "mode":"schedule".
+std::string schedule_report_json(const ReportContext& ctx,
+                                 const sched::Scheduler& scheduler);
+
+/// Perfetto / chrome://tracing document: spans become duration events
+/// ("ph":"X") on one track per rank plus one per channel; the legacy
+/// instant TraceEvents ride along unchanged ("ph":"i"). `spans` may be in
+/// any order; they are canonically sorted here.
+std::string to_perfetto(std::span<const Span> spans,
+                        std::span<const sim::TraceEvent> events);
+
+/// Human-readable one-screen rendering of a metrics snapshot (cbmpirun
+/// --metrics).
+std::string metrics_summary(const MetricsSnapshot& snapshot);
+
+/// Emits the ClusterMetrics object body (shared by both report flavors).
+void write_cluster_metrics(JsonWriter& w, const sched::ClusterMetrics& metrics);
+
+}  // namespace cbmpi::obs

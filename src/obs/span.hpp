@@ -1,0 +1,74 @@
+// Span-based tracing: begin/end intervals in virtual time, upgrading the
+// instant-only sim::TraceEvent stream to something Perfetto renders as
+// duration tracks.
+//
+// Span taxonomy (DESIGN.md §12):
+//   Mpi      one user-level MPI call (name = "MPI_Send", ...), rank track
+//   Coll     a collective resolved to an algorithm ("bcast/binomial"),
+//            nested inside its Mpi span, rank track
+//   Proto    one transfer's protocol interval (eager processing window or
+//            the rendezvous RTS->done handshake), channel track
+//   Compute  a Process::compute phase, rank track
+//   Fault    recovery time (retry backoff, locality fallback), rank track
+//
+// Recorder appends are thread-safe; append order across rank threads is
+// wall-clock noise, so exporters call sorted_spans() which orders by
+// (begin, end desc, cat, rank, peer, name, note) — a total order over the
+// deterministic virtual-time payload, making exports bit-identical across
+// reruns.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace cbmpi::obs {
+
+enum class SpanCat : std::uint8_t { Mpi, Coll, Proto, Compute, Fault };
+
+inline constexpr std::size_t kSpanCats = 5;
+
+const char* to_string(SpanCat cat);
+
+struct Span {
+  std::string name;
+  SpanCat cat = SpanCat::Mpi;
+  int rank = -1;     ///< the rank whose timeline this span belongs to
+  int peer = -1;     ///< other side of a transfer, -1 when not a transfer
+  int channel = -1;  ///< fabric::ChannelKind ordinal for Proto spans, -1 else
+  Bytes bytes = 0;
+  Micros begin = 0.0;
+  Micros end = 0.0;
+  std::string note;
+
+  Micros duration() const { return end - begin; }
+};
+
+class SpanRecorder {
+ public:
+  void record(Span span);
+
+  /// Snapshot in append order (wall-clock dependent; tests only).
+  std::vector<Span> spans() const;
+
+  /// Snapshot in the canonical deterministic order used by every exporter.
+  std::vector<Span> sorted_spans() const;
+
+  std::size_t count() const;
+  std::size_t count(SpanCat cat) const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Span> spans_;
+};
+
+/// Canonical exporter order: (begin asc, end desc, cat, rank, peer, name,
+/// note) — outer spans sort before the spans they contain.
+void sort_spans(std::vector<Span>& spans);
+
+}  // namespace cbmpi::obs

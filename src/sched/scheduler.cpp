@@ -210,4 +210,23 @@ const std::vector<ScheduledJob>& Scheduler::run() {
   return done_;
 }
 
+void Scheduler::export_metrics(obs::MetricsRegistry& registry) const {
+  registry.gauge("sched.makespan_us").set(metrics_.makespan);
+  registry.gauge("sched.utilization").set(metrics_.utilization);
+  registry.gauge("sched.mean_queue_wait_us").set(metrics_.mean_queue_wait);
+  registry.gauge("sched.max_queue_wait_us").set(metrics_.max_queue_wait);
+  registry.counter("sched.jobs").add(done_.size());
+  registry.counter("sched.backfilled_jobs")
+      .add(static_cast<std::uint64_t>(metrics_.backfilled_jobs));
+  registry.counter("sched.channel.shm.ops").add(metrics_.shm_ops);
+  registry.counter("sched.channel.cma.ops").add(metrics_.cma_ops);
+  registry.counter("sched.channel.hca.ops").add(metrics_.hca_ops);
+  auto& waits = registry.histogram("sched.queue_wait_us");
+  auto& runtimes = registry.histogram("sched.job_runtime_us");
+  for (const auto& job : done_) {
+    waits.observe(static_cast<std::uint64_t>(job.queue_wait()));
+    runtimes.observe(static_cast<std::uint64_t>(job.runtime()));
+  }
+}
+
 }  // namespace cbmpi::sched

@@ -13,6 +13,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sched/cluster_state.hpp"
 #include "sched/job.hpp"
 #include "sched/placer.hpp"
@@ -55,6 +56,10 @@ class Scheduler {
   const ClusterMetrics& metrics() const { return metrics_; }
   /// The configuration this scheduler was built with (never changes).
   const SchedulerConfig& config() const { return config_; }
+
+  /// Publishes the run's ClusterMetrics plus per-job wait/runtime figures
+  /// into an obs::MetricsRegistry (names under "sched."). Call after run().
+  void export_metrics(obs::MetricsRegistry& registry) const;
 
   /// Test seam: replaces mpi::run_job execution (e.g. with a canned-duration
   /// stub). The default runner instantiates the job's named body from the

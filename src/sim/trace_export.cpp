@@ -2,41 +2,30 @@
 
 #include <sstream>
 
+#include "obs/json.hpp"
+
 namespace cbmpi::sim {
 
-namespace {
-void append_escaped(std::ostringstream& os, const std::string& text) {
-  for (const char c : text) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      default: os << c;
-    }
-  }
-}
-}  // namespace
-
-std::string to_chrome_trace(std::span<const TraceEvent> events) {
-  std::ostringstream os;
-  os << "{\"traceEvents\":[";
-  bool first = true;
+void append_chrome_events(std::ostream& os, std::span<const TraceEvent> events,
+                          bool& first) {
   for (const auto& event : events) {
     if (!first) os << ",";
     first = false;
     // Instant events ("ph":"i") at the event's virtual timestamp; the source
     // rank is the process row so per-rank timelines line up.
-    os << "{\"name\":\"";
-    append_escaped(os, to_string(event.kind));
-    if (!event.note.empty()) {
-      os << " [";
-      append_escaped(os, event.note);
-      os << "]";
-    }
+    os << "{\"name\":\"" << obs::escape_json(to_string(event.kind));
+    if (!event.note.empty()) os << " [" << obs::escape_json(event.note) << "]";
     os << "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":" << event.src
        << ",\"tid\":" << event.dst << ",\"ts\":" << event.at
        << ",\"args\":{\"bytes\":" << event.size << ",\"dst\":" << event.dst << "}}";
   }
+}
+
+std::string to_chrome_trace(std::span<const TraceEvent> events) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  append_chrome_events(os, events, first);
   os << "],\"displayTimeUnit\":\"ns\"}";
   return os.str();
 }

@@ -2,9 +2,11 @@
 // option parsing, units.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "common/options.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -173,6 +175,36 @@ TEST(Options, DoubleParsing) {
   Options opts(2, argv);
   EXPECT_DOUBLE_EQ(opts.get_double("rate", 0.0, "r"), 2.5);
   EXPECT_FALSE(opts.finish("test"));
+}
+
+TEST(Log, ParseLevel) {
+  EXPECT_EQ(logging::parse_level("debug"), LogLevel::Debug);
+  EXPECT_EQ(logging::parse_level("INFO"), LogLevel::Info);
+  EXPECT_EQ(logging::parse_level("Warn"), LogLevel::Warn);
+  EXPECT_EQ(logging::parse_level("warning"), LogLevel::Warn);
+  EXPECT_EQ(logging::parse_level("off"), LogLevel::Off);
+  EXPECT_EQ(logging::parse_level("none"), LogLevel::Off);
+  EXPECT_EQ(logging::parse_level("loud"), std::nullopt);
+  EXPECT_EQ(logging::parse_level(""), std::nullopt);
+}
+
+TEST(Log, InitFromEnvHonorsVariable) {
+  const LogLevel before = logging::level();
+  ASSERT_EQ(setenv("CBMPI_LOG_LEVEL", "debug", 1), 0);
+  EXPECT_EQ(logging::init_from_env(), LogLevel::Debug);
+  EXPECT_EQ(logging::level(), LogLevel::Debug);
+
+  ASSERT_EQ(setenv("CBMPI_LOG_LEVEL", "OFF", 1), 0);
+  EXPECT_EQ(logging::init_from_env(), LogLevel::Off);
+  EXPECT_EQ(logging::level(), LogLevel::Off);
+
+  // Unparsable values and an unset variable both fall back.
+  ASSERT_EQ(setenv("CBMPI_LOG_LEVEL", "shouting", 1), 0);
+  EXPECT_EQ(logging::init_from_env(LogLevel::Info), LogLevel::Info);
+  ASSERT_EQ(unsetenv("CBMPI_LOG_LEVEL"), 0);
+  EXPECT_EQ(logging::init_from_env(), LogLevel::Warn);
+
+  logging::set_level(before);
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 // Prints the application's own result plus the job's mpiP-style profile, so
 // it doubles as the interactive exploration tool for the whole system.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -27,6 +28,7 @@
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "mpi/runtime.hpp"
+#include "obs/report.hpp"
 #include "sched/scheduler.hpp"
 
 namespace {
@@ -40,7 +42,38 @@ struct LaunchPlan {
   Bytes message_size = 1_KiB;
   int iterations = 10;
   bool show_profile = false;
+  bool show_metrics = false;
+  std::string policy_name;
+  std::string report_file;  ///< --report: run-report JSON destination
+  std::string trace_file;   ///< --trace-out: Perfetto trace destination
 };
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  CBMPI_REQUIRE(out.good(), "cannot open output file: ", path);
+  out << text;
+  CBMPI_REQUIRE(out.good(), "failed writing output file: ", path);
+}
+
+/// Observability outputs common to every single-job launch: the run report,
+/// the Perfetto trace, and the human metrics summary.
+void emit_outputs(const LaunchPlan& plan, const mpi::JobResult& result) {
+  obs::ReportContext ctx;
+  ctx.app = plan.app;
+  ctx.deployment = plan.config.deployment.label();
+  ctx.policy = plan.policy_name;
+  ctx.seed = plan.config.seed;
+  if (!plan.report_file.empty()) {
+    write_text_file(plan.report_file, obs::run_report_json(ctx, result));
+    std::printf("run report written to %s\n", plan.report_file.c_str());
+  }
+  if (!plan.trace_file.empty()) {
+    write_text_file(plan.trace_file, obs::to_perfetto(result.spans, result.trace));
+    std::printf("trace written to %s (open in ui.perfetto.dev)\n",
+                plan.trace_file.c_str());
+  }
+  if (plan.show_metrics) std::fputs(obs::metrics_summary(result.metrics).c_str(), stdout);
+}
 
 int run_graph500(const LaunchPlan& plan) {
   const apps::graph500::EdgeListParams params{plan.scale, 16, plan.config.seed};
@@ -61,6 +94,7 @@ int run_graph500(const LaunchPlan& plan) {
     }
   });
   if (plan.show_profile) std::fputs(result.profile.report().c_str(), stdout);
+  emit_outputs(plan, result);
   std::printf("job virtual time: %.3f ms\n", to_millis(result.job_time));
   return ok ? 0 : 1;
 }
@@ -98,12 +132,13 @@ int run_npb(const LaunchPlan& plan) {
               to_millis(kernel_result.time), kernel_result.checksum,
               kernel_result.verified ? "VERIFIED" : "FAILED");
   if (plan.show_profile) std::fputs(result.profile.report().c_str(), stdout);
+  emit_outputs(plan, result);
   return kernel_result.verified ? 0 : 1;
 }
 
 int run_osu(const LaunchPlan& plan) {
   double value = 0.0;
-  mpi::run_job(plan.config, [&](mpi::Process& p) {
+  const auto result = mpi::run_job(plan.config, [&](mpi::Process& p) {
     apps::osu::PairOptions osu_opts;
     osu_opts.iterations = plan.iterations;
     double v = 0.0;
@@ -119,13 +154,16 @@ int run_osu(const LaunchPlan& plan) {
   const char* unit = plan.app == "osu-bw" ? "MB/s" : "us";
   std::printf("%s @ %s: %.3f %s\n", plan.app.c_str(),
               format_size(plan.message_size).c_str(), value, unit);
+  if (plan.show_profile) std::fputs(result.profile.report().c_str(), stdout);
+  emit_outputs(plan, result);
   return 0;
 }
 
 /// Multi-job mode: submit a deterministic mix of registry jobs to the
 /// cluster scheduler and report the per-job schedule plus cluster metrics.
 int run_schedule(const std::string& policy_name, int hosts, int jobs,
-                 bool backfill, std::uint64_t seed) {
+                 bool backfill, std::uint64_t seed,
+                 const std::string& report_file) {
   const auto policy = sched::parse_policy(policy_name);
   if (!policy) {
     std::fprintf(stderr,
@@ -190,6 +228,16 @@ int run_schedule(const std::string& policy_name, int hosts, int jobs,
               static_cast<unsigned long long>(metrics.cma_ops),
               static_cast<unsigned long long>(metrics.hca_ops),
               metrics.local_op_share() * 100.0);
+  if (!report_file.empty()) {
+    obs::ReportContext ctx;
+    ctx.app = "schedule";
+    ctx.deployment = std::to_string(hosts) + " hosts";
+    ctx.policy = policy_name;
+    ctx.seed = seed;
+    ctx.cluster = &metrics;
+    write_text_file(report_file, obs::schedule_report_json(ctx, scheduler));
+    std::printf("schedule report written to %s\n", report_file.c_str());
+  }
   return 0;
 }
 
@@ -224,6 +272,11 @@ int main(int argc, char** argv) {
   plan.iterations = static_cast<int>(opts.get_int("iters", 10, "osu-* iterations"));
   plan.config.seed = static_cast<std::uint64_t>(opts.get_int("seed", 42, "job seed"));
   plan.show_profile = opts.get_flag("profile", "print the mpiP-style profile");
+  plan.show_metrics = opts.get_flag("metrics", "print the metrics registry snapshot");
+  plan.report_file =
+      opts.get("report", "", "write the versioned run-report JSON to this file");
+  plan.trace_file = opts.get(
+      "trace-out", "", "write a Perfetto/chrome://tracing JSON to this file");
   const std::string schedule = opts.get(
       "schedule", "",
       "multi-job mode: packed | spread | random | locality placement");
@@ -237,7 +290,14 @@ int main(int argc, char** argv) {
 
   if (!schedule.empty())
     return run_schedule(schedule, std::max(hosts, 2), jobs, !no_backfill,
-                        plan.config.seed);
+                        plan.config.seed, plan.report_file);
+
+  // Observability costs nothing in virtual time, so any output flag simply
+  // switches it on; --trace-out additionally records the instant events.
+  plan.config.observe =
+      plan.show_metrics || !plan.report_file.empty() || !plan.trace_file.empty();
+  plan.config.record_trace = !plan.trace_file.empty();
+  plan.policy_name = policy == "default" ? "default" : "aware";
 
   if (containers == 0) {
     plan.config.deployment = container::DeploymentSpec::native_hosts(hosts, procs);

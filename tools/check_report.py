@@ -1,0 +1,242 @@
+#!/usr/bin/env python3
+"""Validates cbmpirun observability output, run by the CI `reports` job.
+
+Checks a run report (--report) and/or a Perfetto trace (--trace-out):
+
+report:
+  * schema/version header and the section keys DESIGN.md §12 promises
+  * comm_fraction and every other fraction in [0, 1]
+  * histogram bucket counts sum to the histogram's count, bucket upper
+    bounds strictly ascending, sum consistent with the bucket ranges
+  * counter/profile consistency: per-channel op counters equal the
+    profile's channel table (Table-I path), eager + rndv sends equal the
+    channel-op total
+  * spans.by_category counts sum to spans.count
+
+trace:
+  * the document is a Chrome/Perfetto trace: {"traceEvents": [...]}
+  * every event has ph in {X, i, M}, ts >= 0 and (for X) dur >= 0
+  * timestamps are monotone in file order per (pid, tid) track
+  * duration events nest properly on every rank track (pid < 1000):
+    a span that begins inside an open span must end within it
+
+Usage:
+  tools/check_report.py --report report.json --trace trace.json
+
+Exit status is the number of problems found; each problem is printed as
+`file: message`.
+"""
+
+import argparse
+import json
+import sys
+
+CHANNEL_PID_BASE = 1000
+REQUIRED_TOP_KEYS = ["schema", "version", "mode", "job", "result", "profile",
+                     "metrics", "spans", "faults"]
+REQUIRED_PROFILE_KEYS = ["ranks", "comm_fraction", "comm_time_us",
+                         "compute_time_us", "recovery_time_us", "calls",
+                         "channels", "coll_algos"]
+
+problems = []
+
+
+def problem(path, message):
+    problems.append(f"{path}: {message}")
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        problem(path, f"cannot parse: {exc}")
+        return None
+
+
+def check_fraction(path, name, value):
+    if not isinstance(value, (int, float)) or not 0.0 <= value <= 1.0:
+        problem(path, f"{name} = {value!r} is not a fraction in [0, 1]")
+
+
+def check_histogram(path, hist):
+    name = hist.get("name", "?")
+    count = hist.get("count", 0)
+    buckets = hist.get("buckets", [])
+    total = sum(b.get("count", 0) for b in buckets)
+    if total != count:
+        problem(path, f"histogram {name}: bucket counts sum to {total}, "
+                      f"count says {count}")
+    uppers = [b.get("le", 0) for b in buckets]
+    if uppers != sorted(uppers) or len(set(uppers)) != len(uppers):
+        problem(path, f"histogram {name}: bucket bounds not strictly ascending")
+    # The sum must be achievable from the bucket ranges: every bucket's
+    # values lie in (previous upper, upper].
+    lo = 0
+    max_sum = 0
+    prev_upper = -1
+    for b in buckets:
+        upper = b.get("le", 0)
+        n = b.get("count", 0)
+        lo += n * max(prev_upper + 1, 0) if prev_upper >= 0 else 0
+        max_sum += n * upper
+        prev_upper = upper
+    s = hist.get("sum", 0)
+    if buckets and not lo <= s <= max_sum:
+        problem(path, f"histogram {name}: sum {s} outside the bucket-implied "
+                      f"range [{lo}, {max_sum}]")
+
+
+def check_report(path):
+    doc = load(path)
+    if doc is None:
+        return
+    if doc.get("schema") != "cbmpi.run_report":
+        problem(path, f"schema is {doc.get('schema')!r}, "
+                      f"expected 'cbmpi.run_report'")
+    if not isinstance(doc.get("version"), int) or doc.get("version") < 1:
+        problem(path, f"version is {doc.get('version')!r}, expected int >= 1")
+
+    mode = doc.get("mode")
+    if mode == "schedule":
+        for key in ["schema", "version", "mode", "job", "cluster", "jobs"]:
+            if key not in doc:
+                problem(path, f"missing top-level key {key!r}")
+        check_schedule(path, doc)
+        return
+    if mode != "single":
+        problem(path, f"mode is {mode!r}, expected 'single' or 'schedule'")
+
+    for key in REQUIRED_TOP_KEYS:
+        if key not in doc:
+            problem(path, f"missing top-level key {key!r}")
+
+    profile = doc.get("profile", {})
+    for key in REQUIRED_PROFILE_KEYS:
+        if key not in profile:
+            problem(path, f"profile missing key {key!r}")
+    check_fraction(path, "profile.comm_fraction",
+                   profile.get("comm_fraction", -1))
+
+    result = doc.get("result", {})
+    job_time = result.get("job_time_us", -1)
+    if not isinstance(job_time, (int, float)) or job_time < 0:
+        problem(path, f"result.job_time_us = {job_time!r} is not >= 0")
+    rank_times = result.get("rank_times_us", [])
+    if rank_times and abs(max(rank_times) - job_time) > 1e-6 * max(job_time, 1):
+        problem(path, "result.job_time_us is not the max of rank_times_us")
+
+    metrics = doc.get("metrics", {})
+    for hist in metrics.get("histograms", []):
+        check_histogram(path, hist)
+
+    # Counter/profile consistency (Table-I path): the ADI3 hot-path counters
+    # and the profile's channel table observe the same channel decisions.
+    counters = {c.get("name"): c.get("value", 0)
+                for c in metrics.get("counters", [])}
+    channel_counter_total = sum(v for n, v in counters.items()
+                                if n and n.startswith("channel."))
+    profile_channel_total = sum(c.get("ops", 0)
+                                for c in profile.get("channels", []))
+    if counters and channel_counter_total != profile_channel_total:
+        problem(path, f"channel.* counters sum to {channel_counter_total}, "
+                      f"profile channels sum to {profile_channel_total}")
+    if "adi3.eager_sends" in counters or "adi3.rndv_sends" in counters:
+        sends = counters.get("adi3.eager_sends", 0) + \
+            counters.get("adi3.rndv_sends", 0)
+        if sends != profile_channel_total:
+            problem(path, f"eager + rndv sends = {sends}, channel ops "
+                          f"= {profile_channel_total}")
+
+    spans = doc.get("spans", {})
+    by_cat = sum(c.get("count", 0) for c in spans.get("by_category", []))
+    if by_cat != spans.get("count", 0):
+        problem(path, f"spans.by_category sums to {by_cat}, "
+                      f"spans.count says {spans.get('count')}")
+
+
+def check_schedule(path, doc):
+    cluster = doc.get("cluster", {})
+    check_fraction(path, "cluster.utilization", cluster.get("utilization", -1))
+    for job in doc.get("jobs", []):
+        name = job.get("name", "?")
+        if job.get("start_us", 0) < job.get("submit_us", 0):
+            problem(path, f"job {name}: started before submission")
+        if job.get("end_us", 0) < job.get("start_us", 0):
+            problem(path, f"job {name}: ended before it started")
+        check_fraction(path, f"job {name} intra_host_share",
+                       job.get("intra_host_share", -1))
+
+
+def check_trace(path):
+    doc = load(path)
+    if doc is None:
+        return
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        problem(path, "missing traceEvents array")
+        return
+
+    last_ts = {}      # (pid, tid) -> last ts seen, file order
+    open_spans = {}   # (pid, tid) -> stack of (ts, ts + dur, name)
+    saw_duration = False
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "M"):
+            problem(path, f"event {i}: unexpected ph {ph!r}")
+            continue
+        if ph == "M":
+            continue
+        ts = ev.get("ts", -1)
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problem(path, f"event {i}: ts = {ts!r} is not >= 0")
+            continue
+        if ph != "X":
+            continue  # instants keep recorder order; only ts >= 0 is claimed
+        track = (ev.get("pid", 0), ev.get("tid", 0))
+        if ts < last_ts.get(track, 0):
+            problem(path, f"event {i}: ts {ts} goes backwards on track {track}")
+        last_ts[track] = ts
+        saw_duration = True
+        dur = ev.get("dur", -1)
+        if not isinstance(dur, (int, float)) or dur < 0:
+            problem(path, f"event {i}: dur = {dur!r} is not >= 0")
+            continue
+        if ev.get("pid", 0) >= CHANNEL_PID_BASE:
+            continue  # channel tracks interleave transfers; no nesting claim
+        # ts and dur are formatted with ~10 significant digits, so two spans
+        # sharing a boundary can disagree in the last digit.
+        eps = 1e-6 * max(ts + dur, 1.0)
+        stack = open_spans.setdefault(track, [])
+        while stack and stack[-1][1] <= ts + eps:
+            stack.pop()
+        if stack and stack[-1][1] < ts + dur - eps:
+            problem(path, f"event {i} ({ev.get('name')!r}): [{ts}, {ts + dur}] "
+                          f"overlaps open span {stack[-1][2]!r} "
+                          f"[{stack[-1][0]}, {stack[-1][1]}] on track {track}")
+        stack.append((ts, ts + dur, ev.get("name")))
+    if not saw_duration:
+        problem(path, "no duration ('X') events found")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--report", help="run report JSON to validate")
+    parser.add_argument("--trace", help="Perfetto trace JSON to validate")
+    args = parser.parse_args()
+    if not args.report and not args.trace:
+        parser.error("nothing to check: pass --report and/or --trace")
+    if args.report:
+        check_report(args.report)
+    if args.trace:
+        check_trace(args.trace)
+    for p in problems:
+        print(p)
+    if not problems:
+        checked = [p for p in (args.report, args.trace) if p]
+        print(f"ok: {', '.join(checked)}")
+    return len(problems)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
