@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
   const int hosts = static_cast<int>(opts.get_int("hosts", 2, "hosts"));
   const int procs = static_cast<int>(opts.get_int("procs", 8, "procs per host"));
   const std::uint64_t seed = declare_seed(opts);
+  const std::string json_path = declare_json(opts);
   if (opts.finish("Extension: fault resilience vs locality policy")) return 0;
 
   print_banner("Extension", "job time vs HCA fault rate",
@@ -46,6 +47,10 @@ int main(int argc, char** argv) {
 
   const auto modes = make_modes(hosts, 2, procs);
   const std::vector<double> fault_rates = {0.0, 0.02, 0.05, 0.10};
+  JsonRows rows("ext_fault_resilience",
+                std::to_string(hosts) + " hosts x 2 containers x " +
+                    std::to_string(procs) + " procs",
+                seed);
 
   Table table({"HCA fault rate", "default (ms)", "aware (ms)", "def retries",
                "aware retries", "def lost (ms)", "aware lost (ms)"});
@@ -66,6 +71,8 @@ int main(int argc, char** argv) {
     def_retries.push_back(def_result.fault_report.hca_retries);
     opt_retries.push_back(opt_result.fault_report.hca_retries);
 
+    rows.add("default,rate=" + Table::num(rate, 2), 0, def_result.job_time, 0.0);
+    rows.add("aware,rate=" + Table::num(rate, 2), 0, opt_result.job_time, 0.0);
     table.add_row({Table::num(rate, 2), Table::num(to_millis(def_result.job_time), 3),
                    Table::num(to_millis(opt_result.job_time), 3),
                    std::to_string(def_result.fault_report.hca_retries),
@@ -111,5 +118,6 @@ int main(int argc, char** argv) {
                     "degraded run reports injected faults and fallbacks");
   print_shape_check(degraded_result.job_time >= clean_result.job_time,
                     "degradation costs time, never correctness");
+  rows.write(json_path);
   return 0;
 }

@@ -16,6 +16,9 @@ const char* to_string(FaultKind kind) {
     case FaultKind::CmaEperm: return "cma-eperm";
     case FaultKind::HcaTransient: return "hca-transient";
     case FaultKind::HcaLinkFlap: return "hca-link-flap";
+    case FaultKind::RankCrash: return "rank-crash";
+    case FaultKind::ContainerCrash: return "container-crash";
+    case FaultKind::HostCrash: return "host-crash";
   }
   return "?";
 }
@@ -31,7 +34,7 @@ const char* to_string(DegradationKind kind) {
 }
 
 std::string FaultReport::summary() const {
-  std::array<std::uint64_t, 5> fault_counts{};
+  std::array<std::uint64_t, kFaultKinds> fault_counts{};
   for (const auto& e : injected)
     ++fault_counts[static_cast<std::size_t>(e.kind)];
   std::array<std::uint64_t, 4> degradation_counts{};
@@ -64,6 +67,13 @@ FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
   check_prob(plan_.private_ipc_prob, "private_ipc_prob");
   check_prob(plan_.cma_eperm_prob, "cma_eperm_prob");
   check_prob(plan_.hca_transient_prob, "hca_transient_prob");
+  check_prob(plan_.rank_crash_prob, "rank_crash_prob");
+  check_prob(plan_.container_crash_prob, "container_crash_prob");
+  check_prob(plan_.host_crash_prob, "host_crash_prob");
+  CBMPI_REQUIRE(!plan_.crashes_enabled() || plan_.crash_horizon > 0.0,
+                "crash_horizon must be positive when crash faults are "
+                "enabled, got ",
+                plan_.crash_horizon);
   CBMPI_REQUIRE(plan_.hca_link_flap_period >= 0.0 &&
                     plan_.hca_link_flap_duration >= 0.0,
                 "link flap period/duration must be non-negative");
@@ -75,7 +85,13 @@ FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
 
 double FaultInjector::uniform(std::uint64_t site, std::uint64_t a,
                               std::uint64_t b, std::uint64_t c) const {
-  std::uint64_t h = mix64(seed_ ^ mix64(site));
+  return uniform_seeded(seed_, site, a, b, c);
+}
+
+double FaultInjector::uniform_seeded(std::uint64_t seed, std::uint64_t site,
+                                     std::uint64_t a, std::uint64_t b,
+                                     std::uint64_t c) const {
+  std::uint64_t h = mix64(seed ^ mix64(site));
   h = mix64(h ^ mix64(a));
   h = mix64(h ^ mix64(b));
   h = mix64(h ^ mix64(c));
@@ -127,6 +143,40 @@ FaultInjector::HcaOutcome FaultInjector::hca_attempt(int src, int dst,
   return HcaOutcome::Ok;
 }
 
+std::optional<Micros> FaultInjector::rank_crash_at(int rank) const {
+  if (plan_.rank_crash_prob <= 0.0) return std::nullopt;
+  const auto site = site_key(FaultKind::RankCrash);
+  if (uniform(site, static_cast<std::uint64_t>(rank), 0, 0) >=
+      plan_.rank_crash_prob)
+    return std::nullopt;
+  return plan_.crash_horizon *
+         uniform(site, static_cast<std::uint64_t>(rank), 1, 0x717e);
+}
+
+std::optional<Micros> FaultInjector::container_crash_at(int host,
+                                                        int container_index) const {
+  if (plan_.container_crash_prob <= 0.0) return std::nullopt;
+  const auto site = site_key(FaultKind::ContainerCrash);
+  const auto h = static_cast<std::uint64_t>(host);
+  const auto c = static_cast<std::uint64_t>(container_index);
+  if (uniform(site, h, c, 0) >= plan_.container_crash_prob) return std::nullopt;
+  return plan_.crash_horizon * uniform(site, h, c, 0x717e);
+}
+
+std::optional<Micros> FaultInjector::host_crash_at(int physical_host) const {
+  if (plan_.host_crash_prob <= 0.0) return std::nullopt;
+  const auto site = site_key(FaultKind::HostCrash);
+  const auto h = static_cast<std::uint64_t>(physical_host);
+  // Eligibility may hash from a cluster-stable seed (host_fault_seed), so a
+  // flaky physical host fails job after job; the crash time always hashes
+  // from the job seed, so a requeued attempt draws a fresh one.
+  const std::uint64_t eligibility_seed =
+      plan_.host_fault_seed != 0 ? plan_.host_fault_seed : seed_;
+  if (uniform_seeded(eligibility_seed, site, h, 0, 0) >= plan_.host_crash_prob)
+    return std::nullopt;
+  return plan_.crash_horizon * uniform(site, h, 0, 0x717e);
+}
+
 Micros FaultInjector::backoff_delay(int src, int dst, std::uint64_t seq,
                                     int attempt, Micros base, double factor) const {
   const double jitter =
@@ -170,6 +220,9 @@ void FaultLog::add_retry(int owner_rank, FaultKind kind) {
     case FaultKind::PrivateIpc:
     case FaultKind::HcaTransient:
     case FaultKind::HcaLinkFlap: ++slot.hca_retries; break;
+    case FaultKind::RankCrash:
+    case FaultKind::ContainerCrash:
+    case FaultKind::HostCrash: break;  // crashes are not retried in-job
   }
 }
 

@@ -20,11 +20,13 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <set>
 #include <string>
 #include <tuple>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/units.hpp"
 
 namespace cbmpi::faults {
@@ -36,7 +38,20 @@ enum class FaultKind : std::uint8_t {
   CmaEperm,         ///< process_vm_readv refused across a rank pair
   HcaTransient,     ///< one HCA send/completion attempt failed
   HcaLinkFlap,      ///< HCA attempt fell into a link-down window
+  RankCrash,        ///< one rank process died mid-job
+  ContainerCrash,   ///< a container died, killing every rank inside it
+  HostCrash,        ///< a host died, killing every rank placed on it
 };
+
+/// Number of FaultKind enumerators (for count arrays).
+inline constexpr std::size_t kFaultKinds = 8;
+
+/// Is this a crash-class fault (kills ranks, job must be requeued) rather
+/// than a transient the runtime degrades around?
+constexpr bool is_crash(FaultKind kind) {
+  return kind == FaultKind::RankCrash || kind == FaultKind::ContainerCrash ||
+         kind == FaultKind::HostCrash;
+}
 
 /// Human-readable kind name for reports and tables.
 const char* to_string(FaultKind kind);
@@ -76,13 +91,65 @@ struct FaultPlan {
   Micros hca_link_flap_period = 0.0;
   Micros hca_link_flap_duration = 0.0;
 
+  /// Crash-class faults. Each rank / container / host draws, purely from
+  /// (seed, site), whether it crashes during this job and a uniform crash
+  /// time in [0, crash_horizon). A crash kills every rank on the failing
+  /// unit at that virtual time; the job aborts and surfaces a CrashInfo so
+  /// a scheduler can requeue it from its last completed checkpoint.
+  double rank_crash_prob = 0.0;
+  double container_crash_prob = 0.0;
+  double host_crash_prob = 0.0;
+  /// Crash times are uniform in [0, crash_horizon) virtual microseconds.
+  Micros crash_horizon = 5000.0;
+  /// When nonzero, host-crash *eligibility* hashes from this seed instead of
+  /// the per-job seed, so one flaky physical host stays flaky across every
+  /// job of a scheduled run (and the blacklist can catch it). The crash
+  /// *time* still draws from the job seed, so retries see fresh times.
+  std::uint64_t host_fault_seed = 0;
+
+  /// True when any crash-class rate is nonzero.
+  bool crashes_enabled() const {
+    return rank_crash_prob > 0.0 || container_crash_prob > 0.0 ||
+           host_crash_prob > 0.0;
+  }
+
   /// True when any rate is nonzero — i.e. the runtime must consult the
   /// injector at all.
   bool enabled() const {
     return shm_segment_fail_prob > 0.0 || private_ipc_prob > 0.0 ||
            cma_eperm_prob > 0.0 || hca_transient_prob > 0.0 ||
-           (hca_link_flap_period > 0.0 && hca_link_flap_duration > 0.0);
+           (hca_link_flap_period > 0.0 && hca_link_flap_duration > 0.0) ||
+           crashes_enabled();
   }
+};
+
+/// Everything known about one crash at requeue time: what died, where, when,
+/// and how much checkpointed progress survives. Carried by CrashedError.
+struct CrashInfo {
+  FaultKind kind = FaultKind::RankCrash;
+  int rank = -1;               ///< first rank taken down by the crash
+  int host = -1;               ///< physical host of that rank
+  Micros at = 0.0;             ///< scheduled crash virtual time (job-local)
+  /// Job-local virtual time of the last checkpoint committed *during this
+  /// run* (0 when none committed; a restore snapshot from a previous attempt
+  /// may still exist).
+  Micros last_checkpoint = 0.0;
+  int checkpoint_round = 0;    ///< completed rounds at that checkpoint
+};
+
+/// A crash-class fault killed the job. Derives from AbortedError (the crash
+/// aborts every surviving rank) but carries the root-cause CrashInfo so the
+/// runtime and scheduler can distinguish a recoverable crash from a
+/// bystander's "job aborted" echo.
+class CrashedError : public AbortedError {
+ public:
+  CrashedError(std::string what, CrashInfo info)
+      : AbortedError(std::move(what)), info_(info) {}
+
+  const CrashInfo& info() const { return info_; }
+
+ private:
+  CrashInfo info_;
 };
 
 /// One injected fault, as it will appear in the FaultReport.
@@ -159,9 +226,20 @@ class FaultInjector {
   Micros backoff_delay(int src, int dst, std::uint64_t seq, int attempt,
                        Micros base, double factor) const;
 
+  /// Crash-class decisions: does this unit crash during the job, and when?
+  /// Pure functions of (seed, site); nullopt = the unit survives.
+  std::optional<Micros> rank_crash_at(int rank) const;
+  std::optional<Micros> container_crash_at(int host, int container_index) const;
+  /// `physical_host` should be the *cluster-wide* host id when the job runs
+  /// under a scheduler (see FaultPlan::host_fault_seed), the job-local id
+  /// otherwise.
+  std::optional<Micros> host_crash_at(int physical_host) const;
+
  private:
   double uniform(std::uint64_t site, std::uint64_t a, std::uint64_t b,
                  std::uint64_t c) const;
+  double uniform_seeded(std::uint64_t seed, std::uint64_t site, std::uint64_t a,
+                        std::uint64_t b, std::uint64_t c) const;
 
   FaultPlan plan_;
   std::uint64_t seed_;

@@ -45,6 +45,7 @@ Request Adi3Engine::start_send(std::span<const std::byte> data, int dst_world, i
                                std::uint64_t comm_id) {
   CBMPI_REQUIRE(dst_world >= 0 && dst_world < job_->nranks,
                 "send to invalid rank ", dst_world);
+  check_crash();
   const Bytes size = data.size();
   const auto decision = job_->selector->select(rank_, dst_world, size);
   profile().add_channel_op(decision.channel, size);
@@ -359,6 +360,7 @@ Status Adi3Engine::wait(const Request& request) {
     }
   }
   clock().advance_to(request->complete_at);
+  check_crash();
   return request->status;
 }
 
@@ -407,6 +409,43 @@ void Adi3Engine::charge_hca_retries(int dst_world, std::uint64_t seq, Bytes size
 void Adi3Engine::check_abort() const {
   if (job_->aborted.load(std::memory_order_acquire))
     throw AbortedError("job aborted: another rank raised an error");
+}
+
+void Adi3Engine::check_crash() {
+  if (job_->crash_at.empty()) return;
+  if (clock().now() < job_->crash_at[static_cast<std::size_t>(rank_)]) return;
+  raise_crash();
+}
+
+void Adi3Engine::raise_crash() {
+  const auto idx = static_cast<std::size_t>(rank_);
+  const auto kind = job_->crash_kind[idx];
+  const int host = job_->crash_host[idx];
+  // Report the *scheduled* crash time, not the detection instant: the unit
+  // died at its planned virtual time; this rank merely noticed at the next
+  // op boundary. Scheduled times are pure functions of the seed, so the
+  // report is identical run after run.
+  const Micros when = job_->crash_at[idx];
+  if (job_->fault_log)
+    job_->fault_log->record_fault(
+        rank_, {kind, rank_, -1, when,
+                std::string(to_string(kind)) + " on host " +
+                    std::to_string(host) + " (injected)"});
+  if (job_->trace)
+    job_->trace->record(
+        {sim::TraceKind::FaultInject, rank_, -1, 0, when, to_string(kind)});
+  if (job_->spans)
+    job_->spans->record({"crash", obs::SpanCat::Fault, rank_, -1, -1, 0, when,
+                         when, to_string(kind)});
+  std::ostringstream os;
+  os << "rank " << rank_ << " crashed at t=" << when << " us ("
+     << to_string(kind) << " on host " << host << ", injected)";
+  faults::CrashInfo info;
+  info.kind = kind;
+  info.rank = rank_;
+  info.host = host;
+  info.at = when;
+  throw faults::CrashedError(os.str(), info);
 }
 
 void Adi3Engine::wait_all(std::span<const Request> requests) {

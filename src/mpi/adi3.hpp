@@ -80,8 +80,16 @@ class Adi3Engine {
   /// MPI_Iprobe: is a matching message pending? (world-relative source)
   std::optional<Status> iprobe(int src_world, int tag, std::uint64_t comm_id);
 
+  /// Crash injection: throws faults::CrashedError once this rank's virtual
+  /// clock crosses its scheduled crash time (JobState::crash_at). Checked at
+  /// op boundaries (send start, wait completion, compute, phase alignment),
+  /// so detection follows the deterministic virtual clock, never wall time.
+  /// No-op (one empty-vector test) when no crash faults are planned.
+  void check_crash();
+
  private:
   void check_abort() const;
+  [[noreturn]] void raise_crash();
   /// Fault injection: charges the sender for transient HCA failures of this
   /// transfer — bounded retries with exponential backoff and deterministic
   /// jitter — and throws (per-rank abort, failing rank identified) once the

@@ -1,6 +1,8 @@
 #include "mpi/job_registry.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cstring>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -41,6 +43,21 @@ JobBody exchange_body(const JobBodyParams& params, Peer peer_of) {
       p.world().barrier();
     }
   };
+}
+
+/// Checkpoint-state (de)serialization for the recoverable bodies whose state
+/// is one double (cg residual, bfs visited count).
+std::array<std::uint8_t, 8> pack_f64(double v) {
+  std::array<std::uint8_t, 8> bytes{};
+  std::memcpy(bytes.data(), &v, sizeof v);
+  return bytes;
+}
+
+double unpack_f64(std::span<const std::uint8_t> bytes, double fallback) {
+  if (bytes.size() != sizeof(double)) return fallback;
+  double v = 0.0;
+  std::memcpy(&v, bytes.data(), sizeof v);
+  return v;
 }
 
 /// The peer of `rank` in round `round` of the sparse-random body; pure
@@ -126,11 +143,22 @@ JobBodyRegistry::JobBodyRegistry() {
       [](const JobBodyParams& params) {
         // Ring shift is not a mutual pairing (peer(peer) != rank), so it
         // cannot use the blocking exchange_body: send ahead nonblocking,
-        // receive from behind.
+        // receive from behind. Recoverable: the round's received buffer is
+        // the rank's whole state ("pass the parcel"), so a checkpoint is one
+        // message_size snapshot per rank and a restore re-seeds `out` with
+        // the parcel held after the last committed round.
         return [params](Process& p) {
           std::vector<std::uint8_t> out(params.message_size);
           std::vector<std::uint8_t> in(params.message_size);
-          for (int round = 0; round < params.rounds; ++round) {
+          if (!out.empty())
+            out[0] = static_cast<std::uint8_t>(p.rank() & 0xff);
+          const auto saved = p.restored_state();
+          if (!saved.empty()) {
+            out.assign(saved.begin(), saved.end());
+            out.resize(params.message_size);
+            in = out;
+          }
+          for (int round = p.start_round(); round < params.rounds; ++round) {
             if (params.compute_ops > 0.0) p.compute(params.compute_ops);
             if (p.size() > 1) {
               const int next = (p.rank() + 1) % p.size();
@@ -139,8 +167,10 @@ JobBodyRegistry::JobBodyRegistry() {
                                          next, round);
               p.world().recv(std::span<std::uint8_t>(in), prev, round);
               p.world().wait(req);
+              out = in;
             }
             p.world().barrier();
+            p.checkpoint(round + 1, std::span<const std::uint8_t>(in));
           }
         };
       },
@@ -151,7 +181,93 @@ JobBodyRegistry::JobBodyRegistry() {
                size_weight * static_cast<double>(params.message_size));
         return m;
       },
-      "nearest-neighbour ring exchange (alternating direction)"});
+      "nearest-neighbour ring exchange (alternating direction)",
+      /*recoverable=*/true});
+
+  add("cg", {
+      [](const JobBodyParams& params) {
+        // Conjugate-gradient-shaped solver loop: each iteration is a compute
+        // phase followed by a one-double allreduce (the dot-product /
+        // convergence check). Recoverable: the entire iteration state is the
+        // scalar residual, so checkpoints are 8 bytes per rank.
+        return [params](Process& p) {
+          const int iters = params.rounds * 4;
+          const double ops =
+              params.compute_ops > 0.0 ? params.compute_ops : 500.0;
+          double residual =
+              unpack_f64(p.restored_state(), /*fallback=*/1.0);
+          for (int iter = p.start_round(); iter < iters; ++iter) {
+            p.compute(ops);
+            const double local =
+                residual * (1.0 + static_cast<double>(p.rank()) /
+                                      static_cast<double>(p.size()));
+            double sum = 0.0;
+            p.world().allreduce(std::span<const double>(&local, 1),
+                                std::span<double>(&sum, 1), ReduceOp::Sum);
+            residual = 0.5 * sum / static_cast<double>(p.size());
+            const auto state = pack_f64(residual);
+            p.checkpoint(iter + 1, std::span<const std::uint8_t>(state));
+          }
+        };
+      },
+      [](int nranks, const JobBodyParams& params) {
+        // Dot-product allreduces touch every pair, weight spread uniformly;
+        // volume is tiny but frequent (4 iterations per round).
+        auto m = zero_matrix(nranks);
+        const double w = 4.0 * static_cast<double>(params.rounds) /
+                         std::max(1, nranks - 1);
+        for (int a = 0; a < nranks; ++a)
+          for (int b = a + 1; b < nranks; ++b) bump(m, a, b, w);
+        return m;
+      },
+      "CG-style solver: compute + one-double allreduce per iteration "
+      "(4 x rounds iterations); 8-byte checkpoint state",
+      /*recoverable=*/true});
+
+  add("bfs", {
+      [](const JobBodyParams& params) {
+        // Level-synchronous BFS skeleton: each level exchanges a frontier
+        // with the ring neighbours, then allreduces the visited count to
+        // decide termination. Recoverable: the visited count is the state.
+        return [params](Process& p) {
+          std::vector<std::uint8_t> frontier(params.message_size);
+          double visited =
+              unpack_f64(p.restored_state(), /*fallback=*/0.0);
+          for (int level = p.start_round(); level < params.rounds; ++level) {
+            if (params.compute_ops > 0.0) p.compute(params.compute_ops);
+            if (p.size() > 1) {
+              const int next = (p.rank() + 1) % p.size();
+              const int prev = (p.rank() + p.size() - 1) % p.size();
+              auto req = p.world().isend(
+                  std::span<const std::uint8_t>(frontier), next, level);
+              p.world().recv(std::span<std::uint8_t>(frontier), prev, level);
+              p.world().wait(req);
+            }
+            const double local = static_cast<double>(level + 1);
+            double total = 0.0;
+            p.world().allreduce(std::span<const double>(&local, 1),
+                                std::span<double>(&total, 1), ReduceOp::Sum);
+            visited += total;
+            const auto state = pack_f64(visited);
+            p.checkpoint(level + 1, std::span<const std::uint8_t>(state));
+          }
+        };
+      },
+      [size_weight](int nranks, const JobBodyParams& params) {
+        // Frontier exchange dominates (ring neighbours); the termination
+        // allreduce adds a small uniform background.
+        auto m = zero_matrix(nranks);
+        for (int r = 0; r < nranks; ++r)
+          bump(m, r, (r + 1) % nranks,
+               size_weight * static_cast<double>(params.message_size));
+        const double w = 8.0 / std::max(1, nranks - 1);
+        for (int a = 0; a < nranks; ++a)
+          for (int b = a + 1; b < nranks; ++b) bump(m, a, b, w);
+        return m;
+      },
+      "level-synchronous BFS: frontier ring exchange + termination allreduce "
+      "per level; 8-byte checkpoint state",
+      /*recoverable=*/true});
 
   add("pairs", {
       [](const JobBodyParams& params) {

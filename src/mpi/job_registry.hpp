@@ -39,6 +39,10 @@ struct JobBodyInfo {
   /// Relative per-pair communication volume for an nranks-rank run.
   std::function<TrafficMatrix(int nranks, const JobBodyParams&)> traffic;
   std::string description;  ///< one line, shown by `cbmpirun --help`-style listings
+  /// The body implements the checkpoint hooks (Process::checkpoint /
+  /// start_round / restored_state) and can resume from a committed snapshot.
+  /// Non-recoverable bodies re-run from round 0 after a crash.
+  bool recoverable = false;
 };
 
 /// Process-wide registry. Built-in bodies (ring, pairs, shift, allreduce,

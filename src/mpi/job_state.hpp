@@ -29,6 +29,8 @@
 
 namespace cbmpi::mpi {
 
+class CheckpointStore;
+
 /// Shared registry entry of one RMA window: each comm rank's exposed memory
 /// plus a lock serializing concurrent remote accesses to it.
 struct WindowInfo {
@@ -71,6 +73,19 @@ struct JobState {
   /// case — so the hot paths skip every injection check).
   const faults::FaultInjector* faults = nullptr;
   faults::FaultLog* fault_log = nullptr;            // non-null iff faults set
+
+  /// Crash schedule (empty when no crash-class faults are planned): per rank,
+  /// the virtual time its crash fires (infinity = survives), what kind of
+  /// unit failure it is, and the rank's (physical) host for the CrashInfo.
+  /// Computed once from the placement before rank threads start; each rank
+  /// checks its own entry at op boundaries, so detection is deterministic.
+  std::vector<Micros> crash_at;
+  std::vector<faults::FaultKind> crash_kind;
+  std::vector<int> crash_host;
+
+  /// Coordinated checkpoint coordinator (null when checkpointing is off and
+  /// the job is not a restore — Process::checkpoint is then a free no-op).
+  CheckpointStore* checkpoint = nullptr;
 
   std::mutex windows_mutex;
   std::map<std::uint64_t, std::shared_ptr<WindowInfo>> windows;

@@ -1,6 +1,7 @@
 #include "mpi/runtime.hpp"
 
 #include <exception>
+#include <limits>
 #include <numeric>
 #include <sstream>
 #include <thread>
@@ -31,6 +32,7 @@ void Process::compute(double ops) {
     engine_.job().spans->record({"compute", obs::SpanCat::Compute, rank(), -1, -1,
                                  static_cast<Bytes>(ops), before,
                                  os_->clock().now(), ""});
+  engine_.check_crash();
 }
 
 Xoshiro256 Process::make_rng(std::uint64_t salt) const {
@@ -42,6 +44,44 @@ Xoshiro256 Process::make_rng(std::uint64_t salt) const {
 void Process::sync_time() {
   const Micros aligned = phase_barrier_->arrive_and_wait(os_->clock().now());
   os_->clock().advance_to(aligned);
+  engine_.check_crash();
+}
+
+int Process::start_round() const {
+  const auto* store = engine_.job().checkpoint;
+  return store && store->restore() ? store->restore()->round : 0;
+}
+
+std::span<const std::uint8_t> Process::restored_state() const {
+  const auto* store = engine_.job().checkpoint;
+  if (!store || !store->restore()) return {};
+  return store->restore()->rank_state[static_cast<std::size_t>(
+      engine_.world_rank())];
+}
+
+bool Process::checkpoint(int completed_rounds, std::span<const std::uint8_t> state) {
+  auto* store = engine_.job().checkpoint;
+  if (!store || !store->taking()) return false;
+  // Quiesce: align every rank to one virtual instant. All ranks then hold
+  // the same `aligned`, so the store's take/skip decision is uniform.
+  const Micros aligned = phase_barrier_->arrive_and_wait(os_->clock().now());
+  os_->clock().advance_to(aligned);
+  // A rank whose crash time lies at or before the aligned instant dies here,
+  // before saving — the snapshot for this round then never commits and the
+  // previous one stays the restart point (all-or-nothing commit).
+  engine_.check_crash();
+  if (!store->decide(completed_rounds, aligned)) return false;
+  store->save(rank(), completed_rounds, aligned,
+              std::vector<std::uint8_t>(state.begin(), state.end()));
+  const Micros cost = CheckpointStore::snapshot_cost(state.size());
+  os_->clock().advance(cost);
+  engine_.profile().add_recovery(cost);
+  if (engine_.job().spans)
+    engine_.job().spans->record(
+        {"checkpoint", obs::SpanCat::Fault, rank(), -1, -1,
+         static_cast<Bytes>(state.size()), aligned, os_->clock().now(),
+         "round " + std::to_string(completed_rounds)});
+  return true;
 }
 
 namespace {
@@ -234,6 +274,52 @@ JobResult run_job(const JobConfig& config, const std::function<void(Process&)>& 
     job.fault_log = &fault_log;
   }
 
+  // --- crash schedule -------------------------------------------------------
+  // Each rank's effective crash time is the earliest of its own, its
+  // container's and its host's scheduled crash — all pure functions of
+  // (seed, site), resolved once here so every rerun agrees.
+  if (inject && config.faults.crashes_enabled()) {
+    constexpr Micros kNever = std::numeric_limits<Micros>::infinity();
+    job.crash_at.assign(static_cast<std::size_t>(nranks), kNever);
+    job.crash_kind.assign(static_cast<std::size_t>(nranks),
+                          faults::FaultKind::RankCrash);
+    job.crash_host.assign(static_cast<std::size_t>(nranks), -1);
+    for (int r = 0; r < nranks; ++r) {
+      const auto& slot = placement.slots[static_cast<std::size_t>(r)];
+      const int local_host = static_cast<int>(slot.host);
+      const int physical_host =
+          config.physical_hosts.empty()
+              ? local_host
+              : config.physical_hosts[static_cast<std::size_t>(local_host)];
+      const auto idx = static_cast<std::size_t>(r);
+      job.crash_host[idx] = physical_host;
+      auto consider = [&](std::optional<Micros> at, faults::FaultKind kind) {
+        if (at && *at < job.crash_at[idx]) {
+          job.crash_at[idx] = *at;
+          job.crash_kind[idx] = kind;
+        }
+      };
+      // Widest blast radius wins ties: host beats container beats rank.
+      consider(injector.rank_crash_at(r), faults::FaultKind::RankCrash);
+      if (slot.container_index >= 0)
+        consider(injector.container_crash_at(local_host, slot.container_index),
+                 faults::FaultKind::ContainerCrash);
+      consider(injector.host_crash_at(physical_host),
+               faults::FaultKind::HostCrash);
+    }
+  }
+
+  // --- coordinated checkpoints ---------------------------------------------
+  std::unique_ptr<CheckpointStore> checkpoint_store;
+  if (config.checkpoint_interval > 0.0 || config.restore) {
+    CBMPI_REQUIRE(config.checkpoint_interval >= 0.0,
+                  "checkpoint_interval must be >= 0, got ",
+                  config.checkpoint_interval);
+    checkpoint_store = std::make_unique<CheckpointStore>(
+        nranks, config.checkpoint_interval, config.restore);
+    job.checkpoint = checkpoint_store.get();
+  }
+
   sim::TraceRecorder recorder;
   if (config.record_trace) job.trace = &recorder;
 
@@ -261,6 +347,24 @@ JobResult run_job(const JobConfig& config, const std::function<void(Process&)>& 
   job.matchers.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) job.matchers.push_back(std::make_unique<Matcher>());
   job.rank_profiles.resize(static_cast<std::size_t>(nranks));
+
+  // Restarted jobs pay the snapshot-read cost up front: each rank is charged
+  // for reading its saved state before the body runs (Fault/"restart" span).
+  if (config.restore) {
+    for (int r = 0; r < nranks; ++r) {
+      const auto& state =
+          config.restore->rank_state[static_cast<std::size_t>(r)];
+      const Micros cost = CheckpointStore::snapshot_cost(state.size());
+      auto& proc = *processes[static_cast<std::size_t>(r)];
+      proc.clock().advance(cost);
+      job.rank_profile(r).add_recovery(cost);
+      if (job.spans)
+        job.spans->record({"restart", obs::SpanCat::Fault, r, -1, -1,
+                           static_cast<Bytes>(state.size()), proc.clock().now() - cost,
+                           proc.clock().now(),
+                           "resume round " + std::to_string(config.restore->round)});
+    }
+  }
 
   // --- container locality detection (init-time, before any communication) --
   // Running the announce/scan protocol for all ranks here is equivalent to
@@ -363,11 +467,12 @@ JobResult run_job(const JobConfig& config, const std::function<void(Process&)>& 
             auto& failure = failures[static_cast<std::size_t>(r)];
             failure.error = std::current_exception();
             failure.at = processes[static_cast<std::size_t>(r)]->clock().now();
-            // Unblock peers that may be blocked waiting on this rank; they
-            // will observe the abort flag and raise. The root cause is
-            // rethrown below.
+            // Unblock peers that may be blocked waiting on this rank — in a
+            // matcher wait or at the phase barrier; they will observe the
+            // abort and raise. The root cause is rethrown below.
             job.aborted.store(true, std::memory_order_release);
             for (auto& matcher : job.matchers) matcher->poke();
+            phase_barrier.abort_all();
           }
         });
       } catch (...) {
@@ -375,15 +480,18 @@ JobResult run_job(const JobConfig& config, const std::function<void(Process&)>& 
         // joiner's joins return, then surface the startup failure.
         job.aborted.store(true, std::memory_order_release);
         for (auto& matcher : job.matchers) matcher->poke();
+        phase_barrier.abort_all();
         throw;
       }
     }
   }
 
   // Rethrow the *root cause*: the earliest-failing rank whose exception is a
-  // genuine failure, not a bystander's "job aborted" echo (AbortedError).
+  // genuine failure — a crash (CrashedError) or any non-AbortedError — not a
+  // bystander's "job aborted" echo.
   const RankFailure* root = nullptr;
   int root_rank = -1;
+  bool any_crash = false;
   for (int pass = 0; pass < 2 && !root; ++pass) {
     for (int r = 0; r < nranks; ++r) {
       const auto& failure = failures[static_cast<std::size_t>(r)];
@@ -391,6 +499,9 @@ JobResult run_job(const JobConfig& config, const std::function<void(Process&)>& 
       if (pass == 0) {
         try {
           std::rethrow_exception(failure.error);
+        } catch (const faults::CrashedError&) {
+          any_crash = true;  // a genuine root cause, handled below
+          continue;
         } catch (const AbortedError&) {
           continue;  // secondary casualty, keep looking
         } catch (...) {
@@ -400,6 +511,46 @@ JobResult run_job(const JobConfig& config, const std::function<void(Process&)>& 
         root = &failure;
         root_rank = r;
       }
+    }
+    if (any_crash) break;  // crash handling below beats the bystander pass
+  }
+  if (any_crash) {
+    // Attribute the crash from the deterministic *schedule*, not from which
+    // thread happened to throw first: the earliest scheduled crash over all
+    // ranks (ties to the lowest rank). Thread interleaving decides which
+    // bystanders abort before noticing their own crash, but never this.
+    faults::CrashInfo info;
+    for (int r = 0; r < nranks; ++r) {
+      const auto idx = static_cast<std::size_t>(r);
+      if (job.crash_at[idx] < std::numeric_limits<Micros>::infinity() &&
+          (info.rank < 0 || job.crash_at[idx] < info.at)) {
+        info.rank = r;
+        info.at = job.crash_at[idx];
+        info.kind = job.crash_kind[idx];
+        info.host = job.crash_host[idx];
+      }
+    }
+    // A genuine non-crash failure that (deterministically) predates the
+    // crash stays the root cause.
+    if (!(root && root->at < info.at)) {
+      std::shared_ptr<const CheckpointData> best;
+      int committed = 0;
+      if (checkpoint_store) {
+        best = checkpoint_store->committed();
+        const auto events = checkpoint_store->events();
+        committed = static_cast<int>(events.size());
+        if (!events.empty()) {
+          info.last_checkpoint = events.back().at;
+          info.checkpoint_round = events.back().round;
+        } else if (config.restore) {
+          info.checkpoint_round = config.restore->round;
+        }
+      }
+      std::ostringstream os;
+      os << "rank " << info.rank << " failed at t=" << info.at << " us: "
+         << faults::to_string(info.kind) << " on host " << info.host
+         << " (injected crash)";
+      throw JobCrashedError(os.str(), info, std::move(best), committed);
     }
   }
   if (root) {
@@ -426,7 +577,23 @@ JobResult run_job(const JobConfig& config, const std::function<void(Process&)>& 
   result.hca_queue_pairs = job.hca->queue_pairs();
   if (config.record_trace) result.trace = recorder.events();
   result.fault_report = fault_log.finalize();
+  if (checkpoint_store) {
+    result.checkpoints = checkpoint_store->events();
+    result.restored = config.restore != nullptr;
+    if (config.restore) {
+      result.restore_round = config.restore->round;
+      result.restore_progress_us = config.restore->progress_us;
+    }
+  }
   if (config.observe) {
+    if (checkpoint_store) {
+      metrics_registry.counter("recovery.checkpoints")
+          .add(static_cast<std::uint64_t>(result.checkpoints.size()));
+      if (!result.checkpoints.empty())
+        metrics_registry.gauge("recovery.last_checkpoint_us")
+            .set(result.checkpoints.back().at);
+      if (result.restored) metrics_registry.counter("recovery.restarts").add(1);
+    }
     // Job-level summary gauges ride in the same registry the engines fed,
     // so one snapshot carries everything.
     metrics_registry.gauge("job.virtual_time_us").set(result.job_time);

@@ -13,12 +13,15 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
+#include <span>
 
 #include "common/rng.hpp"
 #include "container/deployment.hpp"
 #include "fabric/selector.hpp"
 #include "faults/fault.hpp"
+#include "mpi/checkpoint.hpp"
 #include "mpi/coll/tuning_table.hpp"
 #include "mpi/communicator.hpp"
 #include "mpi/time_barrier.hpp"
@@ -59,6 +62,23 @@ struct JobConfig {
   /// retry counts, and job time.
   faults::FaultPlan faults{};
 
+  /// Coordinated checkpoints: > 0 asks the runtime to quiesce at body-round
+  /// barriers and snapshot registered job-body state roughly every this many
+  /// virtual microseconds (Process::checkpoint). 0 (default) = off, and the
+  /// checkpoint hooks in job bodies cost nothing.
+  Micros checkpoint_interval = 0.0;
+
+  /// Resume from a previous attempt's committed snapshot: bodies see
+  /// Process::start_round() / restored_state(), and each rank is charged the
+  /// modelled snapshot-read cost at job start (a Fault/"restart" span).
+  std::shared_ptr<const CheckpointData> restore;
+
+  /// Job-local host index -> cluster-wide host id (scheduler-filled; empty =
+  /// standalone run, local ids are the physical ids). Host-crash eligibility
+  /// keys off the physical id so one flaky host misbehaves for every job
+  /// placed on it (see FaultPlan::host_fault_seed).
+  std::vector<int> physical_hosts;
+
   bool record_trace = false;
 
   /// Attaches the observability layer (obs::MetricsRegistry + span tracing)
@@ -83,6 +103,13 @@ struct JobResult {
   /// obs::run_report_json / obs::to_perfetto.
   obs::MetricsSnapshot metrics;
   std::vector<obs::Span> spans;
+
+  /// Recovery bookkeeping (report v2 "recovery" section): checkpoints
+  /// committed during this run, and what the run resumed from (if anything).
+  std::vector<CheckpointEvent> checkpoints;
+  bool restored = false;
+  int restore_round = 0;
+  Micros restore_progress_us = 0.0;
 };
 
 /// The per-rank handle passed to the job body.
@@ -116,6 +143,24 @@ class Process {
   /// every clock to the maximum. For bench iteration boundaries — not an
   /// MPI_Barrier (costs nothing in virtual time beyond the alignment).
   void sync_time();
+
+  /// First body round to execute: 0 for a fresh run, the restore snapshot's
+  /// completed-round count when the job resumes from a checkpoint.
+  int start_round() const;
+
+  /// This rank's saved state bytes from the restore snapshot (empty span for
+  /// a fresh run). Valid for the job's lifetime.
+  std::span<const std::uint8_t> restored_state() const;
+
+  /// Coordinated maybe-checkpoint, called by recoverable bodies once per
+  /// round with `completed_rounds` rounds done and the rank's serialized
+  /// state. Collective: every rank must call it the same number of times.
+  /// When checkpointing is off this returns false at the cost of one pointer
+  /// test; when on, all ranks quiesce (align clocks), make one uniform
+  /// take/skip decision from the aligned time, and on "take" each rank saves
+  /// its state and is charged the modelled snapshot cost (Fault/"checkpoint"
+  /// span). Returns true when a checkpoint was taken this round.
+  bool checkpoint(int completed_rounds, std::span<const std::uint8_t> state);
 
   Adi3Engine& engine() { return engine_; }
   const osl::SimProcess& os() const { return *os_; }

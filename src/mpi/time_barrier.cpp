@@ -12,6 +12,8 @@ TimeBarrier::TimeBarrier(int participants) : participants_(participants) {
 
 Micros TimeBarrier::arrive_and_wait(Micros my_time) {
   std::unique_lock lock(mutex_);
+  if (aborted_)
+    throw AbortedError("job aborted: phase barrier torn down by a failing rank");
   current_max_ = std::max(current_max_, my_time);
   if (++waiting_ == participants_) {
     published_max_ = current_max_;
@@ -22,8 +24,18 @@ Micros TimeBarrier::arrive_and_wait(Micros my_time) {
     return published_max_;
   }
   const std::uint64_t my_generation = generation_;
-  cv_.wait(lock, [&] { return generation_ != my_generation; });
+  cv_.wait(lock, [&] { return generation_ != my_generation || aborted_; });
+  if (generation_ == my_generation && aborted_)
+    throw AbortedError("job aborted: phase barrier torn down by a failing rank");
   return published_max_;
+}
+
+void TimeBarrier::abort_all() {
+  {
+    std::lock_guard lock(mutex_);
+    aborted_ = true;
+  }
+  cv_.notify_all();
 }
 
 }  // namespace cbmpi::mpi

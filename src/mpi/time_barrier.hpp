@@ -19,7 +19,13 @@ class TimeBarrier {
   explicit TimeBarrier(int participants);
 
   /// Blocks until all participants arrived; returns the max of their times.
+  /// Throws AbortedError if abort_all() was (or is) called while waiting —
+  /// a crashed participant can never arrive, so waiters must not hang.
   Micros arrive_and_wait(Micros my_time);
+
+  /// Marks the barrier dead and wakes every waiter; they, and all later
+  /// arrivals, throw AbortedError. Called by the runtime's failure path.
+  void abort_all();
 
  private:
   std::mutex mutex_;
@@ -29,6 +35,7 @@ class TimeBarrier {
   std::uint64_t generation_ = 0;
   Micros current_max_ = 0.0;
   Micros published_max_ = 0.0;
+  bool aborted_ = false;
 };
 
 }  // namespace cbmpi::mpi

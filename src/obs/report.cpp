@@ -133,6 +133,24 @@ void write_faults(JsonWriter& w, const faults::FaultReport& report) {
   w.end_object();
 }
 
+void write_recovery(JsonWriter& w, const mpi::JobResult& result) {
+  w.key("recovery").begin_object();
+  w.field("checkpoints", static_cast<std::uint64_t>(result.checkpoints.size()));
+  w.field("restored", result.restored);
+  w.field("restore_round", result.restore_round);
+  w.field("restore_progress_us", result.restore_progress_us);
+  w.key("events").begin_array();
+  for (const auto& event : result.checkpoints) {
+    w.begin_object();
+    w.field("round", event.round);
+    w.field("at_us", event.at);
+    w.field("bytes", event.bytes);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
 void write_header(JsonWriter& w, const ReportContext& ctx, const char* mode) {
   w.field("schema", "cbmpi.run_report");
   w.field("version", std::int64_t{kRunReportVersion});
@@ -163,6 +181,16 @@ void write_cluster_metrics(JsonWriter& w, const sched::ClusterMetrics& metrics) 
   w.field("hca", metrics.hca_ops);
   w.end_object();
   w.field("local_op_share", metrics.local_op_share());
+  w.key("recovery").begin_object();
+  w.field("crashes", metrics.crashes);
+  w.field("requeues", metrics.requeues);
+  w.field("restarts_from_checkpoint", metrics.restarts_from_checkpoint);
+  w.field("checkpoints", metrics.checkpoints);
+  w.field("jobs_failed", metrics.jobs_failed);
+  w.field("blacklisted_hosts", metrics.blacklisted_hosts);
+  w.field("lost_work_us", metrics.lost_work_us);
+  w.field("completed_work_us", metrics.completed_work_us);
+  w.end_object();
   w.end_object();
 }
 
@@ -187,6 +215,7 @@ std::string run_report_json(const ReportContext& ctx, const mpi::JobResult& resu
     write_span_summary(w, spans);
   }
   write_faults(w, result.fault_report);
+  write_recovery(w, result);
   if (ctx.cluster) {
     w.key("cluster");
     write_cluster_metrics(w, *ctx.cluster);
@@ -216,6 +245,19 @@ std::string schedule_report_json(const ReportContext& ctx,
     w.field("backfilled", job.backfilled);
     w.field("intra_host_share", job.placement.intra_host_share());
     w.field("job_time_us", job.result.job_time);
+    w.field("attempt", job.attempt);
+    w.field("outcome", sched::to_string(job.outcome));
+    if (job.outcome != sched::JobOutcome::Completed && job.crash.rank >= 0) {
+      w.key("crash").begin_object();
+      w.field("kind", faults::to_string(job.crash.kind));
+      w.field("rank", job.crash.rank);
+      w.field("host", job.crash.host);
+      w.field("at_us", job.crash.at);
+      w.field("last_checkpoint_us", job.crash.last_checkpoint);
+      w.end_object();
+    }
+    if (job.restored_progress > 0.0)
+      w.field("restored_progress_us", job.restored_progress);
     w.end_object();
   }
   w.end_array();

@@ -23,7 +23,10 @@
 
 namespace cbmpi::obs {
 
-inline constexpr int kRunReportVersion = 1;
+/// v2: adds the "recovery" section (checkpoints, restarts) to single
+/// reports, the cluster "recovery" aggregates and per-job attempt/outcome
+/// (+ crash attribution) rows to schedule reports.
+inline constexpr int kRunReportVersion = 2;
 
 /// What the emitter cannot read off a JobResult: how the job was launched.
 struct ReportContext {

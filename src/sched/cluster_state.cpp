@@ -22,22 +22,49 @@ int ClusterState::cores_per_host(topo::HostId host) const {
 
 int ClusterState::free_count(topo::HostId host) const {
   CBMPI_REQUIRE(host >= 0 && host < num_hosts(), "no host ", host);
-  return hosts_[static_cast<std::size_t>(host)].free;
+  const auto& cores = hosts_[static_cast<std::size_t>(host)];
+  return cores.blacklisted ? 0 : cores.free;
 }
 
 int ClusterState::total_free() const {
   int total = 0;
-  for (const auto& host : hosts_) total += host.free;
+  for (const auto& host : hosts_)
+    if (!host.blacklisted) total += host.free;
   return total;
 }
 
 std::vector<int> ClusterState::free_cores(topo::HostId host) const {
   CBMPI_REQUIRE(host >= 0 && host < num_hosts(), "no host ", host);
-  const auto& owner = hosts_[static_cast<std::size_t>(host)].owner;
+  const auto& cores = hosts_[static_cast<std::size_t>(host)];
+  if (cores.blacklisted) return {};
   std::vector<int> free;
-  for (std::size_t c = 0; c < owner.size(); ++c)
-    if (owner[c] < 0) free.push_back(static_cast<int>(c));
+  for (std::size_t c = 0; c < cores.owner.size(); ++c)
+    if (cores.owner[c] < 0) free.push_back(static_cast<int>(c));
   return free;
+}
+
+void ClusterState::blacklist(topo::HostId host) {
+  CBMPI_REQUIRE(host >= 0 && host < num_hosts(), "no host ", host);
+  hosts_[static_cast<std::size_t>(host)].blacklisted = true;
+}
+
+bool ClusterState::is_blacklisted(topo::HostId host) const {
+  CBMPI_REQUIRE(host >= 0 && host < num_hosts(), "no host ", host);
+  return hosts_[static_cast<std::size_t>(host)].blacklisted;
+}
+
+int ClusterState::blacklisted_hosts() const {
+  int count = 0;
+  for (const auto& host : hosts_)
+    if (host.blacklisted) ++count;
+  return count;
+}
+
+int ClusterState::placeable_cores() const {
+  int total = 0;
+  for (const auto& host : hosts_)
+    if (!host.blacklisted) total += static_cast<int>(host.owner.size());
+  return total;
 }
 
 std::vector<int> ClusterState::claim(topo::HostId host, int count, int job_id) {
@@ -45,6 +72,8 @@ std::vector<int> ClusterState::claim(topo::HostId host, int count, int job_id) {
   CBMPI_REQUIRE(count > 0, "claim needs a positive core count");
   CBMPI_REQUIRE(job_id >= 0, "claim needs a job id");
   auto& cores = hosts_[static_cast<std::size_t>(host)];
+  CBMPI_REQUIRE(!cores.blacklisted, "job ", job_id,
+                " placed on blacklisted host ", host);
   CBMPI_REQUIRE(count <= cores.free, "job ", job_id, " wants ", count,
                 " cores on host ", host, ", only ", cores.free, " free");
   std::vector<int> claimed;

@@ -18,10 +18,21 @@ class ClusterState {
   int cores_per_host(topo::HostId host) const;
   int total_cores() const { return total_cores_; }
 
+  /// Free cores on `host`; 0 when the host is blacklisted (placers then
+  /// route around it with no special-casing).
   int free_count(topo::HostId host) const;
   int total_free() const;
-  /// Ascending flat indices of unclaimed cores on `host`.
+  /// Ascending flat indices of unclaimed cores on `host`; empty when the
+  /// host is blacklisted.
   std::vector<int> free_cores(topo::HostId host) const;
+
+  /// Removes `host` from placement: free_count/free_cores report nothing
+  /// available there. Running jobs keep their claims until release().
+  void blacklist(topo::HostId host);
+  bool is_blacklisted(topo::HostId host) const;
+  int blacklisted_hosts() const;
+  /// Cores a new job could ever get: total minus blacklisted hosts' cores.
+  int placeable_cores() const;
 
   /// Claims the `count` lowest free cores on `host` for `job_id`; returns
   /// them. Throws if fewer than `count` are free.
@@ -37,6 +48,7 @@ class ClusterState {
   struct HostCores {
     std::vector<int> owner;  ///< per flat core: job id or -1
     int free = 0;
+    bool blacklisted = false;
   };
 
   std::vector<HostCores> hosts_;

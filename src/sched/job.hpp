@@ -56,6 +56,19 @@ struct JobSpec {
 
   /// Fault plan forwarded into the job's runtime (PR 1 integration).
   faults::FaultPlan faults{};
+
+  /// Coordinated-checkpoint interval forwarded into the runtime. < 0 (the
+  /// default) inherits SchedulerConfig::checkpoint_interval; 0 disables
+  /// checkpoints for this job; > 0 overrides.
+  Micros checkpoint_interval = -1.0;
+
+  // --- scheduler-managed recovery state (not user input) -------------------
+  /// Which execution attempt this spec represents: 0 on first submission,
+  /// bumped each time the scheduler requeues the job after a crash.
+  int attempt = 0;
+  /// Committed snapshot carried over from the crashed attempt; the runtime
+  /// resumes the body from it (null = run from round 0).
+  std::shared_ptr<const mpi::CheckpointData> restore;
 };
 
 /// What a concrete placement achieved, before the job even runs. Pair
@@ -79,12 +92,37 @@ struct PlacementStats {
   }
 };
 
-/// Per-job outcome record.
+/// How one execution attempt ended.
+enum class JobOutcome {
+  Completed,  ///< ran to completion
+  Crashed,    ///< a crash fault killed it; may have been requeued
+  Failed,     ///< gave up: retry budget exhausted or unplaceable
+};
+
+inline const char* to_string(JobOutcome outcome) {
+  switch (outcome) {
+    case JobOutcome::Completed: return "completed";
+    case JobOutcome::Crashed: return "crashed";
+    case JobOutcome::Failed: return "failed";
+  }
+  return "?";
+}
+
+/// Per-attempt outcome record (a job that crashes and restarts contributes
+/// one record per attempt, distinguished by `attempt`).
 struct ScheduledJob {
   JobSpec spec;
   std::vector<topo::HostId> hosts;  ///< physical hosts used, ascending
   PlacementStats placement;
   bool backfilled = false;  ///< started ahead of a FIFO-earlier blocked job
+  int attempt = 0;          ///< copy of spec.attempt, for reports
+  JobOutcome outcome = JobOutcome::Completed;
+  /// Crash root cause (meaningful when outcome == Crashed): failing rank,
+  /// fault kind, physical host and virtual crash time within the attempt.
+  faults::CrashInfo crash{};
+  /// Virtual work (us, per rank) this attempt inherited from its
+  /// predecessor's last committed checkpoint (0 for attempt 0).
+  Micros restored_progress = 0.0;
   Micros start_time = 0.0;
   Micros end_time = 0.0;
   mpi::JobResult result;
@@ -110,6 +148,20 @@ struct ClusterMetrics {
   std::uint64_t shm_ops = 0;
   std::uint64_t cma_ops = 0;
   std::uint64_t hca_ops = 0;
+
+  // Recovery aggregates (the report v2 "recovery" section).
+  int crashes = 0;                  ///< attempts killed by a crash fault
+  int requeues = 0;                 ///< crashed attempts put back in the queue
+  int restarts_from_checkpoint = 0; ///< requeues that resumed from a snapshot
+  int checkpoints = 0;              ///< snapshots committed across all attempts
+  int jobs_failed = 0;              ///< jobs that gave up (budget / unplaceable)
+  int blacklisted_hosts = 0;        ///< hosts removed from placement
+  /// Virtual rank-time discarded by crashes: ranks x (crash time - last
+  /// committed checkpoint), summed over crashed attempts.
+  Micros lost_work_us = 0.0;
+  /// Virtual rank-time banked by completed jobs (restored progress plus the
+  /// finishing attempt's runtime), for the saved-work shape checks.
+  Micros completed_work_us = 0.0;
 
   double intra_host_pair_share() const {
     const int total = intra_host_pairs + inter_host_pairs;

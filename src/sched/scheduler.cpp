@@ -1,7 +1,9 @@
 #include "sched/scheduler.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -16,8 +18,17 @@ Scheduler::Scheduler(SchedulerConfig config)
     : config_(config),
       cluster_(config.cluster_hosts, config.host_shape),
       state_(cluster_),
-      placer_(make_placer(config.policy, config.seed)) {
+      placer_(make_placer(config.policy, config.seed)),
+      host_crashes_(static_cast<std::size_t>(config.cluster_hosts), 0) {
   CBMPI_REQUIRE(config.cluster_hosts > 0, "scheduler needs at least one host");
+  CBMPI_REQUIRE(config.max_restarts >= 0, "max_restarts must be >= 0");
+  CBMPI_REQUIRE(config.requeue_backoff >= 0.0, "requeue_backoff must be >= 0");
+  CBMPI_REQUIRE(config.requeue_backoff_factor >= 1.0,
+                "requeue_backoff_factor must be >= 1");
+  CBMPI_REQUIRE(config.blacklist_threshold >= 0,
+                "blacklist_threshold must be >= 0 (0 = never blacklist)");
+  CBMPI_REQUIRE(config.checkpoint_interval >= 0.0,
+                "checkpoint_interval must be >= 0 (0 = off)");
   runner_ = [](const mpi::JobConfig& job_config, const JobSpec& job) {
     return mpi::run_job(job_config, mpi::JobBodyRegistry::instance().make(
                                         job.body, job.params));
@@ -64,14 +75,109 @@ bool Scheduler::try_start(const JobSpec& job, Micros now, bool backfilled) {
   auto job_config = make_job_config(job, *placement, config_.host_shape);
   job_config.tuning = config_.tuning;
   job_config.profile = config_.profile;
-  job_config.seed =
+  // Recovery plumbing: checkpoint cadence (spec override beats the cluster
+  // default), the snapshot to resume from, and the job-local -> physical host
+  // map that keeps one flaky host flaky for *every* job placed on it.
+  job_config.checkpoint_interval = job.checkpoint_interval >= 0.0
+                                       ? job.checkpoint_interval
+                                       : config_.checkpoint_interval;
+  job_config.restore = job.restore;
+  job_config.physical_hosts.assign(record.hosts.begin(), record.hosts.end());
+  if (job_config.faults.host_crash_prob > 0.0 &&
+      job_config.faults.host_fault_seed == 0)
+    job_config.faults.host_fault_seed = config_.seed;
+  // Attempt 0 keeps the historical seed formula (schedules stay byte-stable
+  // across this change); retries re-roll so the same crash cannot recur at
+  // the identical virtual instant forever.
+  std::uint64_t seed =
       mix64(config_.seed ^ mix64(static_cast<std::uint64_t>(job.id) * 2 + 1));
-  record.result = runner_(job_config, job);
-  record.end_time = now + record.result.job_time;
+  if (job.attempt > 0)
+    seed = mix64(seed ^ mix64(static_cast<std::uint64_t>(job.attempt)));
+  job_config.seed = seed;
+
+  record.attempt = job.attempt;
+  record.restored_progress = job.restore ? job.restore->progress_us : 0.0;
+  try {
+    record.result = runner_(job_config, job);
+    record.end_time = now + record.result.job_time;
+    checkpoints_committed_ += static_cast<int>(record.result.checkpoints.size());
+    completed_work_us_ += static_cast<double>(job.ranks) *
+                          (record.restored_progress + record.result.job_time);
+  } catch (const mpi::JobCrashedError& e) {
+    handle_crash(record, job, now, e.info(), e.checkpoint(),
+                 e.checkpoints_committed());
+  } catch (const faults::CrashedError& e) {
+    // Canned runners (test seams) may throw the base crash type directly;
+    // carry the prior attempt's snapshot forward unchanged.
+    handle_crash(record, job, now, e.info(), job.restore, 0);
+  }
 
   running_.push_back({job.id, record.end_time, job.ranks});
   done_.push_back(std::move(record));
   return true;
+}
+
+void Scheduler::handle_crash(ScheduledJob& record, const JobSpec& job,
+                             Micros now, const faults::CrashInfo& info,
+                             std::shared_ptr<const mpi::CheckpointData> checkpoint,
+                             int checkpoints_committed) {
+  record.outcome = JobOutcome::Crashed;
+  record.crash = info;
+  record.end_time = now + info.at;  // cores were held until the crash
+  ++crashes_;
+  checkpoints_committed_ += checkpoints_committed;
+  // Work thrown away: everything past the attempt's last committed snapshot
+  // (the whole attempt when none committed), across all its ranks.
+  lost_work_us_ += static_cast<double>(job.ranks) *
+                   std::max(0.0, info.at - info.last_checkpoint);
+
+  if (info.host >= 0 && info.host < state_.num_hosts()) {
+    auto& crash_count = host_crashes_[static_cast<std::size_t>(info.host)];
+    ++crash_count;
+    if (config_.blacklist_threshold > 0 &&
+        crash_count >= config_.blacklist_threshold &&
+        !state_.is_blacklisted(info.host)) {
+      state_.blacklist(info.host);
+      blacklist_events_.push_back({info.host, record.end_time, crash_count});
+    }
+  }
+
+  if (job.attempt < config_.max_restarts) {
+    JobSpec retry = job;
+    retry.attempt = job.attempt + 1;
+    if (checkpoint) retry.restore = std::move(checkpoint);
+    const Micros backoff =
+        config_.requeue_backoff *
+        std::pow(config_.requeue_backoff_factor, static_cast<double>(job.attempt));
+    retry.submit_time = record.end_time + backoff;
+    ++requeues_;
+    if (retry.restore) ++restarts_from_checkpoint_;
+    // Keep pending_ sorted by the same (submit_time, priority) order run()
+    // established; upper_bound preserves FIFO among equal keys.
+    const auto pos = std::upper_bound(
+        pending_.begin(), pending_.end(), retry,
+        [](const JobSpec& a, const JobSpec& b) {
+          if (a.submit_time != b.submit_time)
+            return a.submit_time < b.submit_time;
+          return a.priority > b.priority;
+        });
+    pending_.insert(pos, std::move(retry));
+  } else {
+    record.outcome = JobOutcome::Failed;  // crash details stay in record.crash
+    ++jobs_failed_;
+  }
+}
+
+void Scheduler::fail_unplaceable(JobSpec job, Micros now) {
+  ScheduledJob record;
+  record.attempt = job.attempt;
+  record.restored_progress = job.restore ? job.restore->progress_us : 0.0;
+  record.outcome = JobOutcome::Failed;
+  record.start_time = now;
+  record.end_time = now;
+  record.spec = std::move(job);
+  ++jobs_failed_;
+  done_.push_back(std::move(record));
 }
 
 void Scheduler::reservation_for(int cores_needed, Micros now, Micros* shadow_time,
@@ -118,14 +224,29 @@ const std::vector<ScheduledJob>& Scheduler::run() {
 
   while (!pending_.empty() || !running_.empty()) {
     // --- placement pass at `now` -----------------------------------------
+    // try_start may requeue a crashed job into pending_, so every candidate
+    // is *removed* from the queue before the attempt and re-inserted only if
+    // placement failed (no references into pending_ survive a try_start).
     for (;;) {
       std::size_t head = 0;
       while (head < pending_.size() && pending_[head].submit_time > now) ++head;
       if (head == pending_.size()) break;
 
-      if (try_start(pending_[head], now, /*backfilled=*/false)) {
+      // A blacklist may have shrunk the cluster under a queued job; fail it
+      // now instead of blocking the queue forever.
+      if (pending_[head].ranks > state_.placeable_cores()) {
+        JobSpec job = std::move(pending_[head]);
         pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(head));
+        fail_unplaceable(std::move(job), now);
         continue;
+      }
+
+      {
+        JobSpec job = std::move(pending_[head]);
+        pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(head));
+        if (try_start(job, now, /*backfilled=*/false)) continue;
+        pending_.insert(pending_.begin() + static_cast<std::ptrdiff_t>(head),
+                        std::move(job));
       }
 
       // Head is blocked: EASY backfill. Reserve the head's start (shadow
@@ -138,19 +259,26 @@ const std::vector<ScheduledJob>& Scheduler::run() {
         int spare = 0;
         reservation_for(pending_[head].ranks, now, &shadow, &spare);
         for (std::size_t i = head + 1; i < pending_.size();) {
-          auto& candidate = pending_[i];
-          if (candidate.submit_time > now) {
+          if (pending_[i].submit_time > now) {
             ++i;
             continue;
           }
-          const bool ends_before_shadow = now + candidate.est_runtime <= shadow;
-          const bool fits_spare = candidate.ranks <= spare;
-          if ((ends_before_shadow || fits_spare) &&
-              try_start(candidate, now, /*backfilled=*/true)) {
-            if (!ends_before_shadow) spare -= candidate.ranks;
-            pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+          const bool ends_before_shadow =
+              now + pending_[i].est_runtime <= shadow;
+          const bool fits_spare = pending_[i].ranks <= spare;
+          if (!ends_before_shadow && !fits_spare) {
+            ++i;
             continue;
           }
+          JobSpec candidate = std::move(pending_[i]);
+          pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+          const int candidate_ranks = candidate.ranks;
+          if (try_start(candidate, now, /*backfilled=*/true)) {
+            if (!ends_before_shadow) spare -= candidate_ranks;
+            continue;  // i now indexes the next (shifted) element
+          }
+          pending_.insert(pending_.begin() + static_cast<std::ptrdiff_t>(i),
+                          std::move(candidate));
           ++i;
         }
       }
@@ -207,6 +335,16 @@ const std::vector<ScheduledJob>& Scheduler::run() {
     metrics_.utilization =
         busy_core_time /
         (static_cast<double>(state_.total_cores()) * metrics_.makespan);
+
+  // Recovery aggregates accumulated incrementally during the run.
+  metrics_.crashes = crashes_;
+  metrics_.requeues = requeues_;
+  metrics_.restarts_from_checkpoint = restarts_from_checkpoint_;
+  metrics_.checkpoints = checkpoints_committed_;
+  metrics_.jobs_failed = jobs_failed_;
+  metrics_.blacklisted_hosts = state_.blacklisted_hosts();
+  metrics_.lost_work_us = lost_work_us_;
+  metrics_.completed_work_us = completed_work_us_;
   return done_;
 }
 
@@ -221,6 +359,21 @@ void Scheduler::export_metrics(obs::MetricsRegistry& registry) const {
   registry.counter("sched.channel.shm.ops").add(metrics_.shm_ops);
   registry.counter("sched.channel.cma.ops").add(metrics_.cma_ops);
   registry.counter("sched.channel.hca.ops").add(metrics_.hca_ops);
+  registry.counter("sched.recovery.crashes")
+      .add(static_cast<std::uint64_t>(metrics_.crashes));
+  registry.counter("sched.recovery.requeues")
+      .add(static_cast<std::uint64_t>(metrics_.requeues));
+  registry.counter("sched.recovery.restarts_from_checkpoint")
+      .add(static_cast<std::uint64_t>(metrics_.restarts_from_checkpoint));
+  registry.counter("sched.recovery.checkpoints")
+      .add(static_cast<std::uint64_t>(metrics_.checkpoints));
+  registry.counter("sched.recovery.jobs_failed")
+      .add(static_cast<std::uint64_t>(metrics_.jobs_failed));
+  registry.counter("sched.recovery.blacklisted_hosts")
+      .add(static_cast<std::uint64_t>(metrics_.blacklisted_hosts));
+  registry.gauge("sched.recovery.lost_work_us").set(metrics_.lost_work_us);
+  registry.gauge("sched.recovery.completed_work_us")
+      .set(metrics_.completed_work_us);
   auto& waits = registry.histogram("sched.queue_wait_us");
   auto& runtimes = registry.histogram("sched.job_runtime_us");
   for (const auto& job : done_) {

@@ -31,6 +31,28 @@ struct SchedulerConfig {
   std::uint64_t seed = 42;       ///< root of every placement / job seed
   fabric::TuningParams tuning{};             ///< forwarded to every job
   topo::MachineProfile profile = topo::MachineProfile::chameleon_fdr();
+
+  // --- crash recovery ------------------------------------------------------
+  /// Requeue budget: a crashed job is resubmitted up to this many times
+  /// before it is marked Failed. 0 = never requeue.
+  int max_restarts = 3;
+  /// Virtual delay before a crashed job's resubmission becomes eligible,
+  /// growing by requeue_backoff_factor each attempt (exponential backoff).
+  Micros requeue_backoff = 50.0;
+  double requeue_backoff_factor = 2.0;
+  /// Blacklist a host once this many crashed attempts are attributed to it
+  /// (the placer then routes around it). 0 = never blacklist.
+  int blacklist_threshold = 3;
+  /// Default coordinated-checkpoint interval for jobs whose spec leaves
+  /// JobSpec::checkpoint_interval negative. 0 = checkpoints off.
+  Micros checkpoint_interval = 0.0;
+};
+
+/// One host removed from placement: when, and after how many crashes.
+struct BlacklistEvent {
+  topo::HostId host = 0;
+  Micros at = 0.0;
+  int crashes = 0;
 };
 
 /// The cluster control plane: submit jobs, then run() once to drain the
@@ -56,6 +78,10 @@ class Scheduler {
   const ClusterMetrics& metrics() const { return metrics_; }
   /// The configuration this scheduler was built with (never changes).
   const SchedulerConfig& config() const { return config_; }
+  /// Hosts blacklisted during the run, in blacklisting order.
+  const std::vector<BlacklistEvent>& blacklist_events() const {
+    return blacklist_events_;
+  }
 
   /// Publishes the run's ClusterMetrics plus per-job wait/runtime figures
   /// into an obs::MetricsRegistry (names under "sched."). Call after run().
@@ -75,6 +101,17 @@ class Scheduler {
   };
 
   bool try_start(const JobSpec& job, Micros now, bool backfilled);
+  /// Crash bookkeeping for one attempt: record the outcome, attribute the
+  /// crash to its host (possibly blacklisting it), account lost work, and
+  /// requeue the job with backoff — or mark it Failed when the budget is
+  /// spent. May insert into pending_ (callers must not hold references).
+  void handle_crash(ScheduledJob& record, const JobSpec& job, Micros now,
+                    const faults::CrashInfo& info,
+                    std::shared_ptr<const mpi::CheckpointData> checkpoint,
+                    int checkpoints_committed);
+  /// Records a job the cluster can no longer place (e.g. after blacklisting)
+  /// as Failed without running it.
+  void fail_unplaceable(JobSpec job, Micros now);
   /// Earliest virtual time the blocked queue head could get its cores, plus
   /// how many cores beyond its need will then be free (the backfill window).
   void reservation_for(int cores_needed, Micros now, Micros* shadow_time,
@@ -92,6 +129,17 @@ class Scheduler {
   ClusterMetrics metrics_{};
   int next_id_ = 0;
   bool ran_ = false;
+
+  // Recovery bookkeeping, folded into metrics_ at the end of run().
+  std::vector<int> host_crashes_;  ///< crashed attempts per physical host
+  std::vector<BlacklistEvent> blacklist_events_;
+  int crashes_ = 0;
+  int requeues_ = 0;
+  int restarts_from_checkpoint_ = 0;
+  int checkpoints_committed_ = 0;
+  int jobs_failed_ = 0;
+  Micros lost_work_us_ = 0.0;
+  Micros completed_work_us_ = 0.0;
 };
 
 }  // namespace cbmpi::sched

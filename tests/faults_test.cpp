@@ -4,9 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
+#include <cstring>
+#include <memory>
 #include <stdexcept>
 
 #include "common/error.hpp"
+#include "mpi/job_registry.hpp"
 #include "mpi/runtime.hpp"
 
 namespace cbmpi {
@@ -333,6 +337,198 @@ TEST(Faults, ReportSummaryCountsEveryKind) {
   EXPECT_NE(summary.find("shm-segment-fail"), std::string::npos) << summary;
   EXPECT_NE(summary.find("hostname-locality-fallback"), std::string::npos)
       << summary;
+}
+
+// ---- crash faults + coordinated checkpoint/restart -------------------------
+
+/// Recoverable test body: per-rank accumulator evolved deterministically
+/// each round, checkpointed as 8 bytes, final value published to `final_out`
+/// so tests can compare resumed runs against uninterrupted ones.
+mpi::JobBody accumulator_body(int rounds, std::vector<double>* final_out) {
+  return [rounds, final_out](mpi::Process& p) {
+    double acc = static_cast<double>(p.rank() + 1);
+    const auto saved = p.restored_state();
+    if (saved.size() == sizeof(double))
+      std::memcpy(&acc, saved.data(), sizeof acc);
+    for (int round = p.start_round(); round < rounds; ++round) {
+      p.compute(50.0);
+      double sum = 0.0;
+      p.world().allreduce(std::span<const double>(&acc, 1),
+                          std::span<double>(&sum, 1), mpi::ReduceOp::Sum);
+      acc = acc * 0.5 + sum / p.size();
+      std::array<std::uint8_t, sizeof(double)> state;
+      std::memcpy(state.data(), &acc, sizeof acc);
+      p.checkpoint(round + 1, std::span<const std::uint8_t>(state));
+    }
+    if (final_out) (*final_out)[static_cast<std::size_t>(p.rank())] = acc;
+  };
+}
+
+JobConfig crash_config(double rank_crash_prob, Micros horizon) {
+  JobConfig config;
+  config.deployment = DeploymentSpec::containers(2, 2, 4);
+  config.policy = LocalityPolicy::ContainerAware;
+  config.faults.rank_crash_prob = rank_crash_prob;
+  config.faults.crash_horizon = horizon;
+  return config;
+}
+
+TEST(Faults, CrashFaultThrowsJobCrashedErrorWithRootCause) {
+  auto config = crash_config(1.0, 100.0);  // every rank dies inside 100 us
+  try {
+    run_job(config, accumulator_body(64, nullptr));
+    FAIL() << "expected a crash";
+  } catch (const mpi::JobCrashedError& e) {
+    EXPECT_TRUE(faults::is_crash(e.info().kind));
+    EXPECT_GE(e.info().rank, 0);
+    EXPECT_LT(e.info().rank, 8);
+    EXPECT_GT(e.info().at, 0.0);
+    EXPECT_GE(e.info().host, 0);
+    EXPECT_EQ(e.checkpoint(), nullptr);  // checkpointing was off
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rank "), std::string::npos) << what;
+    EXPECT_NE(what.find("t="), std::string::npos) << what;
+  }
+  // The crash type slots into the existing abort hierarchy.
+  EXPECT_THROW(run_job(config, accumulator_body(64, nullptr)), AbortedError);
+}
+
+TEST(Faults, CrashRootCauseIsDeterministicAcrossReruns) {
+  auto config = crash_config(0.8, 150.0);
+  config.seed = 99;
+  faults::CrashInfo first{};
+  std::string first_what;
+  for (int run = 0; run < 3; ++run) {
+    try {
+      run_job(config, accumulator_body(64, nullptr));
+      FAIL() << "expected a crash";
+    } catch (const mpi::JobCrashedError& e) {
+      if (run == 0) {
+        first = e.info();
+        first_what = e.what();
+        continue;
+      }
+      EXPECT_EQ(e.info().rank, first.rank);
+      EXPECT_EQ(e.info().at, first.at);
+      EXPECT_EQ(e.info().kind, first.kind);
+      EXPECT_EQ(e.info().host, first.host);
+      EXPECT_EQ(std::string(e.what()), first_what);
+    }
+  }
+}
+
+TEST(Faults, CheckpointsCommitMonotonicallyAndCostNothingWhenOff) {
+  auto config = crash_config(0.0, 100.0);
+  std::vector<double> finals(8, 0.0);
+
+  // interval 0: the body's checkpoint() calls are free no-ops.
+  const auto off = run_job(config, accumulator_body(32, &finals));
+  EXPECT_TRUE(off.checkpoints.empty());
+  EXPECT_FALSE(off.restored);
+
+  JobConfig on = config;
+  on.checkpoint_interval = 10.0;  // the 32-round job runs ~65 virtual us
+  const auto taken = run_job(on, accumulator_body(32, &finals));
+  ASSERT_FALSE(taken.checkpoints.empty());
+  for (std::size_t i = 1; i < taken.checkpoints.size(); ++i) {
+    EXPECT_GT(taken.checkpoints[i].round, taken.checkpoints[i - 1].round);
+    EXPECT_GT(taken.checkpoints[i].at, taken.checkpoints[i - 1].at);
+  }
+  for (const auto& event : taken.checkpoints)
+    EXPECT_EQ(event.bytes, 8u * 8u);  // 8 ranks x 8-byte state
+  // Snapshots cost virtual time, so the checkpointed run is slower.
+  EXPECT_GT(taken.job_time, off.job_time);
+}
+
+TEST(Faults, RestoreResumesFromLastCheckpointAndMatchesUninterruptedRun) {
+  constexpr int kRounds = 48;
+  std::vector<double> uninterrupted(8, 0.0);
+  auto clean = crash_config(0.0, 100.0);
+  run_job(clean, accumulator_body(kRounds, &uninterrupted));
+
+  // Crash mid-run with checkpoints on; resume from the carried snapshot.
+  auto crashy = crash_config(1.0, 400.0);
+  crashy.checkpoint_interval = 10.0;
+  std::shared_ptr<const mpi::CheckpointData> snapshot;
+  int restore_round = 0;
+  try {
+    run_job(crashy, accumulator_body(kRounds, nullptr));
+    FAIL() << "expected a crash";
+  } catch (const mpi::JobCrashedError& e) {
+    ASSERT_NE(e.checkpoint(), nullptr) << "no checkpoint committed pre-crash";
+    snapshot = e.checkpoint();
+    restore_round = snapshot->round;
+    EXPECT_GT(restore_round, 0);
+    EXPECT_GT(e.checkpoints_committed(), 0);
+    EXPECT_EQ(e.info().last_checkpoint, snapshot->at);
+  }
+
+  std::vector<double> resumed(8, 0.0);
+  JobConfig resume = clean;  // no faults on the retry
+  resume.restore = snapshot;
+  const auto result = run_job(resume, accumulator_body(kRounds, &resumed));
+  EXPECT_TRUE(result.restored);
+  EXPECT_EQ(result.restore_round, restore_round);
+  EXPECT_GT(result.restore_progress_us, 0.0);
+  for (std::size_t r = 0; r < resumed.size(); ++r)
+    EXPECT_DOUBLE_EQ(resumed[r], uninterrupted[r]) << "rank " << r;
+}
+
+TEST(Faults, CrashScheduleIsAPureFunctionOfSeedAndSite) {
+  faults::FaultPlan plan;
+  plan.rank_crash_prob = 0.5;
+  plan.container_crash_prob = 0.5;
+  plan.host_crash_prob = 0.5;
+  const faults::FaultInjector x(plan, 11);
+  const faults::FaultInjector y(plan, 11);
+  for (int r = 0; r < 32; ++r) EXPECT_EQ(x.rank_crash_at(r), y.rank_crash_at(r));
+  for (int h = 0; h < 8; ++h) {
+    EXPECT_EQ(x.host_crash_at(h), y.host_crash_at(h));
+    for (int c = 0; c < 4; ++c)
+      EXPECT_EQ(x.container_crash_at(h, c), y.container_crash_at(h, c));
+  }
+  // Crash times land inside the horizon.
+  for (int r = 0; r < 32; ++r)
+    if (const auto at = x.rank_crash_at(r)) {
+      EXPECT_GT(*at, 0.0);
+      EXPECT_LE(*at, plan.crash_horizon);
+    }
+}
+
+TEST(Faults, HostFaultSeedPinsHostCrashEligibilityAcrossJobSeeds) {
+  faults::FaultPlan plan;
+  plan.host_crash_prob = 0.4;
+  plan.host_fault_seed = 1234;
+  const faults::FaultInjector a(plan, 1);  // different job seeds
+  const faults::FaultInjector b(plan, 2);
+  int eligible = 0;
+  for (int h = 0; h < 64; ++h) {
+    const bool ha = a.host_crash_at(h).has_value();
+    const bool hb = b.host_crash_at(h).has_value();
+    EXPECT_EQ(ha, hb) << "host " << h;  // same flaky hosts for every job
+    if (ha) ++eligible;
+  }
+  EXPECT_GT(eligible, 0);
+  EXPECT_LT(eligible, 64);
+  // But the crash *time* still re-rolls per job seed.
+  bool any_time_differs = false;
+  for (int h = 0; h < 64; ++h) {
+    const auto ta = a.host_crash_at(h);
+    const auto tb = b.host_crash_at(h);
+    if (ta && tb && *ta != *tb) any_time_differs = true;
+  }
+  EXPECT_TRUE(any_time_differs);
+}
+
+TEST(Faults, PlanValidationRejectsBadCrashConfigs) {
+  faults::FaultPlan negative;
+  negative.rank_crash_prob = -0.2;
+  EXPECT_THROW(faults::FaultInjector(negative, 1), Error);
+
+  faults::FaultPlan bad_horizon;
+  bad_horizon.host_crash_prob = 0.5;
+  bad_horizon.crash_horizon = 0.0;
+  EXPECT_THROW(faults::FaultInjector(bad_horizon, 1), Error);
 }
 
 }  // namespace

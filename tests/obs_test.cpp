@@ -375,9 +375,9 @@ TEST(ObsReport, RunReportGoldenShape) {
   EXPECT_TRUE(JsonChecker(json).valid()) << json.substr(0, 400);
 
   for (const char* key :
-       {"\"schema\":\"cbmpi.run_report\"", "\"version\":1", "\"mode\":\"single\"",
+       {"\"schema\":\"cbmpi.run_report\"", "\"version\":2", "\"mode\":\"single\"",
         "\"job\":", "\"result\":", "\"profile\":", "\"metrics\":", "\"spans\":",
-        "\"faults\":", "\"comm_fraction\":", "\"rank_times_us\":",
+        "\"faults\":", "\"recovery\":", "\"comm_fraction\":", "\"rank_times_us\":",
         "\"counters\":", "\"histograms\":", "\"by_category\":"})
     EXPECT_NE(json.find(key), std::string::npos) << key;
 
@@ -568,6 +568,85 @@ TEST(ObsSched, ScheduleReportGoldenShape) {
   for (const char* key : {"\"mode\":\"schedule\"", "\"cluster\":", "\"jobs\":",
                           "\"makespan_us\":", "\"channel_ops\":"})
     EXPECT_NE(json.find(key), std::string::npos) << key;
+}
+
+// ---- recovery reporting (v2) -----------------------------------------------
+
+void checkpointing_body(mpi::Process& p) {
+  auto& world = p.world();
+  std::vector<double> buf(16, static_cast<double>(p.rank()));
+  std::vector<double> out(buf.size());
+  for (int round = p.start_round(); round < 8; ++round) {
+    p.compute(100.0);
+    world.allreduce(std::span<const double>(buf), std::span<double>(out),
+                    mpi::ReduceOp::Sum);
+    world.barrier();
+    const auto bytes = std::as_bytes(std::span<const double>(buf));
+    p.checkpoint(round + 1,
+                 std::span<const std::uint8_t>(
+                     reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                     bytes.size()));
+  }
+}
+
+TEST(ObsReport, RecoverySectionSerializesCheckpointEvents) {
+  auto config = obs_job_config(true);
+  config.checkpoint_interval = 5.0;
+  const auto result = mpi::run_job(config, checkpointing_body);
+  ASSERT_FALSE(result.checkpoints.empty());
+
+  const std::string json = obs::run_report_json(test_context(), result);
+  EXPECT_TRUE(JsonChecker(json).valid()) << json.substr(0, 400);
+  for (const char* key :
+       {"\"recovery\":", "\"checkpoints\":", "\"restored\":false",
+        "\"events\":", "\"round\":", "\"at_us\":", "\"bytes\":"})
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+
+  // The recovery section is part of the byte-identical-rerun contract.
+  const auto again = mpi::run_job(config, checkpointing_body);
+  EXPECT_EQ(json, obs::run_report_json(test_context(), again));
+}
+
+TEST(ObsSched, CrashRecoveryScheduleReportIsByteIdenticalAcrossReruns) {
+  const auto report_once = [] {
+    sched::SchedulerConfig config;
+    config.cluster_hosts = 2;
+    config.host_shape = topo::HostShape{2, 4, true};
+    config.policy = sched::PlacementPolicy::LocalityAware;
+    config.seed = 21;
+    config.max_restarts = 6;
+    config.requeue_backoff = 25.0;
+    config.checkpoint_interval = 5.0;
+    sched::Scheduler scheduler(config);
+    for (int i = 0; i < 3; ++i) {
+      sched::JobSpec job;
+      job.ranks = 4;
+      job.ranks_per_container = 2;
+      job.body = i % 2 == 0 ? "ring" : "cg";
+      job.params.rounds = 8;
+      job.submit_time = static_cast<Micros>(i) * 2.0;
+      // Job 0 always crashes early; the rest flip deterministic coins.
+      job.faults.rank_crash_prob = i == 0 ? 1.0 : 0.4;
+      job.faults.crash_horizon = i == 0 ? 10.0 : 25.0;
+      scheduler.submit(job);
+    }
+    scheduler.run();
+    auto ctx = test_context();
+    ctx.cluster = &scheduler.metrics();
+    return obs::schedule_report_json(ctx, scheduler);
+  };
+  const std::string a = report_once();
+  EXPECT_EQ(a, report_once());
+
+  EXPECT_TRUE(JsonChecker(a).valid()) << a.substr(0, 400);
+  // Crash attribution and recovery aggregates actually made it into the
+  // document (job 0's guaranteed crash plus its requeued attempts).
+  for (const char* key :
+       {"\"recovery\":", "\"crashes\":", "\"requeues\":",
+        "\"restarts_from_checkpoint\":", "\"lost_work_us\":",
+        "\"outcome\":\"crashed\"", "\"crash\":", "\"kind\":", "\"rank\":",
+        "\"at_us\":", "\"attempt\":1"})
+    EXPECT_NE(a.find(key), std::string::npos) << key;
 }
 
 // ---- metrics summary rendering ---------------------------------------------

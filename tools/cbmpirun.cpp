@@ -159,11 +159,20 @@ int run_osu(const LaunchPlan& plan) {
   return 0;
 }
 
+/// Crash/recovery knobs forwarded into schedule mode (all off by default).
+struct RecoveryOptions {
+  double crash_rate = 0.0;       ///< per-rank crash probability per job
+  double host_crash_rate = 0.0;  ///< per-host crash probability per job
+  Micros checkpoint_interval = 0.0;
+  int max_restarts = 3;
+  int blacklist_threshold = 3;
+};
+
 /// Multi-job mode: submit a deterministic mix of registry jobs to the
 /// cluster scheduler and report the per-job schedule plus cluster metrics.
 int run_schedule(const std::string& policy_name, int hosts, int jobs,
                  bool backfill, std::uint64_t seed,
-                 const std::string& report_file) {
+                 const std::string& report_file, const RecoveryOptions& rec) {
   const auto policy = sched::parse_policy(policy_name);
   if (!policy) {
     std::fprintf(stderr,
@@ -178,6 +187,9 @@ int run_schedule(const std::string& policy_name, int hosts, int jobs,
   config.policy = *policy;
   config.backfill = backfill;
   config.seed = seed;
+  config.checkpoint_interval = rec.checkpoint_interval;
+  config.max_restarts = rec.max_restarts;
+  config.blacklist_threshold = rec.blacklist_threshold;
   sched::Scheduler scheduler(config);
 
   const int cores = hosts * config.host_shape.total_cores();
@@ -194,6 +206,10 @@ int run_schedule(const std::string& policy_name, int hosts, int jobs,
     job.params.rounds = 2 + static_cast<int>(rng.below(3));
     job.submit_time = t;
     job.est_runtime = millis(50.0);
+    job.faults.rank_crash_prob = rec.crash_rate;
+    job.faults.host_crash_prob = rec.host_crash_rate;
+    if (rec.crash_rate > 0.0 || rec.host_crash_rate > 0.0)
+      job.faults.crash_horizon = 100.0;
     if (i >= jobs / 3) t += 10.0 + 10.0 * static_cast<double>(rng.below(4));
     scheduler.submit(job);
   }
@@ -203,16 +219,35 @@ int run_schedule(const std::string& policy_name, int hosts, int jobs,
               jobs, hosts, cores, sched::to_string(*policy),
               backfill ? " + backfill" : "", static_cast<unsigned long long>(seed));
 
-  Table table({"job", "body", "ranks", "hosts", "submit (us)", "start (us)",
-               "end (us)", "wait (us)", "intra-host", "backfilled"});
-  for (const auto& job : scheduler.run())
-    table.add_row({job.spec.name, job.spec.body, std::to_string(job.spec.ranks),
-                   std::to_string(job.placement.hosts_used),
-                   Table::num(job.spec.submit_time, 1),
-                   Table::num(job.start_time, 1), Table::num(job.end_time, 1),
-                   Table::num(job.queue_wait(), 1),
-                   Table::num(job.placement.intra_host_share() * 100.0, 0) + "%",
-                   job.backfilled ? "yes" : ""});
+  const bool recovery_on = rec.crash_rate > 0.0 || rec.host_crash_rate > 0.0;
+  std::vector<std::string> columns = {"job", "body", "ranks", "hosts",
+                                      "submit (us)", "start (us)", "end (us)",
+                                      "wait (us)", "intra-host", "backfilled"};
+  if (recovery_on) {
+    columns.push_back("att");
+    columns.push_back("outcome");
+  }
+  Table table(columns);
+  for (const auto& job : scheduler.run()) {
+    std::vector<std::string> row = {
+        job.spec.name, job.spec.body, std::to_string(job.spec.ranks),
+        std::to_string(job.placement.hosts_used),
+        Table::num(job.spec.submit_time, 1), Table::num(job.start_time, 1),
+        Table::num(job.end_time, 1), Table::num(job.queue_wait(), 1),
+        Table::num(job.placement.intra_host_share() * 100.0, 0) + "%",
+        job.backfilled ? "yes" : ""};
+    if (recovery_on) {
+      row.push_back(std::to_string(job.attempt));
+      std::string outcome = sched::to_string(job.outcome);
+      // Crash root cause, straight from the runtime's CrashInfo: the failing
+      // rank and the virtual time (us into the attempt) it died.
+      if (job.outcome != sched::JobOutcome::Completed && job.crash.rank >= 0)
+        outcome += " (rank " + std::to_string(job.crash.rank) + " at t=" +
+                   Table::num(job.crash.at, 1) + ")";
+      row.push_back(outcome);
+    }
+    table.add_row(row);
+  }
   table.print(std::cout);
 
   const auto& metrics = scheduler.metrics();
@@ -228,6 +263,19 @@ int run_schedule(const std::string& policy_name, int hosts, int jobs,
               static_cast<unsigned long long>(metrics.cma_ops),
               static_cast<unsigned long long>(metrics.hca_ops),
               metrics.local_op_share() * 100.0);
+  if (recovery_on) {
+    std::printf("recovery: %d crashes, %d requeues, %d resumed from "
+                "checkpoint, %d checkpoints, %d failed, %d hosts blacklisted "
+                "— %.1f us lost / %.1f us completed\n",
+                metrics.crashes, metrics.requeues,
+                metrics.restarts_from_checkpoint, metrics.checkpoints,
+                metrics.jobs_failed, metrics.blacklisted_hosts,
+                metrics.lost_work_us, metrics.completed_work_us);
+    for (const auto& event : scheduler.blacklist_events())
+      std::printf("host %d blacklisted at t=%.1f us after %d crashed "
+                  "attempts\n",
+                  event.host, event.at, event.crashes);
+  }
   if (!report_file.empty()) {
     obs::ReportContext ctx;
     ctx.app = "schedule";
@@ -284,13 +332,26 @@ int main(int argc, char** argv) {
       static_cast<int>(opts.get_int("jobs", 12, "jobs to schedule (--schedule)"));
   const bool no_backfill =
       opts.get_flag("no-backfill", "pure FIFO, no EASY backfill (--schedule)");
+  RecoveryOptions rec;
+  rec.crash_rate = opts.get_double(
+      "crash-rate", 0.0, "per-rank crash probability per job (--schedule)");
+  rec.host_crash_rate = opts.get_double(
+      "host-crash-rate", 0.0, "per-host crash probability per job (--schedule)");
+  rec.checkpoint_interval = opts.get_double(
+      "checkpoint-interval", 0.0,
+      "coordinated checkpoint interval in virtual us, 0 = off (--schedule)");
+  rec.max_restarts = static_cast<int>(opts.get_int(
+      "max-restarts", 3, "requeue budget per crashed job (--schedule)"));
+  rec.blacklist_threshold = static_cast<int>(opts.get_int(
+      "blacklist-threshold", 3,
+      "crashed attempts before a host is blacklisted, 0 = never (--schedule)"));
   if (opts.finish("cbmpirun — launch an application on the simulated "
                   "container/VM cluster"))
     return 0;
 
   if (!schedule.empty())
     return run_schedule(schedule, std::max(hosts, 2), jobs, !no_backfill,
-                        plan.config.seed, plan.report_file);
+                        plan.config.seed, plan.report_file, rec);
 
   // Observability costs nothing in virtual time, so any output flag simply
   // switches it on; --trace-out additionally records the instant events.

@@ -5,6 +5,8 @@ Checks a run report (--report) and/or a Perfetto trace (--trace-out):
 
 report:
   * schema/version header and the section keys DESIGN.md §12 promises
+  * v2 recovery section: checkpoint events monotone in virtual time and
+    round, restarts <= crashes, recovery counters non-negative
   * comm_fraction and every other fraction in [0, 1]
   * histogram bucket counts sum to the histogram's count, bucket upper
     bounds strictly ascending, sum consistent with the bucket ranges
@@ -33,7 +35,10 @@ import sys
 
 CHANNEL_PID_BASE = 1000
 REQUIRED_TOP_KEYS = ["schema", "version", "mode", "job", "result", "profile",
-                     "metrics", "spans", "faults"]
+                     "metrics", "spans", "faults", "recovery"]
+RECOVERY_COUNTERS = ["crashes", "requeues", "restarts_from_checkpoint",
+                     "checkpoints", "jobs_failed", "blacklisted_hosts"]
+JOB_OUTCOMES = ("completed", "crashed", "failed")
 REQUIRED_PROFILE_KEYS = ["ranks", "comm_fraction", "comm_time_us",
                          "compute_time_us", "recovery_time_us", "calls",
                          "channels", "coll_algos"]
@@ -154,10 +159,52 @@ def check_report(path):
         problem(path, f"spans.by_category sums to {by_cat}, "
                       f"spans.count says {spans.get('count')}")
 
+    if doc.get("version", 0) >= 2:
+        check_recovery(path, doc.get("recovery", {}))
+
+
+def check_recovery(path, recovery):
+    """v2 single-report recovery section: committed checkpoint events must be
+    monotone in both round and virtual time, and the headline count must
+    match the event list."""
+    events = recovery.get("events", [])
+    if recovery.get("checkpoints", -1) != len(events):
+        problem(path, f"recovery.checkpoints = {recovery.get('checkpoints')!r}"
+                      f" but {len(events)} events listed")
+    prev_round, prev_at = -1, -1.0
+    for i, ev in enumerate(events):
+        rnd, at = ev.get("round", -1), ev.get("at_us", -1)
+        if rnd <= prev_round:
+            problem(path, f"recovery event {i}: round {rnd} not strictly "
+                          f"after round {prev_round}")
+        if at <= prev_at:
+            problem(path, f"recovery event {i}: at_us {at} not strictly "
+                          f"after {prev_at} (checkpoints must be monotone in "
+                          f"virtual time)")
+        if ev.get("bytes", -1) < 0:
+            problem(path, f"recovery event {i}: negative bytes")
+        prev_round, prev_at = rnd, at
+    if not recovery.get("restored", False):
+        if recovery.get("restore_round", 0) != 0:
+            problem(path, "recovery.restore_round set without restored=true")
+
 
 def check_schedule(path, doc):
     cluster = doc.get("cluster", {})
     check_fraction(path, "cluster.utilization", cluster.get("utilization", -1))
+    if doc.get("version", 0) >= 2:
+        rec = cluster.get("recovery")
+        if not isinstance(rec, dict):
+            problem(path, "v2 schedule report missing cluster.recovery")
+            rec = {}
+        for key in RECOVERY_COUNTERS:
+            if rec.get(key, 0) < 0:
+                problem(path, f"cluster.recovery.{key} is negative")
+        if rec.get("restarts_from_checkpoint", 0) > rec.get("crashes", 0):
+            problem(path, "cluster.recovery: more restarts than crashes")
+        if rec.get("requeues", 0) > rec.get("crashes", 0):
+            problem(path, "cluster.recovery: more requeues than crashes")
+    crashed_rows = 0
     for job in doc.get("jobs", []):
         name = job.get("name", "?")
         if job.get("start_us", 0) < job.get("submit_us", 0):
@@ -166,6 +213,28 @@ def check_schedule(path, doc):
             problem(path, f"job {name}: ended before it started")
         check_fraction(path, f"job {name} intra_host_share",
                        job.get("intra_host_share", -1))
+        if doc.get("version", 0) < 2:
+            continue
+        if job.get("attempt", 0) < 0:
+            problem(path, f"job {name}: negative attempt")
+        outcome = job.get("outcome")
+        if outcome not in JOB_OUTCOMES:
+            problem(path, f"job {name}: outcome {outcome!r} not in "
+                          f"{JOB_OUTCOMES}")
+        crash = job.get("crash")
+        if crash is not None:
+            crashed_rows += 1
+            if crash.get("rank", -1) < 0:
+                problem(path, f"job {name}: crash row without a root-cause "
+                              f"rank")
+            if crash.get("at_us", -1) <= 0:
+                problem(path, f"job {name}: crash at_us must be a positive "
+                              f"virtual time")
+    if doc.get("version", 0) >= 2:
+        crashes = doc.get("cluster", {}).get("recovery", {}).get("crashes", 0)
+        if crashed_rows > crashes:
+            problem(path, f"{crashed_rows} crash rows but cluster.recovery "
+                          f"counts only {crashes} crashes")
 
 
 def check_trace(path):
