@@ -28,6 +28,9 @@ struct RndvTimes {
   /// up — excludes trailing pure-latency terms. 0 means "same as
   /// receiver_done".
   Micros receiver_busy_until = 0.0;
+  /// When the sender starts injecting the payload (CTS received, descriptor
+  /// posted). The fabric model records the flow from this instant.
+  Micros inject_begin = 0.0;
 };
 
 /// Cost of one pipelined one-sided op (put/get) within an epoch.

@@ -26,13 +26,34 @@ Micros HcaChannel::control_latency(bool loopback) const {
                   : p.hca_wire_latency + p.hca_switch_latency;
 }
 
-EagerCosts HcaChannel::eager_costs(Bytes size, bool loopback, bool sriov) const {
+Micros HcaChannel::delivery_latency(bool loopback,
+                                    const net::TransferCtx* ctx) const {
+  if (routed(loopback, ctx))
+    return fabric_->path_latency(ctx->src_host, ctx->dst_host);
+  return control_latency(loopback);
+}
+
+BytesPerMicro HcaChannel::payload_bw(bool loopback, bool sriov,
+                                     const net::TransferCtx* ctx) const {
+  if (routed(loopback, ctx))
+    return fabric_->flow_rate_cap(ctx->src_host, ctx->dst_host, sriov);
+  return injection_bw(loopback, sriov);
+}
+
+double HcaChannel::contention_factor(const net::TransferCtx* ctx) const {
+  if (congestion_ == nullptr || ctx == nullptr) return 1.0;
+  return congestion_->factor(ctx->key);
+}
+
+EagerCosts HcaChannel::eager_costs(Bytes size, bool loopback, bool sriov,
+                                   const net::TransferCtx* ctx) const {
   const auto& p = *profile_;
   EagerCosts costs;
-  costs.sender =
-      p.hca_post_overhead + static_cast<double>(size) / injection_bw(loopback, sriov);
+  costs.sender = p.hca_post_overhead +
+                 static_cast<double>(size) / payload_bw(loopback, sriov, ctx) *
+                     contention_factor(ctx);
   costs.delivery =
-      control_latency(loopback) + (sriov ? p.sriov_latency_overhead : 0.0);
+      delivery_latency(loopback, ctx) + (sriov ? p.sriov_latency_overhead : 0.0);
   // Receiver copies out of the eager ring into the user buffer. On the
   // loopback path the payload also re-crosses the host PCIe/NIC on ingress —
   // the same serialized resource — which is the heart of the intra-host
@@ -44,10 +65,10 @@ EagerCosts HcaChannel::eager_costs(Bytes size, bool loopback, bool sriov) const 
 }
 
 RndvTimes HcaChannel::rndv_times(Bytes size, bool loopback, Micros rts_sent_at,
-                                 Micros posted_at, Micros busy_until,
-                                 bool sriov) const {
+                                 Micros posted_at, Micros busy_until, bool sriov,
+                                 const net::TransferCtx* ctx) const {
   const auto& p = *profile_;
-  const Micros trip = p.hca_rndv_trip + control_latency(loopback) +
+  const Micros trip = p.hca_rndv_trip + delivery_latency(loopback, ctx) +
                       (sriov ? p.sriov_latency_overhead : 0.0);
   const Micros rts_arrive = rts_sent_at + trip;
   const Micros handshake_done = std::max(posted_at, rts_arrive) + trip;
@@ -58,29 +79,33 @@ RndvTimes HcaChannel::rndv_times(Bytes size, bool loopback, Micros rts_sent_at,
                                    : handshake_done;
 
   RndvTimes times;
+  times.inject_begin = cts_at_sender + p.hca_post_overhead;
   // Zero-copy RDMA write: the sender injects straight from the user buffer,
   // the last byte lands one wire latency after injection completes.
   times.sender_done = cts_at_sender + p.hca_post_overhead +
-                      static_cast<double>(size) / injection_bw(loopback, sriov);
+                      static_cast<double>(size) / payload_bw(loopback, sriov, ctx) *
+                          contention_factor(ctx);
   // Loopback ingress re-crosses the host PCIe (see eager_costs); it is part
   // of the serialized receive path. The final control latency is pure wire
   // time and pipelines across back-to-back transfers.
   Micros ingress =
       loopback ? static_cast<double>(size) / injection_bw(true, sriov) : 0.0;
   times.receiver_busy_until = times.sender_done + ingress;
-  times.receiver_done = times.receiver_busy_until + control_latency(loopback);
+  times.receiver_done = times.receiver_busy_until + delivery_latency(loopback, ctx);
   return times;
 }
 
-OneSidedCosts HcaChannel::one_sided_costs(Bytes size, bool loopback,
-                                          bool sriov) const {
+OneSidedCosts HcaChannel::one_sided_costs(Bytes size, bool loopback, bool sriov,
+                                          const net::TransferCtx* ctx) const {
+  // One-sided ops take the routed latency and static VF-capped bandwidth but
+  // are not fed through the contention engine (no per-op flow identity in
+  // the window protocol); documented limitation of the fabric model.
   const auto& p = *profile_;
+  const BytesPerMicro bw = payload_bw(loopback, sriov, ctx);
   OneSidedCosts costs;
-  costs.gap = std::max(p.hca_pipelined_gap,
-                       static_cast<double>(size) / injection_bw(loopback, sriov));
-  costs.latency = p.hca_post_overhead +
-                  static_cast<double>(size) / injection_bw(loopback, sriov) +
-                  control_latency(loopback) +
+  costs.gap = std::max(p.hca_pipelined_gap, static_cast<double>(size) / bw);
+  costs.latency = p.hca_post_overhead + static_cast<double>(size) / bw +
+                  delivery_latency(loopback, ctx) +
                   (sriov ? p.sriov_latency_overhead : 0.0);
   return costs;
 }

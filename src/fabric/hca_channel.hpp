@@ -24,6 +24,7 @@
 
 #include "fabric/channel_costs.hpp"
 #include "fabric/tuning.hpp"
+#include "net/fabric.hpp"
 #include "topo/calibration.hpp"
 
 namespace cbmpi::fabric {
@@ -33,13 +34,26 @@ class HcaChannel {
   HcaChannel(const topo::MachineProfile& profile, const TuningParams& tuning)
       : profile_(&profile), tuning_(tuning) {}
 
+  /// Routes subsequent inter-host cost queries that carry a TransferCtx
+  /// through the fabric model: delivery latency becomes the routed path
+  /// latency, bandwidth the VF-capped narrowest link, and — when `congestion`
+  /// is non-null (apply pass) — each transfer's bandwidth term is stretched
+  /// by its settled contention factor. Queries without a ctx (estimates,
+  /// loopback, Ideal model) keep the flat cost model bit-for-bit.
+  void attach_fabric(const net::Fabric* fabric,
+                     const net::CongestionMap* congestion) {
+    fabric_ = fabric;
+    congestion_ = congestion;
+  }
+
   /// Lazily establishes the queue pair between two world ranks.
   void ensure_connected(int a, int b);
 
   /// Number of queue pairs created so far.
   std::size_t queue_pairs() const;
 
-  EagerCosts eager_costs(Bytes size, bool loopback, bool sriov = false) const;
+  EagerCosts eager_costs(Bytes size, bool loopback, bool sriov = false,
+                         const net::TransferCtx* ctx = nullptr) const;
 
   /// `posted_at` is when the receive was posted; `busy_until` is when the
   /// receiver finished its previous incoming transfer. When the receiver is
@@ -48,19 +62,31 @@ class HcaChannel {
   /// remains on the critical path.
   RndvTimes rndv_times(Bytes size, bool loopback, Micros rts_sent_at,
                        Micros posted_at, Micros busy_until = 0.0,
-                       bool sriov = false) const;
+                       bool sriov = false,
+                       const net::TransferCtx* ctx = nullptr) const;
 
-  OneSidedCosts one_sided_costs(Bytes size, bool loopback,
-                                bool sriov = false) const;
+  OneSidedCosts one_sided_costs(Bytes size, bool loopback, bool sriov = false,
+                                const net::TransferCtx* ctx = nullptr) const;
 
   /// One-way latency of a header-only control message.
   Micros control_latency(bool loopback) const;
 
  private:
   BytesPerMicro injection_bw(bool loopback, bool sriov) const;
+  /// Fabric-aware variants: fall back to the flat model without a ctx.
+  bool routed(bool loopback, const net::TransferCtx* ctx) const {
+    return fabric_ != nullptr && ctx != nullptr && !loopback &&
+           ctx->src_host != ctx->dst_host;
+  }
+  Micros delivery_latency(bool loopback, const net::TransferCtx* ctx) const;
+  BytesPerMicro payload_bw(bool loopback, bool sriov,
+                           const net::TransferCtx* ctx) const;
+  double contention_factor(const net::TransferCtx* ctx) const;
 
   const topo::MachineProfile* profile_;
   TuningParams tuning_;
+  const net::Fabric* fabric_ = nullptr;
+  const net::CongestionMap* congestion_ = nullptr;
 
   mutable std::mutex mutex_;
   std::set<std::pair<int, int>> queue_pairs_;

@@ -26,6 +26,26 @@ ChannelSelector::ChannelSelector(LocalityPolicy policy, TuningParams tuning,
   CBMPI_REQUIRE(!endpoints_.empty(), "selector needs at least one endpoint");
   for (const auto& ep : endpoints_)
     CBMPI_REQUIRE(ep.process != nullptr, "endpoint without a process");
+  if (faults_ != nullptr) {
+    // Resolve every rank's /dev/shm verdict once up front: the probes are
+    // pure functions of (seed, rank), and a degraded pair would otherwise
+    // re-hash them on every select() for the rest of the job.
+    shm_fail_.reserve(endpoints_.size());
+    for (int r = 0; r < num_ranks(); ++r)
+      shm_fail_.push_back(faults_->shm_segment_fails(r) ? 1 : 0);
+    cma_memo_ = std::make_unique<std::atomic<std::uint8_t>[]>(
+        endpoints_.size() * endpoints_.size());
+  }
+}
+
+bool ChannelSelector::cma_denied(int a, int b) const {
+  const auto idx = static_cast<std::size_t>(a) * endpoints_.size() +
+                   static_cast<std::size_t>(b);
+  const std::uint8_t cached = cma_memo_[idx].load(std::memory_order_relaxed);
+  if (cached != 0) return cached == 2;
+  const bool denied = faults_->cma_permission_denied(a, b);
+  cma_memo_[idx].store(denied ? 2 : 1, std::memory_order_relaxed);
+  return denied;
 }
 
 void ChannelSelector::set_detected_locality(
@@ -64,14 +84,14 @@ bool ChannelSelector::co_resident(int a, int b) const {
 
 bool ChannelSelector::cma_usable(int a, int b) const {
   if (!tuning_.use_cma) return false;
-  if (faults_ && faults_->cma_permission_denied(a, b)) return false;
+  if (faults_ && cma_denied(a, b)) return false;
   return endpoint(a).process->namespaces().shares(osl::NamespaceType::Pid,
                                                   endpoint(b).process->namespaces());
 }
 
 bool ChannelSelector::shm_usable(int a, int b) const {
-  return faults_ == nullptr ||
-         (!faults_->shm_segment_fails(a) && !faults_->shm_segment_fails(b));
+  return faults_ == nullptr || (shm_fail_[static_cast<std::size_t>(a)] == 0 &&
+                                shm_fail_[static_cast<std::size_t>(b)] == 0);
 }
 
 ChannelSelector::Decision ChannelSelector::select(int src, int dst, Bytes size) const {
@@ -115,8 +135,7 @@ ChannelSelector::Decision ChannelSelector::select(int src, int dst, Bytes size) 
         d.protocol = Protocol::Rendezvous;
         // Attribute the demotion when the *injected* EPERM (not the
         // deployment's namespace config) is what knocked CMA out.
-        if (fault_log_ && faults_ && tuning_.use_cma &&
-            faults_->cma_permission_denied(src, dst) &&
+        if (fault_log_ && faults_ && tuning_.use_cma && cma_denied(src, dst) &&
             endpoint(src).process->namespaces().shares(
                 osl::NamespaceType::Pid, endpoint(dst).process->namespaces())) {
           const auto [lo, hi] = std::minmax(src, dst);

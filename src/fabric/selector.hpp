@@ -18,7 +18,9 @@
 // is split by MV2_IBA_EAGER_THRESHOLD between HCA eager and HCA rendezvous.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -90,6 +92,10 @@ class ChannelSelector {
 
  private:
   bool cma_usable(int a, int b) const;
+  /// Memoized injector probe: the verdicts are pure functions of (seed,
+  /// pair), so each is computed at most once and degraded selection stays
+  /// O(1) per pair instead of re-hashing the probes on every message.
+  bool cma_denied(int a, int b) const;
 
   LocalityPolicy policy_;
   TuningParams tuning_;
@@ -98,6 +104,15 @@ class ChannelSelector {
   std::optional<ChannelKind> forced_;
   const faults::FaultInjector* faults_;
   faults::FaultLog* fault_log_;
+
+  /// Per-rank /dev/shm verdict, precomputed in the constructor (empty when
+  /// no injector): a host-wide /dev/shm fault demotes every pair touching
+  /// the rank, and select() must not re-probe it per message.
+  std::vector<std::uint8_t> shm_fail_;
+  /// Lazy per-pair CMA EPERM verdict: 0 = unknown, 1 = clear, 2 = denied.
+  /// Atomic because ranks select concurrently; the probe is pure, so racing
+  /// writers store the same value.
+  mutable std::unique_ptr<std::atomic<std::uint8_t>[]> cma_memo_;
 };
 
 }  // namespace cbmpi::fabric

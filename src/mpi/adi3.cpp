@@ -41,6 +41,29 @@ std::uint64_t Adi3Engine::queue_pair_key(int dst_world) const {
          static_cast<std::uint64_t>(dst_world);
 }
 
+const net::TransferCtx* Adi3Engine::fabric_ctx(int src_rank, int dst_rank,
+                                               std::uint64_t seq, bool loopback,
+                                               net::TransferCtx& ctx) const {
+  if (job_->fabric == nullptr || loopback) return nullptr;
+  ctx.src_host = job_->rank_phys_host[static_cast<std::size_t>(src_rank)];
+  ctx.dst_host = job_->rank_phys_host[static_cast<std::size_t>(dst_rank)];
+  if (ctx.src_host == ctx.dst_host) return nullptr;
+  ctx.key = {src_rank, seq};
+  return &ctx;
+}
+
+void Adi3Engine::trace_congestion(const net::TransferCtx* ctx, int src, int dst,
+                                  Bytes size, Micros at) {
+  if (ctx == nullptr || job_->congestion == nullptr || job_->trace == nullptr)
+    return;
+  const double factor = job_->congestion->factor(ctx->key);
+  if (factor <= 1.0) return;
+  std::ostringstream os;
+  os << "x" << factor << " over " << job_->fabric->hops(ctx->src_host, ctx->dst_host)
+     << " hops";
+  job_->trace->record({sim::TraceKind::NetCongest, src, dst, size, at, os.str()});
+}
+
 Request Adi3Engine::start_send(std::span<const std::byte> data, int dst_world, int tag,
                                std::uint64_t comm_id) {
   CBMPI_REQUIRE(dst_world >= 0 && dst_world < job_->nranks,
@@ -90,7 +113,16 @@ Request Adi3Engine::start_send(std::span<const std::byte> data, int dst_world, i
         break;
       }
       case fabric::ChannelKind::Hca: {
-        costs = job_->hca->eager_costs(size, decision.loopback, decision.sriov);
+        net::TransferCtx ctx;
+        const auto* ctxp = fabric_ctx(rank_, dst_world, seq, decision.loopback, ctx);
+        costs = job_->hca->eager_costs(size, decision.loopback, decision.sriov, ctxp);
+        if (ctxp != nullptr && job_->net_log != nullptr)
+          // Injection starts after the descriptor post; the sender-side
+          // bandwidth term runs from there.
+          job_->net_log->record({ctx.key, ctx.src_host, ctx.dst_host, size,
+                                 clock().now() + job_->profile->hca_post_overhead,
+                                 decision.sriov});
+        trace_congestion(ctxp, rank_, dst_world, size, clock().now());
         env.payload.assign(data.begin(), data.end());
         break;
       }
@@ -258,11 +290,19 @@ void Adi3Engine::complete_rendezvous(RequestState& request, fabric::Envelope& en
                                     match_at);
       if (env.size > 0) std::memcpy(dst.data(), rndv.source().data(), env.size);
       break;
-    case fabric::ChannelKind::Hca:
+    case fabric::ChannelKind::Hca: {
+      net::TransferCtx ctx;
+      const auto* ctxp = fabric_ctx(env.src, rank_, env.seq, env.loopback, ctx);
       times = job_->hca->rndv_times(env.size, env.loopback, env.available_at,
-                                    request.posted_at, recv_busy_until_, env.sriov);
+                                    request.posted_at, recv_busy_until_, env.sriov,
+                                    ctxp);
+      if (ctxp != nullptr && job_->net_log != nullptr)
+        job_->net_log->record({ctx.key, ctx.src_host, ctx.dst_host, env.size,
+                               times.inject_begin, env.sriov});
+      trace_congestion(ctxp, env.src, rank_, env.size, times.inject_begin);
       if (env.size > 0) std::memcpy(dst.data(), rndv.source().data(), env.size);
       break;
+    }
   }
 
   request.complete_at = times.receiver_done;

@@ -100,6 +100,16 @@ class Adi3Engine {
   void complete_eager(RequestState& request, fabric::Envelope& env);
   void complete_rendezvous(RequestState& request, fabric::Envelope& env);
   std::uint64_t queue_pair_key(int dst_world) const;
+  /// Fills `ctx` and returns its address when this inter-host HCA transfer
+  /// must be routed through the attached fabric; null otherwise (Ideal
+  /// model, loopback, or co-located hosts).
+  const net::TransferCtx* fabric_ctx(int src_rank, int dst_rank,
+                                     std::uint64_t seq, bool loopback,
+                                     net::TransferCtx& ctx) const;
+  /// NetCongest trace breadcrumb in the apply pass for transfers the settle
+  /// step slowed down.
+  void trace_congestion(const net::TransferCtx* ctx, int src, int dst,
+                        Bytes size, Micros at);
 
   JobState* job_;
   int rank_;

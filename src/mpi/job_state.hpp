@@ -21,6 +21,7 @@
 #include "faults/fault.hpp"
 #include "mpi/coll/engine.hpp"
 #include "mpi/matcher.hpp"
+#include "net/fabric.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "prof/profile.hpp"
@@ -62,6 +63,16 @@ struct JobState {
   std::vector<prof::RankProfile> rank_profiles;     // one per world rank
 
   sim::TraceRecorder* trace = nullptr;              // optional, may be null
+
+  /// Fabric model (all null under FabricModel::Ideal — the flat cost model).
+  /// `net_log` is set only during the record pass, `congestion` only during
+  /// the apply pass; `rank_phys_host` maps each rank to its cluster-wide
+  /// host id and is filled whenever a fabric is attached.
+  const net::Fabric* fabric = nullptr;
+  net::FlowLog* net_log = nullptr;
+  const net::CongestionMap* congestion = nullptr;
+  std::vector<int> rank_phys_host;
+  bool net_probe = false;  ///< true while the record pass runs
 
   /// Observability (JobConfig::observe): both null when disabled, so hot
   /// paths pay a single pointer test. Metrics handles are resolved once per

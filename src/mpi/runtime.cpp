@@ -59,6 +59,8 @@ std::span<const std::uint8_t> Process::restored_state() const {
       engine_.world_rank())];
 }
 
+bool Process::fabric_probe() const { return engine_.job().net_probe; }
+
 bool Process::checkpoint(int completed_rounds, std::span<const std::uint8_t> state) {
   auto* store = engine_.job().checkpoint;
   if (!store || !store->taking()) return false;
@@ -172,9 +174,50 @@ container::ContainerSpec container_spec_for(const container::DeploymentSpec& spe
   return cont;
 }
 
+/// Shared state of the fabric model's two deterministic passes. The record
+/// pass builds the Fabric (it needs the placement) and fills `log`; between
+/// passes the runtime settles the log into `congestion`; the apply pass
+/// reads `congestion` only.
+struct NetSession {
+  net::FabricConfig config;
+  std::unique_ptr<net::Fabric> fabric;
+  net::FlowLog log;
+  net::CongestionMap congestion;
+  bool apply = false;
+};
+
+JobResult run_job_attempt(const JobConfig& config,
+                          const std::function<void(Process&)>& body,
+                          NetSession* net);
+
 }  // namespace
 
 JobResult run_job(const JobConfig& config, const std::function<void(Process&)>& body) {
+  if (!config.fabric.enabled()) return run_job_attempt(config, body, nullptr);
+  // Two-pass congestion refinement: pass 1 records every inter-host HCA
+  // payload while running on hop latencies and static VF caps (all pure
+  // functions of virtual time); the flow set is then settled by the exact
+  // max-min contention engine; pass 2 re-runs the body with each transfer's
+  // bandwidth term stretched by its factor. Both passes are deterministic,
+  // so congested runs rerun bit-identically. A job that fails (injected
+  // crash, rank error) throws out of pass 1 unrefined — crashed attempts
+  // never reach the apply pass.
+  NetSession net;
+  net.config = config.fabric;
+  run_job_attempt(config, body, &net);
+  net::FabricSettle settled = net.fabric->settle(net.log.take());
+  net.congestion = std::move(settled.congestion);
+  net.apply = true;
+  JobResult result = run_job_attempt(config, body, &net);
+  result.net = std::move(settled.report);
+  return result;
+}
+
+namespace {
+
+JobResult run_job_attempt(const JobConfig& config,
+                          const std::function<void(Process&)>& body,
+                          NetSession* net) {
   validate_config(config);
   const auto& spec = config.deployment;
 
@@ -269,6 +312,55 @@ JobResult run_job(const JobConfig& config, const std::function<void(Process&)>& 
   job.hca = std::make_unique<fabric::HcaChannel>(machine.profile(), config.tuning);
   job.nranks = nranks;
   job.seed = config.seed;
+
+  // --- fabric model ---------------------------------------------------------
+  if (net != nullptr) {
+    // Every rank's cluster-wide host id: scheduler-placed jobs see the full
+    // cluster's fat-tree through physical_hosts; standalone runs use local
+    // ids directly.
+    job.rank_phys_host.reserve(static_cast<std::size_t>(nranks));
+    int max_phys = hosts - 1;
+    for (int r = 0; r < nranks; ++r) {
+      const int local = static_cast<int>(placement.slots[static_cast<std::size_t>(r)].host);
+      const int phys = config.physical_hosts.empty()
+                           ? local
+                           : config.physical_hosts[static_cast<std::size_t>(local)];
+      job.rank_phys_host.push_back(phys);
+      max_phys = std::max(max_phys, phys);
+    }
+    if (net->fabric == nullptr) {
+      // Provisioned VFs per physical host: one per container (native ranks
+      // use the physical function, counted as one).
+      std::vector<int> vfs(static_cast<std::size_t>(max_phys + 1), 0);
+      for (int h = 0; h < place_hosts; ++h) {
+        const int phys = config.physical_hosts.empty()
+                             ? h
+                             : config.physical_hosts[static_cast<std::size_t>(h)];
+        vfs[static_cast<std::size_t>(phys)] =
+            std::max(placement.containers_on(h), 1);
+      }
+      net::FabricConfig fabric_config = net->config;
+      if (fabric_config.hosts <= 0) fabric_config.hosts = max_phys + 1;
+      if (fabric_config.model == net::FabricModel::FatTree)
+        CBMPI_REQUIRE(
+            fabric_config.hosts <= fabric_config.arity * fabric_config.arity *
+                                       fabric_config.arity / 4,
+            "fat-tree of arity ", fabric_config.arity, " holds at most ",
+            fabric_config.arity * fabric_config.arity * fabric_config.arity / 4,
+            " hosts but the cluster has ", fabric_config.hosts,
+            " — raise --fabric=fattree:<k> (need k >= ",
+            net::Topology::min_arity_for(fabric_config.hosts), ")");
+      net->fabric = std::make_unique<net::Fabric>(fabric_config,
+                                                  machine.profile(), std::move(vfs));
+    }
+    job.fabric = net->fabric.get();
+    job.net_probe = !net->apply;
+    if (net->apply)
+      job.congestion = &net->congestion;
+    else
+      job.net_log = &net->log;
+    job.hca->attach_fabric(job.fabric, job.congestion);
+  }
   if (inject) {
     job.faults = &injector;
     job.fault_log = &fault_log;
@@ -604,5 +696,7 @@ JobResult run_job(const JobConfig& config, const std::function<void(Process&)>& 
   }
   return result;
 }
+
+}  // namespace
 
 }  // namespace cbmpi::mpi

@@ -25,6 +25,7 @@
 #include "mpi/coll/tuning_table.hpp"
 #include "mpi/communicator.hpp"
 #include "mpi/time_barrier.hpp"
+#include "net/fabric.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "prof/profile.hpp"
@@ -79,6 +80,14 @@ struct JobConfig {
   /// placed on it (see FaultPlan::host_fault_seed).
   std::vector<int> physical_hosts;
 
+  /// Fabric model for inter-host HCA traffic. FabricModel::Ideal (default)
+  /// keeps the flat per-pair cost model bit-identically. Flat/FatTree route
+  /// transfers over an explicit switch topology and run the job twice — a
+  /// record pass logging every inter-host payload, then an apply pass with
+  /// the settled link-contention factors — so congested runs are still pure
+  /// functions of (config, seed) and rerun bit-identically.
+  net::FabricConfig fabric{};
+
   bool record_trace = false;
 
   /// Attaches the observability layer (obs::MetricsRegistry + span tracing)
@@ -103,6 +112,11 @@ struct JobResult {
   /// obs::run_report_json / obs::to_perfetto.
   obs::MetricsSnapshot metrics;
   std::vector<obs::Span> spans;
+
+  /// Fabric model outcome (report v3 "net" section): per-link utilization,
+  /// congested-transfer count, hop histogram. `net.enabled` is false under
+  /// FabricModel::Ideal.
+  net::NetReport net;
 
   /// Recovery bookkeeping (report v2 "recovery" section): checkpoints
   /// committed during this run, and what the run resumed from (if anything).
@@ -132,6 +146,12 @@ class Process {
 
   /// Current virtual time in microseconds (the MPI_Wtime analogue).
   Micros now() const { return os_->clock().now(); }
+
+  /// True while the fabric model's record pass runs (the job body executes
+  /// twice under a non-Ideal fabric). Bodies with side effects beyond virtual
+  /// time — printing, say — should skip them when this is set; the apply
+  /// pass is the run whose results stand.
+  bool fabric_probe() const;
 
   /// Job seed; combine with rank() for per-rank streams.
   std::uint64_t seed() const { return engine_.job().seed; }

@@ -1,0 +1,200 @@
+#include "net/contention.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace cbmpi::net {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+/// Relative tolerance for "this constraint is exhausted" during filling.
+constexpr double kEps = 1e-12;
+
+struct ActiveFlow {
+  std::size_t index = 0;  ///< into the sorted flow vector
+  double remaining = 0.0;
+  double rate = 0.0;
+};
+
+/// Max-min fair allocation with per-flow rate caps (progressive filling):
+/// all unfrozen flows grow together; a flow freezes when it reaches its own
+/// cap or when a link on its path saturates. Returns per-link allocations
+/// for the utilization bookkeeping.
+void fill_rates(std::vector<ActiveFlow>& active, const std::vector<Flow>& flows,
+                const std::vector<double>& caps, std::vector<double>& link_alloc,
+                std::vector<int>& link_flows, std::vector<int>& touched) {
+  touched.clear();
+  for (auto& a : active) {
+    a.rate = 0.0;
+    for (const int l : flows[a.index].path) {
+      const auto lu = static_cast<std::size_t>(l);
+      if (link_flows[lu] == 0) touched.push_back(l);
+      ++link_flows[lu];
+      link_alloc[lu] = 0.0;
+    }
+  }
+
+  std::vector<std::uint8_t> frozen(active.size(), 0);
+  std::size_t unfrozen = active.size();
+  while (unfrozen > 0) {
+    double delta = kInf;
+    for (std::size_t j = 0; j < active.size(); ++j)
+      if (!frozen[j])
+        delta = std::min(delta, flows[active[j].index].rate_cap - active[j].rate);
+    for (const int l : touched) {
+      const auto lu = static_cast<std::size_t>(l);
+      if (link_flows[lu] > 0)
+        delta = std::min(delta, (caps[lu] - link_alloc[lu]) /
+                                    static_cast<double>(link_flows[lu]));
+    }
+    delta = std::max(delta, 0.0);
+
+    for (std::size_t j = 0; j < active.size(); ++j) {
+      if (frozen[j]) continue;
+      active[j].rate += delta;
+      for (const int l : flows[active[j].index].path)
+        link_alloc[static_cast<std::size_t>(l)] += delta;
+    }
+
+    // Freeze cap-limited flows, then every flow on a saturated link. The
+    // constraint that produced `delta` freezes at least one flow, so the
+    // loop terminates.
+    for (std::size_t j = 0; j < active.size(); ++j) {
+      if (frozen[j]) continue;
+      const Flow& f = flows[active[j].index];
+      bool freeze = active[j].rate >= f.rate_cap * (1.0 - kEps);
+      if (!freeze)
+        for (const int l : f.path) {
+          const auto lu = static_cast<std::size_t>(l);
+          if (caps[lu] - link_alloc[lu] <= caps[lu] * kEps) {
+            freeze = true;
+            break;
+          }
+        }
+      if (freeze) {
+        frozen[j] = 1;
+        --unfrozen;
+        for (const int l : f.path) --link_flows[static_cast<std::size_t>(l)];
+      }
+    }
+  }
+  // Restore link_flows to zero for the next recompute (all flows frozen).
+  for (const int l : touched) link_flows[static_cast<std::size_t>(l)] = 0;
+}
+
+}  // namespace
+
+SettleResult settle(std::vector<Flow> flows, const std::vector<double>& link_caps) {
+  SettleResult out;
+  out.links.assign(link_caps.size(), {});
+  if (flows.empty()) return out;
+
+  for (const auto& f : flows) {
+    CBMPI_REQUIRE(f.rate_cap > 0.0, "flow rate cap must be positive");
+    for (const int l : f.path)
+      CBMPI_REQUIRE(l >= 0 && static_cast<std::size_t>(l) < link_caps.size(),
+                    "flow path references unknown link ", l);
+  }
+
+  // Canonical order: the engine's answers must not depend on the (wall-clock
+  // racy) order flows were recorded in.
+  std::sort(flows.begin(), flows.end(), [](const Flow& a, const Flow& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return a.key < b.key;
+  });
+
+  out.busy_begin = flows.front().start;
+  out.busy_end = flows.front().start;
+  out.flows.reserve(flows.size());
+
+  std::vector<ActiveFlow> active;
+  std::vector<double> link_alloc(link_caps.size(), 0.0);
+  std::vector<int> link_flows(link_caps.size(), 0);
+  std::vector<int> touched;
+  std::vector<double> mean_accum(link_caps.size(), 0.0);
+
+  auto record_outcome = [&](const Flow& f, Micros finish) {
+    FlowOutcome o;
+    o.key = f.key;
+    o.finish = finish;
+    o.hops = static_cast<int>(f.path.size());
+    const double uncontended = f.bytes / f.rate_cap;
+    o.factor = uncontended > 0.0 ? (finish - f.start) / uncontended : 1.0;
+    // A lone flow's factor is analytically 1; snap float residue to exactly
+    // 1.0 so the apply pass reproduces uncontended costs bit-identically.
+    if (o.factor <= 1.0 + 1e-9) o.factor = 1.0;
+    out.busy_end = std::max(out.busy_end, finish);
+    out.flows.push_back(o);
+  };
+
+  std::size_t next = 0;
+  Micros t = flows.front().start;
+  while (next < flows.size() || !active.empty()) {
+    // Admit every flow starting now, then rebalance.
+    bool admitted = false;
+    while (next < flows.size() && flows[next].start <= t) {
+      const Flow& f = flows[next];
+      if (f.bytes <= 0.0 || f.path.empty()) {
+        // Nothing to drain (control-sized or host-local): finishes instantly
+        // and never contends.
+        record_outcome(f, f.start);
+      } else {
+        active.push_back({next, f.bytes, 0.0});
+        admitted = true;
+      }
+      ++next;
+    }
+    if (active.empty()) {
+      if (next < flows.size()) t = flows[next].start;
+      continue;
+    }
+    if (admitted)
+      fill_rates(active, flows, link_caps, link_alloc, link_flows, touched);
+
+    // Next event: the earliest finish among active flows or the next start.
+    Micros finish_at = kInf;
+    for (const auto& a : active)
+      finish_at = std::min(finish_at, t + a.remaining / a.rate);
+    const Micros start_at = next < flows.size() ? flows[next].start : kInf;
+    const Micros te = std::min(finish_at, start_at);
+
+    // Utilization bookkeeping over [t, te): rates are constant here.
+    for (const int l : touched) {
+      const auto lu = static_cast<std::size_t>(l);
+      const double util = link_alloc[lu] / link_caps[lu];
+      out.links[lu].peak = std::max(out.links[lu].peak, util);
+      mean_accum[lu] += util * (te - t);
+    }
+
+    bool finished = false;
+    for (std::size_t j = 0; j < active.size();) {
+      const Micros fin = t + active[j].remaining / active[j].rate;
+      if (fin <= te) {
+        record_outcome(flows[active[j].index], te);
+        active[j] = active.back();
+        active.pop_back();
+        finished = true;
+      } else {
+        active[j].remaining -= active[j].rate * (te - t);
+        ++j;
+      }
+    }
+    t = te;
+    if (finished && !active.empty())
+      fill_rates(active, flows, link_caps, link_alloc, link_flows, touched);
+  }
+
+  const Micros span = out.busy_end - out.busy_begin;
+  if (span > 0.0)
+    for (std::size_t l = 0; l < out.links.size(); ++l)
+      out.links[l].mean = mean_accum[l] / span;
+
+  std::sort(out.flows.begin(), out.flows.end(),
+            [](const FlowOutcome& a, const FlowOutcome& b) { return a.key < b.key; });
+  return out;
+}
+
+}  // namespace cbmpi::net

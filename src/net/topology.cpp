@@ -1,0 +1,183 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cbmpi::net {
+
+namespace {
+void add_duplex(std::vector<Link>& links, int a, int b, BytesPerMicro bw,
+                Micros latency) {
+  links.push_back({a, b, bw, latency});
+  links.push_back({b, a, bw, latency});
+}
+}  // namespace
+
+Topology Topology::flat(int hosts, BytesPerMicro link_bw, Micros link_latency,
+                        Micros switch_latency) {
+  CBMPI_REQUIRE(hosts > 0, "flat topology needs at least one host, got ", hosts);
+  CBMPI_REQUIRE(link_bw > 0.0, "link bandwidth must be positive");
+  Topology t;
+  t.num_hosts_ = hosts;
+  t.num_switches_ = 1;
+  t.switch_latency_ = switch_latency;
+  const int sw = hosts;  // the single crossbar's node id
+  for (int h = 0; h < hosts; ++h)
+    add_duplex(t.links_, h, sw, link_bw, link_latency);
+  t.links_from_.resize(static_cast<std::size_t>(hosts + 1));
+  for (int id = 0; id < t.num_links(); ++id)
+    t.links_from_[static_cast<std::size_t>(t.links_[static_cast<std::size_t>(id)].from)]
+        .push_back(id);
+  return t;
+}
+
+int Topology::min_arity_for(int hosts) {
+  int k = 2;
+  while (k * k * k / 4 < hosts) k += 2;
+  return k;
+}
+
+Topology Topology::fattree(int arity, int hosts, BytesPerMicro link_bw,
+                           Micros link_latency, Micros switch_latency) {
+  CBMPI_REQUIRE(arity >= 2 && arity % 2 == 0,
+                "fat-tree arity must be even and >= 2, got ", arity);
+  CBMPI_REQUIRE(hosts > 0, "fat-tree needs at least one host, got ", hosts);
+  const int k = arity;
+  const int half = k / 2;
+  const int capacity = k * k * k / 4;
+  CBMPI_REQUIRE(hosts <= capacity, "fat-tree of arity ", k, " holds at most ",
+                capacity, " hosts, got ", hosts);
+
+  Topology t;
+  t.num_hosts_ = hosts;
+  t.arity_ = k;
+  t.switch_latency_ = switch_latency;
+  t.edge0_ = hosts;
+  t.agg0_ = t.edge0_ + k * half;
+  t.core0_ = t.agg0_ + k * half;
+  t.num_switches_ = 2 * k * half + half * half;
+
+  // Host <-> edge: host h lives in pod h / (k^2/4) under in-pod edge
+  // (h % (k^2/4)) / (k/2).
+  for (int h = 0; h < hosts; ++h) {
+    const int pod = h / (half * half);
+    const int edge = (h % (half * half)) / half;
+    add_duplex(t.links_, h, t.edge0_ + pod * half + edge, link_bw, link_latency);
+  }
+  // Edge <-> aggregation: full bipartite within each pod.
+  for (int pod = 0; pod < k; ++pod)
+    for (int e = 0; e < half; ++e)
+      for (int a = 0; a < half; ++a)
+        add_duplex(t.links_, t.edge0_ + pod * half + e, t.agg0_ + pod * half + a,
+                   link_bw, link_latency);
+  // Aggregation <-> core: agg a of every pod connects to core group a
+  // (cores [a*k/2, (a+1)*k/2)).
+  for (int pod = 0; pod < k; ++pod)
+    for (int a = 0; a < half; ++a)
+      for (int c = 0; c < half; ++c)
+        add_duplex(t.links_, t.agg0_ + pod * half + a, t.core0_ + a * half + c,
+                   link_bw, link_latency);
+
+  t.links_from_.resize(static_cast<std::size_t>(t.core0_ + half * half));
+  for (int id = 0; id < t.num_links(); ++id)
+    t.links_from_[static_cast<std::size_t>(t.links_[static_cast<std::size_t>(id)].from)]
+        .push_back(id);
+  for (auto& out : t.links_from_)
+    std::sort(out.begin(), out.end(), [&](LinkId x, LinkId y) {
+      return t.links_[static_cast<std::size_t>(x)].to <
+             t.links_[static_cast<std::size_t>(y)].to;
+    });
+  return t;
+}
+
+LinkId Topology::link_between(int from, int to) const {
+  for (const LinkId id : links_from_[static_cast<std::size_t>(from)])
+    if (links_[static_cast<std::size_t>(id)].to == to) return id;
+  CBMPI_REQUIRE(false, "no link between nodes ", from, " and ", to);
+  return -1;
+}
+
+std::vector<int> Topology::route_nodes(int src_host, int dst_host) const {
+  CBMPI_REQUIRE(src_host >= 0 && src_host < num_hosts_, "bad src host ", src_host);
+  CBMPI_REQUIRE(dst_host >= 0 && dst_host < num_hosts_, "bad dst host ", dst_host);
+  if (src_host == dst_host) return {src_host};
+
+  if (arity_ == 0) {  // flat: host -> crossbar -> host
+    return {src_host, num_hosts_, dst_host};
+  }
+
+  const int half = arity_ / 2;
+  const int src_pod = src_host / (half * half);
+  const int dst_pod = dst_host / (half * half);
+  const int src_edge = edge0_ + src_pod * half + (src_host % (half * half)) / half;
+  const int dst_edge = edge0_ + dst_pod * half + (dst_host % (half * half)) / half;
+  if (src_edge == dst_edge) return {src_host, src_edge, dst_host};
+
+  // Destination-based ECMP: the up-path choices are pure functions of the
+  // destination host id, so all traffic to one host converges on one
+  // deterministic down-path (static forwarding tables).
+  const int agg_index = dst_host % half;
+  if (src_pod == dst_pod) {
+    const int agg = agg0_ + src_pod * half + agg_index;
+    return {src_host, src_edge, agg, dst_edge, dst_host};
+  }
+  const int core = core0_ + agg_index * half + (dst_host / half) % half;
+  const int src_agg = agg0_ + src_pod * half + agg_index;
+  const int dst_agg = agg0_ + dst_pod * half + agg_index;
+  return {src_host, src_edge, src_agg, core, dst_agg, dst_edge, dst_host};
+}
+
+std::vector<LinkId> Topology::route(int src_host, int dst_host) const {
+  const auto nodes = route_nodes(src_host, dst_host);
+  std::vector<LinkId> path;
+  path.reserve(nodes.size() - 1);
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i)
+    path.push_back(link_between(nodes[i], nodes[i + 1]));
+  return path;
+}
+
+int Topology::hops(int src_host, int dst_host) const {
+  if (src_host == dst_host) return 0;
+  if (arity_ == 0) return 2;
+  const int half = arity_ / 2;
+  const int src_pod = src_host / (half * half);
+  const int dst_pod = dst_host / (half * half);
+  if (src_pod != dst_pod) return 6;
+  const int src_edge = (src_host % (half * half)) / half;
+  const int dst_edge = (dst_host % (half * half)) / half;
+  return src_edge == dst_edge ? 2 : 4;
+}
+
+Micros Topology::path_latency(int src_host, int dst_host) const {
+  if (src_host == dst_host) return 0.0;
+  const auto path = route(src_host, dst_host);
+  Micros total = 0.0;
+  for (const LinkId id : path) total += links_[static_cast<std::size_t>(id)].latency;
+  total += static_cast<double>(path.size() - 1) * switch_latency_;
+  return total;
+}
+
+BytesPerMicro Topology::min_path_bw(int src_host, int dst_host) const {
+  const auto path = route(src_host, dst_host);
+  CBMPI_REQUIRE(!path.empty(), "no fabric path from host to itself");
+  BytesPerMicro bw = links_[static_cast<std::size_t>(path.front())].bw;
+  for (const LinkId id : path)
+    bw = std::min(bw, links_[static_cast<std::size_t>(id)].bw);
+  return bw;
+}
+
+LinkId Topology::host_uplink(int host) const {
+  CBMPI_REQUIRE(host >= 0 && host < num_hosts_, "bad host ", host);
+  const auto& out = links_from_[static_cast<std::size_t>(host)];
+  CBMPI_REQUIRE(out.size() == 1, "host ", host, " must have exactly one uplink");
+  return out.front();
+}
+
+LinkId Topology::host_downlink(int host) const {
+  const LinkId up = host_uplink(host);
+  const auto& link = links_[static_cast<std::size_t>(up)];
+  return link_between(link.to, link.from);
+}
+
+}  // namespace cbmpi::net

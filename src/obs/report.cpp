@@ -151,6 +151,33 @@ void write_recovery(JsonWriter& w, const mpi::JobResult& result) {
   w.end_object();
 }
 
+void write_net(JsonWriter& w, const net::NetReport& report) {
+  w.key("net").begin_object();
+  w.field("model", net::to_string(report.model));
+  w.field("arity", report.arity);
+  w.field("hosts", report.hosts);
+  w.field("switches", report.switches);
+  w.field("links", report.links);
+  w.field("transfers", report.transfers);
+  w.field("congested_transfers", report.congested_transfers);
+  w.field("max_factor", report.max_factor);
+  w.field("max_peak_util", report.max_peak_util);
+  w.field("mean_util", report.mean_util);
+  w.key("hop_histogram").begin_array();
+  for (const auto count : report.hop_histogram) w.value(count);
+  w.end_array();
+  w.key("link_utils").begin_array();
+  for (const auto& link : report.link_utils) {
+    w.begin_object();
+    w.field("link", link.link);
+    w.field("peak", link.peak);
+    w.field("mean", link.mean);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
 void write_header(JsonWriter& w, const ReportContext& ctx, const char* mode) {
   w.field("schema", "cbmpi.run_report");
   w.field("version", std::int64_t{kRunReportVersion});
@@ -216,6 +243,7 @@ std::string run_report_json(const ReportContext& ctx, const mpi::JobResult& resu
   }
   write_faults(w, result.fault_report);
   write_recovery(w, result);
+  if (result.net.enabled) write_net(w, result.net);
   if (ctx.cluster) {
     w.key("cluster");
     write_cluster_metrics(w, *ctx.cluster);

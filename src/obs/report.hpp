@@ -26,7 +26,10 @@ namespace cbmpi::obs {
 /// v2: adds the "recovery" section (checkpoints, restarts) to single
 /// reports, the cluster "recovery" aggregates and per-job attempt/outcome
 /// (+ crash attribution) rows to schedule reports.
-inline constexpr int kRunReportVersion = 2;
+/// v3: adds the "net" section (fabric model, per-link peak/mean utilization,
+/// congested-transfer count, hop histogram) to single reports run under a
+/// non-Ideal fabric; absent under FabricModel::Ideal.
+inline constexpr int kRunReportVersion = 3;
 
 /// What the emitter cannot read off a JobResult: how the job was launched.
 struct ReportContext {

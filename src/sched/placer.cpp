@@ -13,6 +13,7 @@ const char* to_string(PlacementPolicy policy) {
     case PlacementPolicy::Spread: return "spread";
     case PlacementPolicy::Random: return "random";
     case PlacementPolicy::LocalityAware: return "locality";
+    case PlacementPolicy::TopologyAware: return "topology";
   }
   return "?";
 }
@@ -23,6 +24,8 @@ std::optional<PlacementPolicy> parse_policy(const std::string& name) {
   if (name == "random") return PlacementPolicy::Random;
   if (name == "locality" || name == "locality-aware")
     return PlacementPolicy::LocalityAware;
+  if (name == "topology" || name == "topology-aware")
+    return PlacementPolicy::TopologyAware;
   return std::nullopt;
 }
 
@@ -149,6 +152,47 @@ class RandomPlacer : public Placer {
   std::uint64_t seed_;
 };
 
+/// Greedy graph growing over an ordered host list: seed each host's bin with
+/// the hottest unplaced rank, then keep pulling in whichever unplaced rank
+/// has the most traffic into the bin. Maximizes co-resident pair weight
+/// without solving the (NP-hard) balanced partition exactly.
+std::vector<int> grow_bins(const JobSpec& job, const mpi::TrafficMatrix& traffic,
+                           const std::vector<HostFree>& hosts) {
+  std::vector<int> rank_host(idx(job.ranks), -1);
+  std::vector<bool> placed(idx(job.ranks), false);
+  int unplaced = job.ranks;
+
+  for (const auto& host : hosts) {
+    if (unplaced == 0) break;
+    const int capacity = std::min(host.free, unplaced);
+    std::vector<int> bin;
+    for (int slot = 0; slot < capacity; ++slot) {
+      int best = -1;
+      double best_weight = -1.0;
+      for (int r = 0; r < job.ranks; ++r) {
+        if (placed[idx(r)]) continue;
+        double weight = 0.0;
+        if (bin.empty()) {
+          for (int peer = 0; peer < job.ranks; ++peer)
+            if (!placed[idx(peer)] && peer != r)
+              weight += traffic[idx(r)][idx(peer)];
+        } else {
+          for (const int member : bin) weight += traffic[idx(r)][idx(member)];
+        }
+        if (weight > best_weight) {
+          best_weight = weight;
+          best = r;
+        }
+      }
+      bin.push_back(best);
+      placed[idx(best)] = true;
+      rank_host[idx(best)] = host.host;
+      --unplaced;
+    }
+  }
+  return rank_host;
+}
+
 class LocalityAwarePlacer : public Placer {
  public:
   const char* name() const override { return "locality"; }
@@ -156,55 +200,81 @@ class LocalityAwarePlacer : public Placer {
                                  const ClusterState& state) const override {
     if (state.total_free() < job.ranks) return std::nullopt;
     const auto traffic = effective_traffic(job);
-    std::vector<int> rank_host(idx(job.ranks), -1);
-    std::vector<bool> placed(idx(job.ranks), false);
-    int unplaced = job.ranks;
-
-    // Greedy graph growing: emptiest host first, seed each bin with the
-    // hottest unplaced rank, then keep pulling in whichever unplaced rank
-    // has the most traffic into the bin. Maximizes co-resident pair weight
-    // without solving the (NP-hard) balanced partition exactly.
-    for (const auto& host : hosts_by_free(state)) {
-      if (unplaced == 0) break;
-      const int capacity = std::min(host.free, unplaced);
-      std::vector<int> bin;
-      for (int slot = 0; slot < capacity; ++slot) {
-        int best = -1;
-        double best_weight = -1.0;
-        for (int r = 0; r < job.ranks; ++r) {
-          if (placed[idx(r)]) continue;
-          double weight = 0.0;
-          if (bin.empty()) {
-            for (int peer = 0; peer < job.ranks; ++peer)
-              if (!placed[idx(peer)] && peer != r)
-                weight += traffic[idx(r)][idx(peer)];
-          } else {
-            for (const int member : bin) weight += traffic[idx(r)][idx(member)];
-          }
-          if (weight > best_weight) {
-            best_weight = weight;
-            best = r;
-          }
-        }
-        bin.push_back(best);
-        placed[idx(best)] = true;
-        rank_host[idx(best)] = host.host;
-        --unplaced;
-      }
-    }
-    return materialize(rank_host, state);
+    // Emptiest host first: fewest bins for neighbour-structured traffic.
+    return materialize(grow_bins(job, traffic, hosts_by_free(state)), state);
   }
+};
+
+class TopologyAwarePlacer : public Placer {
+ public:
+  explicit TopologyAwarePlacer(std::vector<std::vector<int>> host_hops)
+      : hops_(std::move(host_hops)) {}
+  const char* name() const override { return "topology"; }
+  std::optional<Placement> place(const JobSpec& job,
+                                 const ClusterState& state) const override {
+    if (state.total_free() < job.ranks) return std::nullopt;
+    const auto traffic = effective_traffic(job);
+    // Same bin growing as LocalityAware, but the hosts are accreted in hop
+    // proximity order instead of free-capacity order: the inter-host traffic
+    // that does remain crosses as few switches as the fabric allows.
+    return materialize(grow_bins(job, traffic, hosts_by_proximity(state)), state);
+  }
+
+ private:
+  int hop(int a, int b) const {
+    if (a == b) return 0;
+    const auto au = idx(a), bu = idx(b);
+    if (au >= hops_.size() || bu >= hops_[au].size()) return 0;
+    return hops_[au][bu];
+  }
+
+  /// Accretes the visiting order: start from the emptiest host, then
+  /// repeatedly admit the candidate with the smallest total hop distance to
+  /// the hosts already chosen (ties: more free cores, then lower id). The
+  /// whole pool is ordered, so a capacity shortfall never strands a rank.
+  std::vector<HostFree> hosts_by_proximity(const ClusterState& state) const {
+    std::vector<HostFree> pool = hosts_by_free(state);
+    if (hops_.empty() || pool.size() <= 1) return pool;
+
+    std::vector<HostFree> chosen;
+    chosen.reserve(pool.size());
+    chosen.push_back(pool.front());
+    pool.erase(pool.begin());
+
+    while (!pool.empty()) {
+      std::size_t best = 0;
+      long best_dist = -1;
+      for (std::size_t c = 0; c < pool.size(); ++c) {
+        long dist = 0;
+        for (const auto& h : chosen) dist += hop(pool[c].host, h.host);
+        if (best_dist < 0 || dist < best_dist ||
+            (dist == best_dist && pool[c].free > pool[best].free) ||
+            (dist == best_dist && pool[c].free == pool[best].free &&
+             pool[c].host < pool[best].host))
+          best_dist = dist, best = c;
+      }
+      chosen.push_back(pool[best]);
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(best));
+    }
+    return chosen;
+  }
+
+  std::vector<std::vector<int>> hops_;
 };
 
 }  // namespace
 
-std::unique_ptr<Placer> make_placer(PlacementPolicy policy, std::uint64_t seed) {
+std::unique_ptr<Placer> make_placer(PlacementPolicy policy, std::uint64_t seed,
+                                    const std::vector<std::vector<int>>* host_hops) {
   switch (policy) {
     case PlacementPolicy::Packed: return std::make_unique<PackedPlacer>();
     case PlacementPolicy::Spread: return std::make_unique<SpreadPlacer>();
     case PlacementPolicy::Random: return std::make_unique<RandomPlacer>(seed);
     case PlacementPolicy::LocalityAware:
       return std::make_unique<LocalityAwarePlacer>();
+    case PlacementPolicy::TopologyAware:
+      return std::make_unique<TopologyAwarePlacer>(
+          host_hops ? *host_hops : std::vector<std::vector<int>>{});
   }
   CBMPI_REQUIRE(false, "unknown placement policy");
 }

@@ -17,6 +17,12 @@
 //                     matrix, e.g. out of a prior prof run): maximizes the
 //                     traffic weight kept co-resident under the current free
 //                     core distribution.
+//   * TopologyAware — LocalityAware's rank grouping over a host set chosen
+//                     by fabric proximity: hosts are accreted in hop-distance
+//                     order (same edge switch, then same pod, then cross-pod),
+//                     minimizing the expected hop-weighted traffic the fabric
+//                     model charges for. Needs the scheduler's host hop
+//                     matrix; without one it degrades to LocalityAware.
 //
 // A placement maps onto the runtime as one container per `ranks_per_container`
 // chunk per host with an explicit disjoint cpuset — i.e. placers ultimately
@@ -33,8 +39,8 @@
 
 namespace cbmpi::sched {
 
-/// The four placement strategies described above.
-enum class PlacementPolicy { Packed, Spread, Random, LocalityAware };
+/// The five placement strategies described above.
+enum class PlacementPolicy { Packed, Spread, Random, LocalityAware, TopologyAware };
 
 /// Lower-case CLI token for the policy ("packed", "locality", ...).
 const char* to_string(PlacementPolicy policy);
@@ -71,7 +77,13 @@ class Placer {
 
 /// Factory: the Placer implementing `policy`. `seed` only matters for
 /// Random (and ties in LocalityAware); same seed, same placements.
-std::unique_ptr<Placer> make_placer(PlacementPolicy policy, std::uint64_t seed);
+/// `host_hops` — fabric hop distance between every physical host pair
+/// (net::Topology::hops) — is consumed by TopologyAware, which copies it;
+/// other policies ignore it. TopologyAware without a matrix behaves like
+/// LocalityAware.
+std::unique_ptr<Placer> make_placer(
+    PlacementPolicy policy, std::uint64_t seed,
+    const std::vector<std::vector<int>>* host_hops = nullptr);
 
 /// The job's effective communication-volume hint: the spec's explicit matrix
 /// when present, else the body's registry hint.

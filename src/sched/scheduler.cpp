@@ -7,18 +7,56 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "net/topology.hpp"
 
 namespace cbmpi::sched {
 
 namespace {
 constexpr Micros kNever = std::numeric_limits<Micros>::infinity();
+
+/// Pairwise host hop distances under the cluster's fabric. TopologyAware
+/// needs a matrix even when the contention model is off, so an unset config
+/// assumes the smallest fat-tree holding the cluster — the shape a locality
+/// placer should be optimizing for anyway.
+std::vector<std::vector<int>> host_hop_matrix(const SchedulerConfig& config) {
+  const int hosts = config.cluster_hosts;
+  if (hosts <= 0) return {};  // ctor body rejects this config right after
+  net::Topology topo;
+  if (config.fabric.model == net::FabricModel::Flat) {
+    topo = net::Topology::flat(hosts, 1.0, 0.0, 0.0);
+  } else {
+    int arity = net::Topology::min_arity_for(hosts);
+    if (config.fabric.model == net::FabricModel::FatTree) {
+      CBMPI_REQUIRE(config.fabric.arity >= arity, "fat-tree arity ",
+                    config.fabric.arity, " holds fewer than ", hosts,
+                    " hosts; need at least ", arity);
+      arity = config.fabric.arity;
+    }
+    topo = net::Topology::fattree(arity, hosts, 1.0, 0.0, 0.0);
+  }
+  std::vector<std::vector<int>> hops(static_cast<std::size_t>(hosts),
+                                     std::vector<int>(static_cast<std::size_t>(hosts), 0));
+  for (int a = 0; a < hosts; ++a)
+    for (int b = 0; b < hosts; ++b)
+      hops[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
+          topo.hops(a, b);
+  return hops;
 }
+
+std::unique_ptr<Placer> build_placer(const SchedulerConfig& config) {
+  if (config.policy != PlacementPolicy::TopologyAware)
+    return make_placer(config.policy, config.seed);
+  const auto hops = host_hop_matrix(config);
+  return make_placer(config.policy, config.seed, &hops);
+}
+
+}  // namespace
 
 Scheduler::Scheduler(SchedulerConfig config)
     : config_(config),
       cluster_(config.cluster_hosts, config.host_shape),
       state_(cluster_),
-      placer_(make_placer(config.policy, config.seed)),
+      placer_(build_placer(config)),
       host_crashes_(static_cast<std::size_t>(config.cluster_hosts), 0) {
   CBMPI_REQUIRE(config.cluster_hosts > 0, "scheduler needs at least one host");
   CBMPI_REQUIRE(config.max_restarts >= 0, "max_restarts must be >= 0");
@@ -83,6 +121,11 @@ bool Scheduler::try_start(const JobSpec& job, Micros now, bool backfilled) {
                                        : config_.checkpoint_interval;
   job_config.restore = job.restore;
   job_config.physical_hosts.assign(record.hosts.begin(), record.hosts.end());
+  // Every job sees the whole cluster's fabric, not just the hosts it spans:
+  // hop counts and link shares depend on where the placement landed.
+  job_config.fabric = config_.fabric;
+  if (job_config.fabric.enabled() && job_config.fabric.hosts == 0)
+    job_config.fabric.hosts = config_.cluster_hosts;
   if (job_config.faults.host_crash_prob > 0.0 &&
       job_config.faults.host_fault_seed == 0)
     job_config.faults.host_fault_seed = config_.seed;

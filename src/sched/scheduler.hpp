@@ -13,6 +13,7 @@
 #include <functional>
 #include <vector>
 
+#include "net/fabric.hpp"
 #include "obs/metrics.hpp"
 #include "sched/cluster_state.hpp"
 #include "sched/job.hpp"
@@ -31,6 +32,12 @@ struct SchedulerConfig {
   std::uint64_t seed = 42;       ///< root of every placement / job seed
   fabric::TuningParams tuning{};             ///< forwarded to every job
   topo::MachineProfile profile = topo::MachineProfile::chameleon_fdr();
+
+  /// Fabric model shared by every job (spans the whole cluster, not just the
+  /// hosts a job lands on). Also feeds the TopologyAware placer's hop matrix;
+  /// with the model off, TopologyAware assumes the smallest fat-tree that
+  /// holds cluster_hosts.
+  net::FabricConfig fabric{};
 
   // --- crash recovery ------------------------------------------------------
   /// Requeue budget: a crashed job is resubmitted up to this many times

@@ -17,6 +17,7 @@ const char* to_string(TraceKind kind) {
     case TraceKind::Retry: return "retry";
     case TraceKind::Degrade: return "degrade";
     case TraceKind::CollAlgo: return "coll-algo";
+    case TraceKind::NetCongest: return "net-congest";
   }
   return "?";
 }

@@ -29,6 +29,7 @@ enum class TraceKind : std::uint8_t {
   Retry,        ///< a transfer attempt was retried after a transient fault
   Degrade,      ///< a fallback decision (locality or channel) was taken
   CollAlgo,     ///< a collective resolved to an algorithm ("bcast/binomial")
+  NetCongest,   ///< a fabric transfer was slowed by link contention
 };
 
 const char* to_string(TraceKind kind);

@@ -28,6 +28,7 @@
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "mpi/runtime.hpp"
+#include "net/fabric.hpp"
 #include "obs/report.hpp"
 #include "sched/scheduler.hpp"
 
@@ -58,6 +59,13 @@ void write_text_file(const std::string& path, const std::string& text) {
 /// Observability outputs common to every single-job launch: the run report,
 /// the Perfetto trace, and the human metrics summary.
 void emit_outputs(const LaunchPlan& plan, const mpi::JobResult& result) {
+  if (result.net.enabled)
+    std::printf("fabric %s: %llu inter-host transfers, %llu congested, max "
+                "slowdown x%.2f, peak link util %.0f%%\n",
+                net::to_string(result.net.model),
+                static_cast<unsigned long long>(result.net.transfers),
+                static_cast<unsigned long long>(result.net.congested_transfers),
+                result.net.max_factor, result.net.max_peak_util * 100.0);
   obs::ReportContext ctx;
   ctx.app = plan.app;
   ctx.deployment = plan.config.deployment.label();
@@ -84,7 +92,9 @@ int run_graph500(const LaunchPlan& plan) {
     for (const auto root : roots) {
       const auto bfs = apps::graph500::run_bfs(p, graph, root);
       const auto report = apps::graph500::validate_bfs(p, graph, bfs);
-      if (p.rank() == 0) {
+      // The fabric model's record pass runs the body twice; only the apply
+      // pass's lines should reach the terminal.
+      if (p.rank() == 0 && !p.fabric_probe()) {
         std::printf("BFS root %llu: %llu vertices, %d levels, %.3f ms — %s\n",
                     static_cast<unsigned long long>(root),
                     static_cast<unsigned long long>(bfs.visited), bfs.levels,
@@ -172,12 +182,13 @@ struct RecoveryOptions {
 /// cluster scheduler and report the per-job schedule plus cluster metrics.
 int run_schedule(const std::string& policy_name, int hosts, int jobs,
                  bool backfill, std::uint64_t seed,
-                 const std::string& report_file, const RecoveryOptions& rec) {
+                 const std::string& report_file, const RecoveryOptions& rec,
+                 const net::FabricConfig& fabric) {
   const auto policy = sched::parse_policy(policy_name);
   if (!policy) {
     std::fprintf(stderr,
                  "unknown --schedule policy '%s'; use packed | spread | "
-                 "random | locality\n",
+                 "random | locality | topology\n",
                  policy_name.c_str());
     return 2;
   }
@@ -190,6 +201,7 @@ int run_schedule(const std::string& policy_name, int hosts, int jobs,
   config.checkpoint_interval = rec.checkpoint_interval;
   config.max_restarts = rec.max_restarts;
   config.blacklist_threshold = rec.blacklist_threshold;
+  config.fabric = fabric;
   sched::Scheduler scheduler(config);
 
   const int cores = hosts * config.host_shape.total_cores();
@@ -314,6 +326,14 @@ int main(int argc, char** argv) {
   const bool flat = opts.get_flag("flat-collectives", "disable 2-level collectives");
   const std::string tuning_file = opts.get(
       "tuning", "", "collective tuning file (see DESIGN.md §11 for the format)");
+  const std::string fabric_spec = opts.get(
+      "fabric", "ideal",
+      "fabric model: ideal | flat | fattree[:k] (DESIGN.md §14)");
+  const double link_bw = opts.get_double(
+      "link-bw", 0.0, "fabric per-link bandwidth in Gb/s, 0 = profile default");
+  const int vf_limit = static_cast<int>(opts.get_int(
+      "vf-limit", 0,
+      "SR-IOV VFs one host HCA schedules at full weight, 0 = unlimited"));
   plan.scale = static_cast<int>(opts.get_int("scale", 13, "graph500 scale"));
   plan.message_size = static_cast<Bytes>(
       opts.get_int("message-size", 1024, "osu-* message size in bytes"));
@@ -327,7 +347,7 @@ int main(int argc, char** argv) {
       "trace-out", "", "write a Perfetto/chrome://tracing JSON to this file");
   const std::string schedule = opts.get(
       "schedule", "",
-      "multi-job mode: packed | spread | random | locality placement");
+      "multi-job mode: packed | spread | random | locality | topology placement");
   const int jobs =
       static_cast<int>(opts.get_int("jobs", 12, "jobs to schedule (--schedule)"));
   const bool no_backfill =
@@ -349,9 +369,20 @@ int main(int argc, char** argv) {
                   "container/VM cluster"))
     return 0;
 
+  net::FabricConfig fabric;
+  try {
+    fabric = net::FabricConfig::parse(fabric_spec);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "cbmpirun: %s\n", e.what());
+    return 2;
+  }
+  fabric.link_bw_gbps = link_bw;
+  fabric.vf_limit = vf_limit;
+  plan.config.fabric = fabric;
+
   if (!schedule.empty())
     return run_schedule(schedule, std::max(hosts, 2), jobs, !no_backfill,
-                        plan.config.seed, plan.report_file, rec);
+                        plan.config.seed, plan.report_file, rec, fabric);
 
   // Observability costs nothing in virtual time, so any output flag simply
   // switches it on; --trace-out additionally records the instant events.

@@ -7,6 +7,8 @@ report:
   * schema/version header and the section keys DESIGN.md §12 promises
   * v2 recovery section: checkpoint events monotone in virtual time and
     round, restarts <= crashes, recovery counters non-negative
+  * v3 net section (when present): utilizations in [0, 1] with mean <= peak,
+    hop histogram sums to the transfer count, congested <= transfers
   * comm_fraction and every other fraction in [0, 1]
   * histogram bucket counts sum to the histogram's count, bucket upper
     bounds strictly ascending, sum consistent with the bucket ranges
@@ -161,6 +163,40 @@ def check_report(path):
 
     if doc.get("version", 0) >= 2:
         check_recovery(path, doc.get("recovery", {}))
+    if doc.get("version", 0) >= 3 and "net" in doc:
+        check_net(path, doc["net"])
+
+
+def check_net(path, net):
+    """v3 net section: emitted only for non-Ideal fabric runs. Utilizations
+    are fractions of link capacity, the hop histogram partitions the recorded
+    transfers, and congested transfers are a subset of all transfers."""
+    transfers = net.get("transfers", 0)
+    congested = net.get("congested_transfers", 0)
+    if congested < 0 or congested > transfers:
+        problem(path, f"net: congested_transfers {congested} outside "
+                      f"[0, transfers={transfers}]")
+    if net.get("max_factor", 1.0) < 1.0:
+        problem(path, f"net: max_factor {net.get('max_factor')!r} < 1")
+    check_fraction(path, "net.max_peak_util", net.get("max_peak_util", -1))
+    check_fraction(path, "net.mean_util", net.get("mean_util", -1))
+    hops = net.get("hop_histogram", [])
+    if sum(hops) != transfers:
+        problem(path, f"net: hop_histogram sums to {sum(hops)}, "
+                      f"transfers says {transfers}")
+    if any(h < 0 for h in hops):
+        problem(path, "net: negative hop_histogram bucket")
+    for link in net.get("link_utils", []):
+        lid = link.get("link", "?")
+        check_fraction(path, f"net.link_utils[{lid}].peak",
+                       link.get("peak", -1))
+        check_fraction(path, f"net.link_utils[{lid}].mean",
+                       link.get("mean", -1))
+        if link.get("mean", 0) > link.get("peak", 0) + 1e-9:
+            problem(path, f"net: link {lid} mean util exceeds peak")
+    links = net.get("links", 0)
+    if len(net.get("link_utils", [])) > links:
+        problem(path, f"net: more link_utils rows than links={links}")
 
 
 def check_recovery(path, recovery):
