@@ -1,6 +1,7 @@
 #include "common/table.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -14,6 +15,30 @@ std::string format_size(Bytes n) {
   if (n >= 1_MiB && n % 1_MiB == 0) return std::to_string(n / 1_MiB) + "M";
   if (n >= 1_KiB && n % 1_KiB == 0) return std::to_string(n / 1_KiB) + "K";
   return std::to_string(n);
+}
+
+Bytes parse_size(const std::string& text) {
+  std::size_t i = 0;
+  while (i < text.size() && text[i] >= '0' && text[i] <= '9') ++i;
+  CBMPI_REQUIRE(i > 0, "size '", text, "' does not start with digits");
+  const Bytes value = std::stoull(text.substr(0, i));
+  std::string suffix = text.substr(i);
+  for (auto& c : suffix) c = static_cast<char>(std::tolower(c));
+  Bytes unit = 1;
+  if (!suffix.empty()) {
+    switch (suffix[0]) {
+      case 'k': unit = 1_KiB; break;
+      case 'm': unit = 1_MiB; break;
+      case 'g': unit = 1_GiB; break;
+      default: CBMPI_REQUIRE(false, "size '", text, "': unknown suffix '", suffix, "'");
+    }
+    const std::string tail = suffix.substr(1);
+    CBMPI_REQUIRE(tail.empty() || tail == "b" || tail == "ib",
+                  "size '", text, "': unknown suffix '", suffix, "'");
+  }
+  CBMPI_REQUIRE(unit == 1 || value <= ~Bytes{0} / unit, "size '", text,
+                "' overflows");
+  return value * unit;
 }
 
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {

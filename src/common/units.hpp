@@ -37,4 +37,9 @@ inline constexpr double to_seconds(Micros us) { return us / 1e6; }
 /// Human-readable size, e.g. "8K", "1M", "64", used in bench tables.
 std::string format_size(Bytes n);
 
+/// Parses a size string: a decimal byte count with an optional K/M/G
+/// binary-power suffix (case-insensitive, "iB"/"B" tails accepted), e.g.
+/// "64M", "17k", "512KiB", "1048576". Throws Error on anything else.
+Bytes parse_size(const std::string& text);
+
 }  // namespace cbmpi

@@ -19,6 +19,26 @@ struct EagerCosts {
   Micros receiver = 0.0;
 };
 
+/// Explicit memory-registration (pin-down) cost of one buffer, charged on
+/// the HCA rendezvous path when the registration model is on.
+struct RegCosts {
+  Micros reg = 0.0;    ///< ibv_reg_mr: fixed base + size / pinning bandwidth
+  Micros dereg = 0.0;  ///< ibv_dereg_mr: cheaper, same shape
+};
+
+/// Registration plan of one rendezvous transfer under the pin-down model:
+/// each endpoint's cache outcome, resolved against the pin-down cache before
+/// the timeline is computed. A cache hit skips registration entirely; a miss
+/// pins the buffer chunk by chunk, overlapped with the RDMA pipeline.
+struct RegPlan {
+  bool sender_hit = false;
+  bool receiver_hit = false;
+  /// Dereg work that precedes each side's chunk-0 registration (LRU victims
+  /// evicted to make room, transient unpin of oversized buffers).
+  Micros sender_extra = 0.0;
+  Micros receiver_extra = 0.0;
+};
+
 /// Completion times of one rendezvous transfer, computed at match time from
 /// the RTS send time and the receiver-side match time.
 struct RndvTimes {
@@ -31,6 +51,12 @@ struct RndvTimes {
   /// When the sender starts injecting the payload (CTS received, descriptor
   /// posted). The fabric model records the flow from this instant.
   Micros inject_begin = 0.0;
+  /// Registration model only (all zero when off): the receiver-side chunk-0
+  /// pin window — it delays the CTS, so it sits on the critical path — and
+  /// the total registration time that survived pipelining.
+  Micros recv_reg_begin = 0.0;
+  Micros recv_reg_end = 0.0;
+  Micros reg_stall = 0.0;
 };
 
 /// Cost of one pipelined one-sided op (put/get) within an epoch.

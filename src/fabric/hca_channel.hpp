@@ -18,11 +18,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <utility>
+#include <vector>
 
 #include "fabric/channel_costs.hpp"
+#include "fabric/reg_cache.hpp"
 #include "fabric/tuning.hpp"
 #include "net/fabric.hpp"
 #include "topo/calibration.hpp"
@@ -65,8 +68,45 @@ class HcaChannel {
                        bool sriov = false,
                        const net::TransferCtx* ctx = nullptr) const;
 
+  /// Registration-model rendezvous: both endpoints pin their buffers per
+  /// `reg`, chunked at TuningParams::rndv_chunk so registration of chunk
+  /// k+1 overlaps the RDMA of chunk k. The receiver's chunk-0 pin delays
+  /// the CTS; the sender's overlaps the handshake. Falls back to the plain
+  /// overload bit-identically when the model is off.
+  RndvTimes rndv_times(Bytes size, bool loopback, Micros rts_sent_at,
+                       Micros posted_at, Micros busy_until, bool sriov,
+                       const net::TransferCtx* ctx, const RegPlan& reg) const;
+
   OneSidedCosts one_sided_costs(Bytes size, bool loopback, bool sriov = false,
                                 const net::TransferCtx* ctx = nullptr) const;
+
+  /// --- pin-down registration model (TuningParams::reg_model) --------------
+
+  bool reg_model() const { return tuning_.reg_model; }
+
+  /// Creates the per-rank pin-down cache; the runtime calls it once before
+  /// rank threads start, with capacities already scaled by each host's
+  /// SR-IOV VF share. No-op cost-wise when the model is off.
+  void init_reg_cache(std::vector<Bytes> per_rank_capacity);
+
+  /// Explicit reg/dereg cost of pinning `size` bytes (profile terms scaled
+  /// by TuningParams::reg_cost_scale).
+  RegCosts reg_costs(Bytes size) const;
+
+  /// Cache consultation for one endpoint of a rendezvous: mutates `rank`'s
+  /// shard (only that rank's thread may call it) and converts any eviction
+  /// or transient-unpin work into a virtual-time charge for the RegPlan.
+  struct RegLookup {
+    bool hit = false;
+    std::uint64_t evictions = 0;
+    Micros extra = 0.0;  ///< dereg time folded into the reg window
+  };
+  RegLookup reg_lookup(int rank, std::uint64_t buffer_id, Bytes size);
+
+  const RegistrationCache* reg_cache() const { return reg_cache_.get(); }
+
+  /// Job-level outcome; `enabled` is false when the model is off.
+  RegCacheStats reg_cache_stats() const;
 
   /// One-way latency of a header-only control message.
   Micros control_latency(bool loopback) const;
@@ -87,6 +127,7 @@ class HcaChannel {
   TuningParams tuning_;
   const net::Fabric* fabric_ = nullptr;
   const net::CongestionMap* congestion_ = nullptr;
+  std::unique_ptr<RegistrationCache> reg_cache_;
 
   mutable std::mutex mutex_;
   std::set<std::pair<int, int>> queue_pairs_;

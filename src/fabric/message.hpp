@@ -106,6 +106,12 @@ struct Envelope {
   /// Eager only: receiver-side completion cost, precomputed by the sender.
   Micros receiver_cost = 0.0;
 
+  /// HCA rendezvous under TuningParams::reg_model: outcome of the sender's
+  /// pin-down-cache lookup, performed at RTS time and consumed by the
+  /// receiver when it builds the RegPlan at match time.
+  bool reg_sender_hit = false;
+  Micros reg_sender_extra = 0.0;  ///< sender-side eviction/unpin charge
+
   /// Eager: virtual time at which the payload is available receiver-side.
   /// Rendezvous: virtual time at which the RTS arrives.
   Micros available_at = 0.0;

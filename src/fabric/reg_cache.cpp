@@ -1,0 +1,87 @@
+#include "fabric/reg_cache.hpp"
+
+#include "common/error.hpp"
+
+namespace cbmpi::fabric {
+
+RegistrationCache::RegistrationCache(std::vector<Bytes> per_rank_capacity) {
+  shards_.resize(per_rank_capacity.size());
+  for (std::size_t r = 0; r < shards_.size(); ++r)
+    shards_[r].capacity = per_rank_capacity[r];
+}
+
+void RegistrationCache::evict_lru(Shard& shard, Lookup& out) {
+  CBMPI_REQUIRE(!shard.lru.empty(), "reg cache eviction from an empty shard");
+  const Entry victim = shard.lru.back();
+  shard.lru.pop_back();
+  shard.index.erase(victim.id);
+  shard.pinned -= victim.bytes;
+  ++shard.evictions;
+  ++out.evictions;
+  out.evicted_bytes += victim.bytes;
+}
+
+RegistrationCache::Lookup RegistrationCache::lookup(int rank,
+                                                    std::uint64_t buffer_id,
+                                                    Bytes bytes) {
+  auto& shard = shards_.at(static_cast<std::size_t>(rank));
+  Lookup out;
+
+  if (const auto it = shard.index.find(buffer_id); it != shard.index.end()) {
+    if (it->second->bytes >= bytes) {
+      // The pinned region covers the request: pure hit, refresh recency.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      ++shard.hits;
+      out.hit = true;
+      return out;
+    }
+    // The buffer grew past its pinned region: the old registration is
+    // useless — deregister it and fall through to the miss path.
+    shard.pinned -= it->second->bytes;
+    out.evicted_bytes += it->second->bytes;
+    ++out.evictions;
+    ++shard.evictions;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+  }
+
+  ++shard.misses;
+  out.registered = bytes;
+  shard.registered += bytes;
+  if (bytes > shard.capacity) {
+    // Larger than the whole budget: registered for this transfer only and
+    // unpinned right after — the real stacks' uncachable path.
+    out.cached = false;
+    return out;
+  }
+  while (shard.pinned + bytes > shard.capacity) evict_lru(shard, out);
+  shard.lru.push_front(Entry{buffer_id, bytes});
+  shard.index.emplace(buffer_id, shard.lru.begin());
+  shard.pinned += bytes;
+  if (shard.pinned > shard.peak) shard.peak = shard.pinned;
+  return out;
+}
+
+Bytes RegistrationCache::pinned(int rank) const {
+  return shards_.at(static_cast<std::size_t>(rank)).pinned;
+}
+
+Bytes RegistrationCache::capacity(int rank) const {
+  return shards_.at(static_cast<std::size_t>(rank)).capacity;
+}
+
+RegCacheStats RegistrationCache::stats() const {
+  RegCacheStats stats;
+  for (const auto& shard : shards_) {
+    stats.capacity_bytes += shard.capacity;
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.evictions += shard.evictions;
+    stats.pinned_bytes += shard.pinned;
+    stats.peak_pinned_bytes += shard.peak;
+    stats.registered_bytes += shard.registered;
+  }
+  return stats;
+}
+
+}  // namespace cbmpi::fabric

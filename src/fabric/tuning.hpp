@@ -42,6 +42,33 @@ struct TuningParams {
   /// to Rabenseifner's reduce-scatter + allgather scheme.
   Bytes allreduce_large_threshold = 32_KiB;
 
+  /// Pin-down (memory-registration) model for the HCA rendezvous path. Off
+  /// by default: buffer registration costs nothing and the rendezvous math
+  /// is bit-identical to the pre-cache model. When on, every rendezvous
+  /// endpoint must have its buffer registered — reg/dereg costs come from
+  /// the MachineProfile's hca_reg_* terms — and an LRU pin-down cache of
+  /// `reg_cache_bytes` pinned capacity per rank amortizes them across
+  /// reuses (mirrors MV2_USE_LAZY_MEM_UNREGISTER). Eager transfers stay
+  /// copy-based and unregistered, so the eager threshold then trades copy
+  /// cost against pin-down cost exactly as in the real stack.
+  bool reg_model = false;
+
+  /// Per-rank pinned-bytes capacity of the registration cache. 0 keeps the
+  /// model on but caches nothing: every rendezvous registers and
+  /// deregisters its buffer (the cold-cache baseline). Hosts that
+  /// over-commit SR-IOV VFs shrink each rank's share by the fabric's
+  /// vf_share weight.
+  Bytes reg_cache_bytes = 64_MiB;
+
+  /// Scale factor on the modeled reg/dereg costs (sensitivity sweeps).
+  double reg_cost_scale = 1.0;
+
+  /// Pipelined rendezvous chunk: registration of chunk k+1 overlaps the
+  /// RDMA of chunk k (MV2_RNDV_CHUNK analogue). Set it at or above the
+  /// message size to force serial register-then-send. Only consulted under
+  /// the registration model.
+  Bytes rndv_chunk = 512_KiB;
+
   /// Fault recovery: how many times an HCA transfer is retried after a
   /// transient send/completion failure before the rank aborts. Retry i
   /// backs off hca_retry_backoff * hca_retry_backoff_factor^i (plus

@@ -33,7 +33,17 @@ Adi3Engine::Adi3Engine(JobState& job, int world_rank, osl::SimProcess& proc)
           fabric::to_string(static_cast<fabric::ChannelKind>(c)) + ".ops");
     obs_.msg_size = &job.metrics->histogram("adi3.message_bytes");
     obs_.recv_latency = &job.metrics->histogram("adi3.recv_latency_us");
+    if (job.tuning.reg_model) {
+      obs_.reg_hits = &job.metrics->counter("hca.reg_cache.hits");
+      obs_.reg_misses = &job.metrics->counter("hca.reg_cache.misses");
+      obs_.reg_evictions = &job.metrics->counter("hca.reg_cache.evictions");
+    }
   }
+}
+
+std::uint64_t Adi3Engine::reg_buffer_id(const void* base) {
+  return reg_buffer_ids_.try_emplace(base, reg_buffer_ids_.size())
+      .first->second;
 }
 
 std::uint64_t Adi3Engine::queue_pair_key(int dst_world) const {
@@ -148,6 +158,18 @@ Request Adi3Engine::start_send(std::span<const std::byte> data, int dst_world, i
   // Rendezvous: post the RTS carrying a view of the user buffer; the
   // receiver performs the transfer and reports our completion time back.
   clock().advance(kRtsPostOverhead);
+  if (decision.channel == fabric::ChannelKind::Hca && job_->hca->reg_model()) {
+    // Sender-side pin-down lookup at RTS time. The pin itself overlaps the
+    // CTS handshake inside rndv_times; only the outcome rides the envelope.
+    const auto look =
+        job_->hca->reg_lookup(rank_, reg_buffer_id(data.data()), size);
+    env.reg_sender_hit = look.hit;
+    env.reg_sender_extra = look.extra;
+    if (obs_.reg_hits != nullptr) {
+      (look.hit ? obs_.reg_hits : obs_.reg_misses)->add(1);
+      if (look.evictions > 0) obs_.reg_evictions->add(look.evictions);
+    }
+  }
   auto rndv = std::make_shared<fabric::RndvState>(data, proc_, clock().now());
   env.available_at = clock().now();
   env.rndv = rndv;
@@ -293,9 +315,33 @@ void Adi3Engine::complete_rendezvous(RequestState& request, fabric::Envelope& en
     case fabric::ChannelKind::Hca: {
       net::TransferCtx ctx;
       const auto* ctxp = fabric_ctx(env.src, rank_, env.seq, env.loopback, ctx);
-      times = job_->hca->rndv_times(env.size, env.loopback, env.available_at,
-                                    request.posted_at, recv_busy_until_, env.sriov,
-                                    ctxp);
+      if (job_->hca->reg_model()) {
+        fabric::RegPlan plan;
+        plan.sender_hit = env.reg_sender_hit;
+        plan.sender_extra = env.reg_sender_extra;
+        const auto look =
+            job_->hca->reg_lookup(rank_, reg_buffer_id(dst.data()), env.size);
+        plan.receiver_hit = look.hit;
+        plan.receiver_extra = look.extra;
+        if (obs_.reg_hits != nullptr) {
+          (look.hit ? obs_.reg_hits : obs_.reg_misses)->add(1);
+          if (look.evictions > 0) obs_.reg_evictions->add(look.evictions);
+        }
+        times = job_->hca->rndv_times(env.size, env.loopback, env.available_at,
+                                      request.posted_at, recv_busy_until_,
+                                      env.sriov, ctxp, plan);
+        if (job_->spans)
+          // Receiver-side pin window: it gates the CTS, so it renders right
+          // at the front of the enclosing "rndv" span.
+          job_->spans->record({"rndv-reg", obs::SpanCat::Proto, rank_, env.src,
+                               static_cast<int>(env.channel), env.size,
+                               times.recv_reg_begin, times.recv_reg_end,
+                               look.hit ? "hit" : "miss"});
+      } else {
+        times = job_->hca->rndv_times(env.size, env.loopback, env.available_at,
+                                      request.posted_at, recv_busy_until_,
+                                      env.sriov, ctxp);
+      }
       if (ctxp != nullptr && job_->net_log != nullptr)
         job_->net_log->record({ctx.key, ctx.src_host, ctx.dst_host, env.size,
                                times.inject_begin, env.sriov});

@@ -18,6 +18,8 @@
 // happens to run), which keeps results reproducible.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <optional>
 #include <span>
 #include <vector>
@@ -128,8 +130,19 @@ class Adi3Engine {
     /// microseconds. Derived from virtual timestamps only — never from queue
     /// occupancy, which depends on wall-clock drain order.
     obs::Histogram* recv_latency = nullptr;
+    /// Pin-down cache outcomes (resolved only under TuningParams::reg_model,
+    /// so reports without the model stay byte-identical).
+    obs::Counter* reg_hits = nullptr;
+    obs::Counter* reg_misses = nullptr;
+    obs::Counter* reg_evictions = nullptr;
   };
   ObsHandles obs_;
+
+  /// Stable per-rank buffer identity for the pin-down cache: ids are handed
+  /// out in this rank's first-use order, a deterministic function of the
+  /// rank's program — never of pointer values or thread scheduling.
+  std::uint64_t reg_buffer_id(const void* base);
+  std::map<const void*, std::uint64_t> reg_buffer_ids_;
 
   std::uint64_t next_seq_ = 0;
   std::vector<Request> posted_;

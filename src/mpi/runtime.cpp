@@ -140,6 +140,10 @@ void validate_config(const JobConfig& config) {
   CBMPI_REQUIRE(tuning.hca_retry_backoff_factor >= 1.0,
                 "hca_retry_backoff_factor must be >= 1, got ",
                 tuning.hca_retry_backoff_factor);
+  CBMPI_REQUIRE(tuning.rndv_chunk > 0,
+                "rndv_chunk must be positive, got ", tuning.rndv_chunk);
+  CBMPI_REQUIRE(tuning.reg_cost_scale >= 0.0,
+                "reg_cost_scale must be >= 0, got ", tuning.reg_cost_scale);
 }
 
 /// Joins every started rank thread on scope exit. If thread startup itself
@@ -360,6 +364,22 @@ JobResult run_job_attempt(const JobConfig& config,
     else
       job.net_log = &net->log;
     job.hca->attach_fabric(job.fabric, job.congestion);
+  }
+
+  // --- pin-down registration cache -----------------------------------------
+  if (config.tuning.reg_model) {
+    // Per-rank pinned budget. On an over-committed SR-IOV host every VF gets
+    // only its share of the HCA's registration resources, so the budget
+    // shrinks by the same vf_share factor that caps the VF's bandwidth.
+    std::vector<Bytes> capacity(static_cast<std::size_t>(nranks),
+                                config.tuning.reg_cache_bytes);
+    if (job.fabric != nullptr)
+      for (int r = 0; r < nranks; ++r)
+        capacity[static_cast<std::size_t>(r)] = static_cast<Bytes>(
+            static_cast<double>(config.tuning.reg_cache_bytes) *
+            job.fabric->vf_share(
+                job.rank_phys_host[static_cast<std::size_t>(r)]));
+    job.hca->init_reg_cache(std::move(capacity));
   }
   if (inject) {
     job.faults = &injector;
@@ -667,6 +687,7 @@ JobResult run_job_attempt(const JobConfig& config,
     result.profile.merge_rank(job.rank_profiles[static_cast<std::size_t>(r)]);
   }
   result.hca_queue_pairs = job.hca->queue_pairs();
+  result.reg_cache = job.hca->reg_cache_stats();
   if (config.record_trace) result.trace = recorder.events();
   result.fault_report = fault_log.finalize();
   if (checkpoint_store) {
@@ -685,6 +706,12 @@ JobResult run_job_attempt(const JobConfig& config,
         metrics_registry.gauge("recovery.last_checkpoint_us")
             .set(result.checkpoints.back().at);
       if (result.restored) metrics_registry.counter("recovery.restarts").add(1);
+    }
+    if (result.reg_cache.enabled) {
+      metrics_registry.gauge("hca.reg_cache.pinned_bytes")
+          .set(static_cast<double>(result.reg_cache.pinned_bytes));
+      metrics_registry.gauge("hca.reg_cache.peak_pinned_bytes")
+          .set(static_cast<double>(result.reg_cache.peak_pinned_bytes));
     }
     // Job-level summary gauges ride in the same registry the engines fed,
     // so one snapshot carries everything.

@@ -19,6 +19,7 @@
 
 #include "common/rng.hpp"
 #include "container/deployment.hpp"
+#include "fabric/reg_cache.hpp"
 #include "fabric/selector.hpp"
 #include "faults/fault.hpp"
 #include "mpi/checkpoint.hpp"
@@ -117,6 +118,10 @@ struct JobResult {
   /// congested-transfer count, hop histogram. `net.enabled` is false under
   /// FabricModel::Ideal.
   net::NetReport net;
+
+  /// Pin-down cache outcome (report v4 "reg_cache" section). `enabled` is
+  /// false unless TuningParams::reg_model was on.
+  fabric::RegCacheStats reg_cache;
 
   /// Recovery bookkeeping (report v2 "recovery" section): checkpoints
   /// committed during this run, and what the run resumed from (if anything).

@@ -178,6 +178,18 @@ void write_net(JsonWriter& w, const net::NetReport& report) {
   w.end_object();
 }
 
+void write_reg_cache(JsonWriter& w, const fabric::RegCacheStats& stats) {
+  w.key("reg_cache").begin_object();
+  w.field("capacity_bytes", stats.capacity_bytes);
+  w.field("hits", stats.hits);
+  w.field("misses", stats.misses);
+  w.field("evictions", stats.evictions);
+  w.field("pinned_bytes", stats.pinned_bytes);
+  w.field("peak_pinned_bytes", stats.peak_pinned_bytes);
+  w.field("registered_bytes", stats.registered_bytes);
+  w.end_object();
+}
+
 void write_header(JsonWriter& w, const ReportContext& ctx, const char* mode) {
   w.field("schema", "cbmpi.run_report");
   w.field("version", std::int64_t{kRunReportVersion});
@@ -244,6 +256,7 @@ std::string run_report_json(const ReportContext& ctx, const mpi::JobResult& resu
   write_faults(w, result.fault_report);
   write_recovery(w, result);
   if (result.net.enabled) write_net(w, result.net);
+  if (result.reg_cache.enabled) write_reg_cache(w, result.reg_cache);
   if (ctx.cluster) {
     w.key("cluster");
     write_cluster_metrics(w, *ctx.cluster);

@@ -29,7 +29,10 @@ namespace cbmpi::obs {
 /// v3: adds the "net" section (fabric model, per-link peak/mean utilization,
 /// congested-transfer count, hop histogram) to single reports run under a
 /// non-Ideal fabric; absent under FabricModel::Ideal.
-inline constexpr int kRunReportVersion = 3;
+/// v4: adds the "reg_cache" section (pin-down cache capacity, hit/miss/evict
+/// counts, pinned-byte gauges) to single reports run with --reg-cache on;
+/// absent when the registration model is off.
+inline constexpr int kRunReportVersion = 4;
 
 /// What the emitter cannot read off a JobResult: how the job was launched.
 struct ReportContext {

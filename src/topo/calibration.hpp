@@ -94,6 +94,24 @@ struct MachineProfile {
   /// paper's 17 K optimum for MV2_IBA_EAGER_THRESHOLD (Fig. 7c).
   Micros hca_rndv_pipeline_residue = 0.26;
 
+  // --- memory registration (pin-down) -------------------------------------
+  /// Fixed cost of one ibv_reg_mr call (syscall + driver descriptor setup).
+  /// Only charged under the registration model (TuningParams::reg_model);
+  /// the default model treats registration as free.
+  Micros hca_reg_base = 1.2;
+  /// Page-pinning throughput: registration cost grows linearly with buffer
+  /// size. Calibrated below the FDR link rate so an unpipelined cold-cache
+  /// rendezvous pays a significant pin-down tax (the MPICH2-over-IB
+  /// observation that motivates the registration cache), while a chunked
+  /// pipeline can hide most of it behind the RDMA of the previous chunk.
+  BytesPerMicro hca_reg_bw = gb_per_s(8.0);
+  /// Fixed cost of one ibv_dereg_mr call (cache eviction, transient unpin).
+  Micros hca_dereg_base = 0.4;
+  /// Page-unpinning throughput (cheaper than pinning: no page-table walk).
+  BytesPerMicro hca_dereg_bw = gb_per_s(32.0);
+  /// Pin-down cache hit: one hash lookup instead of a reg_mr call.
+  Micros hca_reg_cache_hit = 0.05;
+
   // --- SR-IOV virtual functions (hypervisor mode) --------------------------
   /// Extra one-way latency when either endpoint reaches the HCA through an
   /// SR-IOV VF (interrupt remapping + VF doorbell path).

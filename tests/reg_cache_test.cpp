@@ -1,0 +1,265 @@
+// Pin-down (memory-registration) cache tests: LRU bookkeeping invariants of
+// fabric::RegistrationCache, analytic hit/miss accounting through the full
+// runtime, the pipelined-rendezvous speedups the model must produce, SR-IOV
+// VF capacity sharing, and the bit-identical-rerun claim with the cache
+// enabled (DESIGN.md §15).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fabric/reg_cache.hpp"
+#include "mpi/runtime.hpp"
+#include "net/fabric.hpp"
+#include "obs/report.hpp"
+
+namespace cbmpi {
+namespace {
+
+using container::DeploymentSpec;
+using fabric::RegistrationCache;
+using mpi::JobConfig;
+using mpi::run_job;
+
+// --- cache unit tests -------------------------------------------------------
+
+TEST(RegCache, LruEvictsLeastRecentlyUsed) {
+  RegistrationCache cache({1000});
+  EXPECT_FALSE(cache.lookup(0, /*buffer_id=*/0, 400).hit);
+  EXPECT_FALSE(cache.lookup(0, 1, 400).hit);
+  // Touch 0 so 1 becomes the LRU entry.
+  EXPECT_TRUE(cache.lookup(0, 0, 400).hit);
+
+  const auto third = cache.lookup(0, 2, 400);
+  EXPECT_FALSE(third.hit);
+  EXPECT_EQ(third.evictions, 1u);
+  EXPECT_EQ(third.evicted_bytes, 400u);
+
+  EXPECT_TRUE(cache.lookup(0, 0, 400).hit);   // survived
+  EXPECT_FALSE(cache.lookup(0, 1, 400).hit);  // was the victim
+}
+
+TEST(RegCache, OversizedBufferIsTransient) {
+  RegistrationCache cache({100});
+  const auto look = cache.lookup(0, 0, 200);
+  EXPECT_FALSE(look.hit);
+  EXPECT_FALSE(look.cached);
+  EXPECT_EQ(look.registered, 200u);
+  EXPECT_EQ(look.evictions, 0u);
+  EXPECT_EQ(cache.pinned(0), 0u);
+  // And it never turns into a hit.
+  EXPECT_FALSE(cache.lookup(0, 0, 200).hit);
+}
+
+TEST(RegCache, GrownBufferReRegisters) {
+  RegistrationCache cache({1000});
+  EXPECT_FALSE(cache.lookup(0, 0, 100).hit);
+  // A smaller request is covered by the standing registration...
+  EXPECT_TRUE(cache.lookup(0, 0, 50).hit);
+  // ...but a larger one invalidates it: old pin dropped, new one taken.
+  const auto grown = cache.lookup(0, 0, 300);
+  EXPECT_FALSE(grown.hit);
+  EXPECT_EQ(grown.evictions, 1u);
+  EXPECT_EQ(grown.evicted_bytes, 100u);
+  EXPECT_EQ(cache.pinned(0), 300u);
+  EXPECT_TRUE(cache.lookup(0, 0, 300).hit);
+}
+
+TEST(RegCache, PinnedNeverExceedsCapacityAndStatsAddUp) {
+  RegistrationCache cache({1000, 500});
+  for (int i = 0; i < 40; ++i) {
+    const int rank = i % 2;
+    cache.lookup(rank, static_cast<std::uint64_t>(i % 7),
+                 150u + 37u * static_cast<Bytes>(i % 5));
+    EXPECT_LE(cache.pinned(rank), cache.capacity(rank));
+  }
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 40u);
+  EXPECT_EQ(stats.capacity_bytes, 1500u);
+  EXPECT_LE(stats.pinned_bytes, stats.peak_pinned_bytes);
+  EXPECT_LE(stats.peak_pinned_bytes, stats.capacity_bytes);
+  EXPECT_LE(stats.evictions, stats.misses);
+  EXPECT_GE(stats.registered_bytes, stats.pinned_bytes);
+}
+
+// --- runtime accounting -----------------------------------------------------
+
+JobConfig pair_config(bool reg_model, Bytes cache_bytes = 64_MiB) {
+  JobConfig config;
+  config.deployment = DeploymentSpec::native_hosts(2, 1);
+  config.tuning.reg_model = reg_model;
+  config.tuning.reg_cache_bytes = cache_bytes;
+  return config;
+}
+
+void send_repeated(mpi::Process& p, Bytes bytes, int repeats) {
+  std::vector<std::uint8_t> buf(bytes);
+  for (int i = 0; i < repeats; ++i) {
+    if (p.rank() == 0)
+      p.world().send(std::span<const std::uint8_t>(buf), 1);
+    else
+      p.world().recv(std::span<std::uint8_t>(buf), 0);
+  }
+}
+
+TEST(RegCacheJob, HitMissAccountingMatchesAnalyticExpectation) {
+  // 5 rendezvous sends reusing one buffer per side: first send misses on
+  // both endpoints, the other four hit on both.
+  auto config = pair_config(true);
+  config.observe = true;
+  const auto result = run_job(config, [](mpi::Process& p) {
+    send_repeated(p, 256_KiB, 5);
+  });
+  ASSERT_TRUE(result.reg_cache.enabled);
+  EXPECT_EQ(result.reg_cache.misses, 2u);
+  EXPECT_EQ(result.reg_cache.hits, 8u);
+  EXPECT_EQ(result.reg_cache.evictions, 0u);
+  EXPECT_EQ(result.reg_cache.registered_bytes, 2u * 256_KiB);
+  EXPECT_EQ(result.reg_cache.pinned_bytes, 2u * 256_KiB);
+  EXPECT_EQ(result.reg_cache.peak_pinned_bytes, 2u * 256_KiB);
+
+  // The ADI3 counters must tell the same story as the cache's own stats.
+  std::uint64_t hits = 0, misses = 0;
+  for (const auto& [name, value] : result.metrics.counters) {
+    if (name == "hca.reg_cache.hits") hits = value;
+    if (name == "hca.reg_cache.misses") misses = value;
+  }
+  EXPECT_EQ(hits, result.reg_cache.hits);
+  EXPECT_EQ(misses, result.reg_cache.misses);
+}
+
+TEST(RegCacheJob, EvictionsUnderPinnedBytePressure) {
+  // Two 192 KiB buffers alternating through a 256 KiB budget: only one fits
+  // at a time, so every reuse re-registers after evicting the other.
+  auto config = pair_config(true, 256_KiB);
+  const auto result = run_job(config, [](mpi::Process& p) {
+    std::vector<std::uint8_t> a(192_KiB), b(192_KiB);
+    for (int i = 0; i < 3; ++i) {
+      if (p.rank() == 0) {
+        p.world().send(std::span<const std::uint8_t>(a), 1);
+        p.world().send(std::span<const std::uint8_t>(b), 1);
+      } else {
+        p.world().recv(std::span<std::uint8_t>(a), 0);
+        p.world().recv(std::span<std::uint8_t>(b), 0);
+      }
+    }
+  });
+  ASSERT_TRUE(result.reg_cache.enabled);
+  EXPECT_EQ(result.reg_cache.hits, 0u);
+  EXPECT_EQ(result.reg_cache.misses, 12u);
+  // Every miss except the very first per rank evicted the standing entry.
+  EXPECT_EQ(result.reg_cache.evictions, 10u);
+  EXPECT_LE(result.reg_cache.pinned_bytes, result.reg_cache.capacity_bytes);
+}
+
+TEST(RegCacheJob, WarmCacheBeatsColdCache) {
+  // reg_cache_bytes = 0 keeps the model on but caches nothing — the
+  // cold-registration baseline every transfer pays.
+  const auto body = [](mpi::Process& p) { send_repeated(p, 1_MiB, 4); };
+  const auto warm = run_job(pair_config(true), body);
+  const auto cold = run_job(pair_config(true, 0), body);
+  EXPECT_LT(warm.job_time, cold.job_time);
+  EXPECT_EQ(cold.reg_cache.hits, 0u);
+  EXPECT_EQ(cold.reg_cache.pinned_bytes, 0u);
+}
+
+TEST(RegCacheJob, PipeliningBeatsSerialRegistration) {
+  // One cold 4 MiB rendezvous. Chunked: only the first 256 KiB registration
+  // is exposed, the rest hides behind the RDMA of the previous chunk.
+  // Serial (chunk >= message) pays the whole 4 MiB registration up front.
+  const auto body = [](mpi::Process& p) { send_repeated(p, 4_MiB, 1); };
+  auto pipelined = pair_config(true);
+  pipelined.tuning.rndv_chunk = 256_KiB;
+  auto serial = pair_config(true);
+  serial.tuning.rndv_chunk = 1_GiB;
+  const auto fast = run_job(pipelined, body);
+  const auto slow = run_job(serial, body);
+  EXPECT_LT(fast.job_time, slow.job_time);
+}
+
+TEST(RegCacheJob, EagerTrafficIsUntouchedByTheModel) {
+  // 1 KiB sends stay eager (copy-based, unregistered): enabling the model
+  // must not move a single timestamp.
+  const auto body = [](mpi::Process& p) { send_repeated(p, 1_KiB, 8); };
+  const auto off = run_job(pair_config(false), body);
+  const auto on = run_job(pair_config(true), body);
+  EXPECT_EQ(off.job_time, on.job_time);
+  ASSERT_EQ(off.rank_times.size(), on.rank_times.size());
+  for (std::size_t r = 0; r < off.rank_times.size(); ++r)
+    EXPECT_EQ(off.rank_times[r], on.rank_times[r]);
+  ASSERT_TRUE(on.reg_cache.enabled);
+  EXPECT_EQ(on.reg_cache.hits + on.reg_cache.misses, 0u);
+}
+
+TEST(RegCacheJob, ModelOffReportsNothing) {
+  const auto result = run_job(pair_config(false), [](mpi::Process& p) {
+    send_repeated(p, 256_KiB, 2);
+  });
+  EXPECT_FALSE(result.reg_cache.enabled);
+  obs::ReportContext ctx;
+  ctx.app = "reg-cache-test";
+  ctx.deployment = "2x1";
+  ctx.policy = "aware";
+  const std::string json = obs::run_report_json(ctx, result);
+  EXPECT_EQ(json.find("\"reg_cache\""), std::string::npos);
+}
+
+TEST(RegCacheJob, EnabledRerunIsByteIdentical) {
+  auto config = pair_config(true, 1_MiB);
+  config.observe = true;
+  const auto body = [](mpi::Process& p) { send_repeated(p, 512_KiB, 6); };
+  const auto first = run_job(config, body);
+  const auto second = run_job(config, body);
+  EXPECT_EQ(first.job_time, second.job_time);
+  ASSERT_EQ(first.rank_times.size(), second.rank_times.size());
+  for (std::size_t r = 0; r < first.rank_times.size(); ++r)
+    EXPECT_EQ(first.rank_times[r], second.rank_times[r]);
+
+  obs::ReportContext ctx;
+  ctx.app = "reg-cache-test";
+  ctx.deployment = "2x1";
+  ctx.policy = "aware";
+  const std::string a = obs::run_report_json(ctx, first);
+  const std::string b = obs::run_report_json(ctx, second);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"reg_cache\""), std::string::npos);
+  EXPECT_NE(a.find("\"version\":4"), std::string::npos);
+}
+
+// --- SR-IOV VF capacity sharing ---------------------------------------------
+
+TEST(RegCacheJob, VfShareShrinksThePinnedBudget) {
+  // Two containers per host provision two VFs; --vf-limit=1 halves each
+  // VF's share of the HCA, registration resources included: the 768 KiB
+  // budget drops to 384 KiB, below the 512 KiB message, so nothing caches.
+  auto config = [](int vf_limit) {
+    JobConfig c;
+    c.deployment = DeploymentSpec::containers(2, 2, 2);
+    c.fabric = net::FabricConfig::parse("flat");
+    c.fabric.vf_limit = vf_limit;
+    c.tuning.reg_model = true;
+    c.tuning.reg_cache_bytes = 768_KiB;
+    return c;
+  };
+  const auto body = [](mpi::Process& p) {
+    std::vector<std::uint8_t> buf(512_KiB);
+    for (int i = 0; i < 3; ++i) {
+      if (p.rank() == 0)
+        p.world().send(std::span<const std::uint8_t>(buf), 2);
+      else if (p.rank() == 2)
+        p.world().recv(std::span<std::uint8_t>(buf), 0);
+    }
+  };
+  const auto unlimited = run_job(config(0), body);
+  const auto limited = run_job(config(1), body);
+  ASSERT_TRUE(unlimited.reg_cache.enabled);
+  ASSERT_TRUE(limited.reg_cache.enabled);
+  EXPECT_EQ(unlimited.reg_cache.hits, 4u);  // 2 endpoints x 2 reuses
+  EXPECT_EQ(limited.reg_cache.hits, 0u);    // budget below the message size
+  EXPECT_EQ(limited.reg_cache.misses, 6u);
+  EXPECT_LT(limited.reg_cache.capacity_bytes,
+            unlimited.reg_cache.capacity_bytes);
+}
+
+}  // namespace
+}  // namespace cbmpi

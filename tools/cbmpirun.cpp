@@ -334,6 +334,14 @@ int main(int argc, char** argv) {
   const int vf_limit = static_cast<int>(opts.get_int(
       "vf-limit", 0,
       "SR-IOV VFs one host HCA schedules at full weight, 0 = unlimited"));
+  const std::string reg_cache = opts.get(
+      "reg-cache", "off",
+      "pin-down cache capacity per rank (e.g. 64M), off = no registration model");
+  const double reg_cost = opts.get_double(
+      "reg-cost", 1.0, "scale on memory-registration costs (--reg-cache)");
+  const std::string rndv_chunk = opts.get(
+      "rndv-chunk", "512K",
+      "rendezvous pipeline chunk size under --reg-cache (e.g. 512K)");
   plan.scale = static_cast<int>(opts.get_int("scale", 13, "graph500 scale"));
   plan.message_size = static_cast<Bytes>(
       opts.get_int("message-size", 1024, "osu-* message size in bytes"));
@@ -406,6 +414,21 @@ int main(int argc, char** argv) {
                                            : fabric::LocalityPolicy::ContainerAware;
   plan.config.tuning.use_cma = !no_cma;
   plan.config.tuning.two_level_collectives = !flat;
+  if (reg_cache != "off") {
+    try {
+      plan.config.tuning.reg_model = true;
+      plan.config.tuning.reg_cache_bytes = parse_size(reg_cache);
+      plan.config.tuning.reg_cost_scale = reg_cost;
+      plan.config.tuning.rndv_chunk = parse_size(rndv_chunk);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "cbmpirun: %s\n", e.what());
+      return 2;
+    }
+    if (plan.config.tuning.rndv_chunk == 0) {
+      std::fprintf(stderr, "cbmpirun: --rndv-chunk must be positive\n");
+      return 2;
+    }
+  }
   if (!tuning_file.empty()) {
     // User entries append after the shipped container defaults, so a file
     // overrides exactly the (collective, size, ranks, cph) regions it names —

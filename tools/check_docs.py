@@ -4,6 +4,10 @@
 1. Every relative markdown link in the core docs resolves to an existing
    file (anchors and external http(s)/mailto links are skipped).
 2. Every directory under src/ is documented in docs/ARCHITECTURE.md.
+3. docs/TUNING.md stays in sync with the knobs the code registers: every
+   cbmpirun flag and every CBMPI_* env var read anywhere in src/ or tools/
+   must be documented, and every flag/env var the doc mentions must still
+   exist (no stale rows).
 
 Exit status is the number of problems found; each problem is printed as
 `file: message` so editors can jump to it.
@@ -21,7 +25,18 @@ DOCS = [
     "EXPERIMENTS.md",
     "ROADMAP.md",
     "docs/ARCHITECTURE.md",
+    "docs/TUNING.md",
 ]
+
+TUNING_DOC = "docs/TUNING.md"
+
+# opts.get("name", ...) / get_int / get_double / get_flag — the name may sit
+# on the line after the open paren, so match across whitespace.
+FLAG_REG_RE = re.compile(
+    r'opts\.get(?:_int|_double|_flag)?\(\s*"([a-z0-9-]+)"')
+ENV_VAR_RE = re.compile(r'"(CBMPI_[A-Z0-9_]+)"')
+DOC_FLAG_RE = re.compile(r"`--([a-z0-9-]+)(?:=[^`]*)?`")
+DOC_ENV_RE = re.compile(r"`(CBMPI_[A-Z0-9_]+)`")
 
 # [text](target) — excludes images' leading "!" handling (images are links
 # to files too, so check them the same way).
@@ -70,6 +85,44 @@ def check_architecture_covers_src(problems):
                 f"(expected a 'src/{entry}' mention)")
 
 
+def registered_env_vars():
+    """CBMPI_* string literals anywhere in src/ or tools/ C++ sources."""
+    found = set()
+    for root in ("src", "tools"):
+        for dirpath, _dirs, files in os.walk(os.path.join(REPO, root)):
+            for name in files:
+                if not name.endswith((".cpp", ".hpp")):
+                    continue
+                with open(os.path.join(dirpath, name), encoding="utf-8") as f:
+                    found.update(ENV_VAR_RE.findall(f.read()))
+    return found
+
+
+def check_tuning_knobs(problems):
+    with open(os.path.join(REPO, "tools", "cbmpirun.cpp"),
+              encoding="utf-8") as f:
+        flags = set(FLAG_REG_RE.findall(f.read()))
+    env_vars = registered_env_vars()
+    with open(os.path.join(REPO, TUNING_DOC), encoding="utf-8") as f:
+        doc = f.read()
+    doc_flags = set(DOC_FLAG_RE.findall(doc))
+    doc_env = set(DOC_ENV_RE.findall(doc))
+
+    for flag in sorted(flags - doc_flags):
+        problems.append(
+            f"{TUNING_DOC}: cbmpirun flag --{flag} is undocumented")
+    for flag in sorted(doc_flags - flags):
+        problems.append(
+            f"{TUNING_DOC}: documents --{flag}, which cbmpirun does not "
+            "register (stale)")
+    for var in sorted(env_vars - doc_env):
+        problems.append(f"{TUNING_DOC}: env var {var} is undocumented")
+    for var in sorted(doc_env - env_vars):
+        problems.append(
+            f"{TUNING_DOC}: documents {var}, which nothing reads (stale)")
+    return len(flags), len(env_vars)
+
+
 def main():
     problems = []
     for doc in DOCS:
@@ -78,11 +131,13 @@ def main():
             continue
         check_links(doc, problems)
     check_architecture_covers_src(problems)
+    nflags, nenv = check_tuning_knobs(problems)
     for problem in problems:
         print(problem)
     if not problems:
         print(f"docs OK: {len(DOCS)} files, all links resolve, "
-              "all src/ subsystems documented")
+              "all src/ subsystems documented, "
+              f"{nflags} flags + {nenv} env vars in sync with {TUNING_DOC}")
     return len(problems)
 
 

@@ -9,6 +9,9 @@ report:
     round, restarts <= crashes, recovery counters non-negative
   * v3 net section (when present): utilizations in [0, 1] with mean <= peak,
     hop histogram sums to the transfer count, congested <= transfers
+  * v4 reg_cache section (when present): pinned <= peak <= capacity,
+    pinned <= registered, and the headline hit/miss/eviction counts agree
+    with the hca.reg_cache.* metrics counters
   * comm_fraction and every other fraction in [0, 1]
   * histogram bucket counts sum to the histogram's count, bucket upper
     bounds strictly ascending, sum consistent with the bucket ranges
@@ -165,6 +168,8 @@ def check_report(path):
         check_recovery(path, doc.get("recovery", {}))
     if doc.get("version", 0) >= 3 and "net" in doc:
         check_net(path, doc["net"])
+    if doc.get("version", 0) >= 4 and "reg_cache" in doc:
+        check_reg_cache(path, doc["reg_cache"], counters)
 
 
 def check_net(path, net):
@@ -197,6 +202,36 @@ def check_net(path, net):
     links = net.get("links", 0)
     if len(net.get("link_utils", [])) > links:
         problem(path, f"net: more link_utils rows than links={links}")
+
+
+def check_reg_cache(path, reg, counters):
+    """v4 reg_cache section: emitted only when the registration model is on.
+    Byte gauges obey pinned <= peak <= capacity and pinned <= registered
+    (entries still pinned at job end are a subset of everything ever
+    registered), and the section's lookup counts must agree with the ADI3
+    hot-path counters — both observe the same cache lookups."""
+    for key in ("capacity_bytes", "hits", "misses", "evictions",
+                "pinned_bytes", "peak_pinned_bytes", "registered_bytes"):
+        if reg.get(key, -1) < 0:
+            problem(path, f"reg_cache.{key} = {reg.get(key)!r} is not >= 0")
+    pinned = reg.get("pinned_bytes", 0)
+    peak = reg.get("peak_pinned_bytes", 0)
+    if pinned > peak:
+        problem(path, f"reg_cache: pinned_bytes {pinned} exceeds "
+                      f"peak_pinned_bytes {peak}")
+    if peak > reg.get("capacity_bytes", 0):
+        problem(path, f"reg_cache: peak_pinned_bytes {peak} exceeds "
+                      f"capacity_bytes {reg.get('capacity_bytes')}")
+    if pinned > reg.get("registered_bytes", 0):
+        problem(path, f"reg_cache: pinned_bytes {pinned} exceeds "
+                      f"registered_bytes {reg.get('registered_bytes')}")
+    if reg.get("misses", 0) == 0 and reg.get("registered_bytes", 0) > 0:
+        problem(path, "reg_cache: registered bytes without a single miss")
+    for key in ("hits", "misses", "evictions"):
+        counter = f"hca.reg_cache.{key}"
+        if counter in counters and counters[counter] != reg.get(key, 0):
+            problem(path, f"reg_cache.{key} = {reg.get(key)!r} but counter "
+                          f"{counter} says {counters[counter]}")
 
 
 def check_recovery(path, recovery):
