@@ -45,6 +45,15 @@ double HcaChannel::contention_factor(const net::TransferCtx* ctx) const {
   return congestion_->factor(ctx->key);
 }
 
+Micros HcaChannel::contention_stall(Bytes size, bool loopback, bool sriov,
+                                    const net::TransferCtx* ctx) const {
+  if (!routed(loopback, ctx)) return 0.0;
+  const double factor = contention_factor(ctx);
+  if (factor <= 1.0) return 0.0;
+  return static_cast<double>(size) / payload_bw(loopback, sriov, ctx) *
+         (factor - 1.0);
+}
+
 EagerCosts HcaChannel::eager_costs(Bytes size, bool loopback, bool sriov,
                                    const net::TransferCtx* ctx) const {
   const auto& p = *profile_;

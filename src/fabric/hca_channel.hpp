@@ -80,6 +80,13 @@ class HcaChannel {
   OneSidedCosts one_sided_costs(Bytes size, bool loopback, bool sriov = false,
                                 const net::TransferCtx* ctx = nullptr) const;
 
+  /// Wire time the settled contention factor adds to `size` bytes on this
+  /// routed path vs. the same path uncontended. Purely observational (feeds
+  /// the Proto span `stall` field for src/obs/analysis); zero without a
+  /// routed ctx or under a factor of 1.
+  Micros contention_stall(Bytes size, bool loopback, bool sriov,
+                          const net::TransferCtx* ctx) const;
+
   /// --- pin-down registration model (TuningParams::reg_model) --------------
 
   bool reg_model() const { return tuning_.reg_model; }

@@ -116,6 +116,11 @@ struct Envelope {
   /// Rendezvous: virtual time at which the RTS arrives.
   Micros available_at = 0.0;
 
+  /// Sender's clock when the message left its hands: after the eager
+  /// staging cost, or at RTS post time for rendezvous. Feeds the
+  /// sender->receiver dependency edge on the receiver-side Proto span.
+  Micros sent_at = 0.0;
+
   std::vector<std::byte> payload;    ///< eager only
   std::shared_ptr<RndvState> rndv;   ///< rendezvous only
 };

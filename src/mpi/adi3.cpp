@@ -11,6 +11,14 @@ namespace cbmpi::mpi {
 namespace {
 /// CPU cost of posting an RTS descriptor.
 constexpr Micros kRtsPostOverhead = 0.10;
+
+/// Job-unique transfer id: seq is per-sender-engine, so (src, seq) names one
+/// message. Links the sender's hand-off to the receiver-side Proto span for
+/// the analysis engine and Perfetto flow arrows.
+std::int64_t transfer_id(const fabric::Envelope& env) {
+  return (static_cast<std::int64_t>(env.src) << 32) |
+         static_cast<std::int64_t>(env.seq & 0xffffffffu);
+}
 }  // namespace
 
 // A note on MPI_Test/MPI_Iprobe time: an idle poll advances *no* virtual
@@ -141,6 +149,7 @@ Request Adi3Engine::start_send(std::span<const std::byte> data, int dst_world, i
         CBMPI_REQUIRE(false, "eager protocol on CMA channel — selector bug");
     }
     clock().advance(costs.sender);
+    env.sent_at = clock().now();
     env.available_at = clock().now() + costs.delivery;
     env.receiver_cost = costs.receiver;
 
@@ -171,6 +180,7 @@ Request Adi3Engine::start_send(std::span<const std::byte> data, int dst_world, i
     }
   }
   auto rndv = std::make_shared<fabric::RndvState>(data, proc_, clock().now());
+  env.sent_at = clock().now();
   env.available_at = clock().now();
   env.rndv = rndv;
 
@@ -275,10 +285,22 @@ void Adi3Engine::complete_eager(RequestState& request, fabric::Envelope& env) {
   if (job_->trace)
     job_->trace->record({sim::TraceKind::RecvComplete, env.src, rank_, env.size,
                          request.complete_at, fabric::to_string(env.channel)});
-  if (job_->spans)
-    job_->spans->record({"eager", obs::SpanCat::Proto, rank_, env.src,
-                         static_cast<int>(env.channel), env.size, start,
-                         request.complete_at, fabric::to_string(env.channel)});
+  if (job_->spans) {
+    obs::Span span{"eager", obs::SpanCat::Proto, rank_, env.src,
+                   static_cast<int>(env.channel), env.size, start,
+                   request.complete_at, fabric::to_string(env.channel)};
+    span.xfer = transfer_id(env);
+    span.posted_at = request.posted_at;
+    span.sent_at = env.sent_at;
+    span.avail_at = env.available_at;
+    if (env.channel == fabric::ChannelKind::Hca) {
+      net::TransferCtx ctx;
+      const auto* ctxp = fabric_ctx(env.src, rank_, env.seq, env.loopback, ctx);
+      span.stall =
+          job_->hca->contention_stall(env.size, env.loopback, env.sriov, ctxp);
+    }
+    job_->spans->record(std::move(span));
+  }
   if (obs_.recv_latency != nullptr)
     obs_.recv_latency->observe(
         static_cast<std::uint64_t>(request.complete_at - request.posted_at));
@@ -330,13 +352,16 @@ void Adi3Engine::complete_rendezvous(RequestState& request, fabric::Envelope& en
         times = job_->hca->rndv_times(env.size, env.loopback, env.available_at,
                                       request.posted_at, recv_busy_until_,
                                       env.sriov, ctxp, plan);
-        if (job_->spans)
+        if (job_->spans) {
           // Receiver-side pin window: it gates the CTS, so it renders right
           // at the front of the enclosing "rndv" span.
-          job_->spans->record({"rndv-reg", obs::SpanCat::Proto, rank_, env.src,
-                               static_cast<int>(env.channel), env.size,
-                               times.recv_reg_begin, times.recv_reg_end,
-                               look.hit ? "hit" : "miss"});
+          obs::Span reg{"rndv-reg", obs::SpanCat::Proto, rank_, env.src,
+                        static_cast<int>(env.channel), env.size,
+                        times.recv_reg_begin, times.recv_reg_end,
+                        look.hit ? "hit" : "miss"};
+          reg.xfer = transfer_id(env);
+          job_->spans->record(std::move(reg));
+        }
       } else {
         times = job_->hca->rndv_times(env.size, env.loopback, env.available_at,
                                       request.posted_at, recv_busy_until_,
@@ -364,12 +389,25 @@ void Adi3Engine::complete_rendezvous(RequestState& request, fabric::Envelope& en
     job_->trace->record({sim::TraceKind::SendRndvData, env.src, rank_, env.size,
                          times.receiver_done, fabric::to_string(env.channel)});
   }
-  if (job_->spans)
+  if (job_->spans) {
     // The whole handshake: RTS availability through receiver-side
     // completion, on the channel's track.
-    job_->spans->record({"rndv", obs::SpanCat::Proto, rank_, env.src,
-                         static_cast<int>(env.channel), env.size, env.available_at,
-                         times.receiver_done, fabric::to_string(env.channel)});
+    obs::Span span{"rndv", obs::SpanCat::Proto, rank_, env.src,
+                   static_cast<int>(env.channel), env.size, env.available_at,
+                   times.receiver_done, fabric::to_string(env.channel)};
+    span.xfer = transfer_id(env);
+    span.posted_at = request.posted_at;
+    span.sent_at = env.sent_at;
+    span.avail_at = env.available_at;
+    span.reg_stall = times.reg_stall;
+    if (env.channel == fabric::ChannelKind::Hca) {
+      net::TransferCtx ctx;
+      const auto* ctxp = fabric_ctx(env.src, rank_, env.seq, env.loopback, ctx);
+      span.stall =
+          job_->hca->contention_stall(env.size, env.loopback, env.sriov, ctxp);
+    }
+    job_->spans->record(std::move(span));
+  }
   if (obs_.recv_latency != nullptr)
     obs_.recv_latency->observe(
         static_cast<std::uint64_t>(request.complete_at - request.posted_at));

@@ -1,0 +1,192 @@
+#include "obs/analysis/json_read.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace cbmpi::obs::analysis {
+
+namespace {
+const JsonValue kNull{};
+}
+
+const JsonValue& JsonValue::operator[](const std::string& name) const {
+  const auto it = object_.find(name);
+  return it == object_.end() ? kNull : it->second;
+}
+
+const JsonValue& JsonValue::operator[](std::size_t index) const {
+  return index < array_.size() ? array_[index] : kNull;
+}
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse(std::string* error) {
+    JsonValue value;
+    if (!parse_value(value) || (skip_ws(), pos_ != text_.size())) {
+      if (error != nullptr)
+        *error = failed_.empty()
+                     ? "trailing data at byte " + std::to_string(pos_)
+                     : failed_;
+      return JsonValue{};
+    }
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool fail(const std::string& what) {
+    if (failed_.empty())
+      failed_ = what + " at byte " + std::to_string(pos_);
+    return false;
+  }
+
+  bool literal(const char* word, std::size_t len) {
+    if (text_.compare(pos_, len, word) != 0) return fail("bad literal");
+    pos_ += len;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (text_[pos_] != '"') return fail("expected string");
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        if (++pos_ >= text_.size()) break;
+        switch (text_[pos_]) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 >= text_.size()) return fail("truncated \\u escape");
+            const unsigned code = static_cast<unsigned>(
+                std::strtoul(text_.substr(pos_ + 1, 4).c_str(), nullptr, 16));
+            // Reports only ever escape control characters; encode the code
+            // point as UTF-8 without surrogate-pair handling.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            pos_ += 4;
+            break;
+          }
+          default: return fail("bad escape");
+        }
+        ++pos_;
+      } else {
+        out += c;
+        ++pos_;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_value(JsonValue& value) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': {
+        value.kind_ = JsonValue::Kind::Object;
+        ++pos_;
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        while (true) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(key)) return false;
+          skip_ws();
+          if (pos_ >= text_.size() || text_[pos_] != ':')
+            return fail("expected ':'");
+          ++pos_;
+          if (!parse_value(value.object_[key])) return false;
+          skip_ws();
+          if (pos_ < text_.size() && text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+          }
+          return fail("expected ',' or '}'");
+        }
+      }
+      case '[': {
+        value.kind_ = JsonValue::Kind::Array;
+        ++pos_;
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        while (true) {
+          value.array_.emplace_back();
+          if (!parse_value(value.array_.back())) return false;
+          skip_ws();
+          if (pos_ < text_.size() && text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+          }
+          return fail("expected ',' or ']'");
+        }
+      }
+      case '"':
+        value.kind_ = JsonValue::Kind::String;
+        return parse_string(value.string_);
+      case 't':
+        value.kind_ = JsonValue::Kind::Bool;
+        value.bool_ = true;
+        return literal("true", 4);
+      case 'f':
+        value.kind_ = JsonValue::Kind::Bool;
+        value.bool_ = false;
+        return literal("false", 5);
+      case 'n':
+        return literal("null", 4);
+      default: {
+        const char* start = text_.c_str() + pos_;
+        char* end = nullptr;
+        value.number_ = std::strtod(start, &end);
+        if (end == start) return fail("expected value");
+        value.kind_ = JsonValue::Kind::Number;
+        pos_ += static_cast<std::size_t>(end - start);
+        return true;
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string failed_;
+};
+
+JsonValue JsonValue::parse(const std::string& text, std::string* error) {
+  return JsonParser(text).parse(error);
+}
+
+}  // namespace cbmpi::obs::analysis

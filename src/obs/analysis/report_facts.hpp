@@ -1,0 +1,45 @@
+// Offline view of a run report for tools/cbmpi-analyze: loads any v4/v5
+// "cbmpi.run_report" JSON document into a flat, comparable fact table
+// (scalar metrics keyed by dotted names), renders a one-report summary and
+// a two-report diff ("analysis.blame.registration_us +38.2% vs baseline").
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "obs/analysis/json_read.hpp"
+
+namespace cbmpi::obs::analysis {
+
+struct ReportFacts {
+  bool ok = false;
+  std::string error;  ///< set when !ok (unreadable file, bad JSON, schema)
+  std::string label;  ///< display name (the file path)
+
+  int version = 0;
+  std::string mode;  ///< "single" or "schedule"
+  std::string app, deployment, policy;
+
+  /// Every comparable scalar, dotted-name -> value. Includes result times,
+  /// profile aggregates, counters, histogram percentiles (computed from the
+  /// buckets for v4 reports that predate the p50/p95/p99 fields), reg-cache
+  /// stats, and — for v5 reports run with --analyze — the analysis blame
+  /// table and wait-state totals.
+  std::map<std::string, double> scalars;
+
+  bool has_analysis = false;
+};
+
+/// Reads and parses one report file.
+ReportFacts load_report_facts(const std::string& path);
+
+/// Parses an already-loaded document (tests).
+ReportFacts parse_report_facts(const JsonValue& doc, std::string label);
+
+/// Human summary of one report.
+std::string render_report(const ReportFacts& facts);
+
+/// Human diff: relative change of every scalar both reports share.
+std::string render_diff(const ReportFacts& fresh, const ReportFacts& baseline);
+
+}  // namespace cbmpi::obs::analysis

@@ -1,10 +1,25 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/error.hpp"
 
 namespace cbmpi::obs {
+
+std::uint64_t HistogramSnapshot::percentile(double q) const {
+  if (count == 0 || buckets.empty()) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count))));
+  std::uint64_t running = 0;
+  for (const auto& bucket : buckets) {
+    running += bucket.count;
+    if (running >= target) return bucket.upper;
+  }
+  return buckets.back().upper;
+}
 
 std::uint64_t Histogram::bucket_upper(int index) {
   if (index <= 0) return 0;

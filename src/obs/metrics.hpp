@@ -63,6 +63,13 @@ struct HistogramSnapshot {
   std::uint64_t count = 0;  ///< total observations
   std::uint64_t sum = 0;    ///< sum of observed values
   std::vector<Bucket> buckets;  ///< non-empty buckets, ascending upper bound
+
+  /// Quantile estimate from the log2 buckets: the inclusive upper bound of
+  /// the first bucket whose cumulative count reaches ceil(q * count). An
+  /// upper bound (within 2x of the true value), monotone in q, and a pure
+  /// function of the snapshot — so reports stay byte-identical. 0 when the
+  /// histogram is empty.
+  std::uint64_t percentile(double q) const;
 };
 
 /// Power-of-two histogram over unsigned values (message sizes, queue

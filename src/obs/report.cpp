@@ -83,6 +83,9 @@ void write_metrics(JsonWriter& w, const MetricsSnapshot& snapshot) {
     w.field("name", name);
     w.field("count", hist.count);
     w.field("sum", hist.sum);
+    w.field("p50", hist.percentile(0.50));
+    w.field("p95", hist.percentile(0.95));
+    w.field("p99", hist.percentile(0.99));
     w.key("buckets").begin_array();
     for (const auto& bucket : hist.buckets) {
       w.begin_object();
@@ -257,6 +260,10 @@ std::string run_report_json(const ReportContext& ctx, const mpi::JobResult& resu
   write_recovery(w, result);
   if (result.net.enabled) write_net(w, result.net);
   if (result.reg_cache.enabled) write_reg_cache(w, result.reg_cache);
+  if (ctx.analysis != nullptr) {
+    w.key("analysis");
+    analysis::write_analysis(w, *ctx.analysis);
+  }
   if (ctx.cluster) {
     w.key("cluster");
     write_cluster_metrics(w, *ctx.cluster);
@@ -299,6 +306,13 @@ std::string schedule_report_json(const ReportContext& ctx,
     }
     if (job.restored_progress > 0.0)
       w.field("restored_progress_us", job.restored_progress);
+    if (ctx.job_analyses != nullptr) {
+      const auto it = ctx.job_analyses->find(job.spec.name);
+      if (it != ctx.job_analyses->end()) {
+        w.key("analysis");
+        analysis::write_analysis(w, it->second);
+      }
+    }
     w.end_object();
   }
   w.end_array();
@@ -307,10 +321,13 @@ std::string schedule_report_json(const ReportContext& ctx,
 }
 
 std::string to_perfetto(std::span<const Span> spans,
-                        std::span<const sim::TraceEvent> events) {
+                        std::span<const sim::TraceEvent> events,
+                        const analysis::Analysis* analysis) {
   // Track layout: pid = rank for rank timelines, pid = kChannelPidBase +
-  // channel ordinal for per-channel transfer tracks.
+  // channel ordinal for per-channel transfer tracks, pid = kPathPid for the
+  // computed critical path.
   constexpr int kChannelPidBase = 1000;
+  constexpr int kPathPid = 2000;
 
   std::vector<Span> sorted(spans.begin(), spans.end());
   sort_spans(sorted);
@@ -342,6 +359,8 @@ std::string to_perfetto(std::span<const Span> spans,
       meta(kChannelPidBase + static_cast<int>(c),
            std::string("channel ") +
                fabric::to_string(static_cast<fabric::ChannelKind>(c)));
+  if (analysis != nullptr && !analysis->segments.empty())
+    meta(kPathPid, "critical path");
 
   for (const auto& span : sorted) {
     const bool channel_track = span.cat == SpanCat::Proto && span.channel >= 0;
@@ -355,6 +374,34 @@ std::string to_perfetto(std::span<const Span> spans,
        << span.bytes << ",\"peer\":" << span.peer;
     if (!span.note.empty()) os << ",\"note\":\"" << escape_json(span.note) << "\"";
     os << "}}";
+    // Flow arrow: sender's hand-off ("s" on the sender's rank track) binds
+    // to this receive-side transfer slice ("f", enclosing-slice binding).
+    const bool transfer = span.cat == SpanCat::Proto && span.xfer >= 0 &&
+                          (span.name == "eager" || span.name == "rndv") &&
+                          span.sent_at >= 0.0 && span.peer >= 0;
+    if (transfer) {
+      os << ",{\"name\":\"xfer\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":"
+         << span.xfer << ",\"pid\":" << span.peer << ",\"tid\":" << span.peer
+         << ",\"ts\":" << format_double(span.sent_at) << "}";
+      os << ",{\"name\":\"xfer\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\","
+         << "\"id\":" << span.xfer << ",\"pid\":" << pid << ",\"tid\":"
+         << span.rank << ",\"ts\":" << format_double(span.begin) << "}";
+    }
+  }
+
+  if (analysis != nullptr) {
+    // The computed path, one slice per segment, ascending and adjacent —
+    // drop zero-width segments so the track stays strictly renderable.
+    for (const auto& seg : analysis->segments) {
+      if (seg.duration() <= 0.0) continue;
+      if (!first) os << ",";
+      first = false;
+      os << "{\"name\":\"" << escape_json(seg.name) << "\",\"cat\":\""
+         << "critical-path\",\"ph\":\"X\",\"pid\":" << kPathPid
+         << ",\"tid\":0,\"ts\":" << format_double(seg.begin) << ",\"dur\":"
+         << format_double(seg.duration()) << ",\"args\":{\"rank\":" << seg.rank
+         << ",\"category\":\"" << analysis::to_string(seg.blame) << "\"}}";
+    }
   }
 
   sim::append_chrome_events(os, events, first);
@@ -380,20 +427,12 @@ std::string metrics_summary(const MetricsSnapshot& snapshot) {
     gauges.print(os);
   }
   if (!snapshot.histograms.empty()) {
-    Table hists({"histogram", "count", "sum", "p50<=", "max<="});
-    for (const auto& [name, hist] : snapshot.histograms) {
-      std::uint64_t running = 0;
-      std::uint64_t median_upper = 0;
-      for (const auto& bucket : hist.buckets) {
-        running += bucket.count;
-        if (median_upper == 0 && running * 2 >= hist.count)
-          median_upper = bucket.upper;
-      }
-      const std::uint64_t max_upper =
-          hist.buckets.empty() ? 0 : hist.buckets.back().upper;
+    Table hists({"histogram", "count", "sum", "p50<=", "p95<=", "p99<="});
+    for (const auto& [name, hist] : snapshot.histograms)
       hists.add_row({name, std::to_string(hist.count), std::to_string(hist.sum),
-                     std::to_string(median_upper), std::to_string(max_upper)});
-    }
+                     std::to_string(hist.percentile(0.50)),
+                     std::to_string(hist.percentile(0.95)),
+                     std::to_string(hist.percentile(0.99))});
     hists.print(os);
   }
   return os.str();

@@ -11,10 +11,12 @@
 // DESIGN.md §12 and validated in CI by tools/check_report.py.
 #pragma once
 
+#include <map>
 #include <span>
 #include <string>
 
 #include "mpi/runtime.hpp"
+#include "obs/analysis/analysis.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
@@ -32,7 +34,11 @@ namespace cbmpi::obs {
 /// v4: adds the "reg_cache" section (pin-down cache capacity, hit/miss/evict
 /// counts, pinned-byte gauges) to single reports run with --reg-cache on;
 /// absent when the registration model is off.
-inline constexpr int kRunReportVersion = 4;
+/// v5: adds p50/p95/p99 percentile fields to every metrics histogram, and —
+/// only when the run was analyzed (--analyze) — the "analysis" section
+/// (critical-path length, top-k segments, per-category blame, per-rank
+/// wait-state table); schedule reports gain the same object per job row.
+inline constexpr int kRunReportVersion = 5;
 
 /// What the emitter cannot read off a JobResult: how the job was launched.
 struct ReportContext {
@@ -44,6 +50,13 @@ struct ReportContext {
   /// Optional scheduler aggregates (multi-job runs); emitted as the
   /// "cluster" section when non-null.
   const sched::ClusterMetrics* cluster = nullptr;
+
+  /// Critical-path analysis (--analyze); emitted as the "analysis" section
+  /// when non-null.
+  const analysis::Analysis* analysis = nullptr;
+
+  /// Schedule mode with --analyze: per-job analyses keyed by job name.
+  const std::map<std::string, analysis::Analysis>* job_analyses = nullptr;
 };
 
 /// The versioned single-job run report (schema "cbmpi.run_report").
@@ -56,10 +69,14 @@ std::string schedule_report_json(const ReportContext& ctx,
 
 /// Perfetto / chrome://tracing document: spans become duration events
 /// ("ph":"X") on one track per rank plus one per channel; the legacy
-/// instant TraceEvents ride along unchanged ("ph":"i"). `spans` may be in
-/// any order; they are canonically sorted here.
+/// instant TraceEvents ride along unchanged ("ph":"i"). Transfers carry
+/// flow arrows ("ph":"s"/"f") from the sender's hand-off to the receiver's
+/// Proto slice. With a non-null `analysis`, its segments are rendered on a
+/// dedicated "critical path" track. `spans` may be in any order; they are
+/// canonically sorted here.
 std::string to_perfetto(std::span<const Span> spans,
-                        std::span<const sim::TraceEvent> events);
+                        std::span<const sim::TraceEvent> events,
+                        const analysis::Analysis* analysis = nullptr);
 
 /// Human-readable one-screen rendering of a metrics snapshot (cbmpirun
 /// --metrics).

@@ -44,6 +44,22 @@ struct Span {
   Micros end = 0.0;
   std::string note;
 
+  // Dependency payload for the analysis engine (src/obs/analysis). All of
+  // these are trailing defaulted fields so the 9-field aggregate inits in
+  // existing code and tests keep compiling, and none of them participate in
+  // the canonical sort — they are derived from the same virtual-time state
+  // the sort keys already pin down.
+  std::int64_t xfer = -1;   ///< transfer id (src<<32 | seq) linking the
+                            ///< sender's hand-off to the receiver's Proto
+                            ///< span; -1 when the span is not a transfer
+  Micros posted_at = -1.0;  ///< receiver posted the matching recv (-1 n/a)
+  Micros sent_at = -1.0;    ///< sender handed the message to the fabric
+  Micros avail_at = -1.0;   ///< payload (eager) / RTS (rndv) visible at
+                            ///< the receiver
+  Micros stall = 0.0;       ///< link-contention time added vs uncontended
+  Micros reg_stall = 0.0;   ///< registration time the rndv pipeline could
+                            ///< not hide
+
   Micros duration() const { return end - begin; }
 };
 

@@ -113,6 +113,7 @@ bool Scheduler::try_start(const JobSpec& job, Micros now, bool backfilled) {
   auto job_config = make_job_config(job, *placement, config_.host_shape);
   job_config.tuning = config_.tuning;
   job_config.profile = config_.profile;
+  job_config.observe = config_.observe;
   // Recovery plumbing: checkpoint cadence (spec override beats the cluster
   // default), the snapshot to resume from, and the job-local -> physical host
   // map that keeps one flaky host flaky for *every* job placed on it.

@@ -33,6 +33,11 @@ struct SchedulerConfig {
   fabric::TuningParams tuning{};             ///< forwarded to every job
   topo::MachineProfile profile = topo::MachineProfile::chameleon_fdr();
 
+  /// Switch on per-job observability (metrics + spans on every JobResult) so
+  /// schedule-mode runs can be analyzed (cbmpirun --analyze). Observation is
+  /// free in virtual time; the schedule is byte-identical either way.
+  bool observe = false;
+
   /// Fabric model shared by every job (spans the whole cluster, not just the
   /// hosts a job lands on). Also feeds the TopologyAware placer's hop matrix;
   /// with the model off, TopologyAware assumes the smallest fat-tree that

@@ -311,6 +311,26 @@ TEST(ObsMetrics, HistogramSnapshotSumsMatch) {
   EXPECT_EQ(bucket_total, snap.count);
 }
 
+TEST(ObsMetrics, HistogramPercentilesFromBuckets) {
+  // Percentiles come from the log2 buckets: the answer is the upper bound of
+  // the first bucket whose cumulative count reaches ceil(q * count).
+  obs::Histogram h;
+  for (int i = 0; i < 90; ++i) h.observe(1);      // bucket upper 1
+  for (int i = 0; i < 9; ++i) h.observe(1000);    // bucket upper 1023
+  h.observe(100000);                              // bucket upper 131071
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.percentile(0.50), 1u);
+  EXPECT_EQ(snap.percentile(0.90), 1u);     // ceil(0.9*100)=90, first bucket
+  EXPECT_EQ(snap.percentile(0.95), 1023u);
+  EXPECT_EQ(snap.percentile(0.99), 1023u);
+  EXPECT_EQ(snap.percentile(1.00), 131071u);
+  EXPECT_EQ(snap.percentile(0.0), 1u);      // clamped to the first value
+  EXPECT_EQ(obs::HistogramSnapshot{}.percentile(0.99), 0u);  // empty
+  // Monotone in q by construction.
+  EXPECT_LE(snap.percentile(0.50), snap.percentile(0.95));
+  EXPECT_LE(snap.percentile(0.95), snap.percentile(0.99));
+}
+
 TEST(ObsMetrics, SnapshotIsNameSorted) {
   obs::MetricsRegistry registry;
   registry.counter("zeta").add(1);
@@ -375,10 +395,11 @@ TEST(ObsReport, RunReportGoldenShape) {
   EXPECT_TRUE(JsonChecker(json).valid()) << json.substr(0, 400);
 
   for (const char* key :
-       {"\"schema\":\"cbmpi.run_report\"", "\"version\":4", "\"mode\":\"single\"",
+       {"\"schema\":\"cbmpi.run_report\"", "\"version\":5", "\"mode\":\"single\"",
         "\"job\":", "\"result\":", "\"profile\":", "\"metrics\":", "\"spans\":",
         "\"faults\":", "\"recovery\":", "\"comm_fraction\":", "\"rank_times_us\":",
-        "\"counters\":", "\"histograms\":", "\"by_category\":"})
+        "\"counters\":", "\"histograms\":", "\"by_category\":", "\"p50\":",
+        "\"p95\":", "\"p99\":"})
     EXPECT_NE(json.find(key), std::string::npos) << key;
 
   const double fraction = result.profile.comm_fraction();

@@ -1,0 +1,57 @@
+// cbmpi-analyze — offline run-report inspector and differ.
+//
+//   cbmpi-analyze report.json              # one report: metrics + blame
+//   cbmpi-analyze fresh.json base.json     # diff: relative deltas vs base
+//
+// Reads any v4/v5 "cbmpi.run_report" document (v4 percentiles are derived
+// from the histogram buckets). With two reports it prints the relative
+// change of every scalar the documents share — e.g. the registration-blame
+// delta between a cold and a warm pin-down-cache run:
+//
+//   analysis.blame.registration_us   812.430   31.207   +2503.4%
+//
+// Exit status: 0 on success, 2 on usage/parse errors.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/analysis/report_facts.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: cbmpi-analyze <report.json> [baseline.json]\n\n"
+          "Prints the comparable scalar facts of one cbmpi run report\n"
+          "(critical-path blame, wait states, percentiles, counters), or\n"
+          "the relative delta of every scalar two reports share.\n");
+      return 0;
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty() || paths.size() > 2) {
+    std::fprintf(stderr, "usage: cbmpi-analyze <report.json> [baseline.json]\n");
+    return 2;
+  }
+
+  using cbmpi::obs::analysis::load_report_facts;
+  const auto fresh = load_report_facts(paths[0]);
+  if (!fresh.ok) {
+    std::fprintf(stderr, "cbmpi-analyze: %s\n", fresh.error.c_str());
+    return 2;
+  }
+  if (paths.size() == 1) {
+    std::fputs(cbmpi::obs::analysis::render_report(fresh).c_str(), stdout);
+    return 0;
+  }
+  const auto baseline = load_report_facts(paths[1]);
+  if (!baseline.ok) {
+    std::fprintf(stderr, "cbmpi-analyze: %s\n", baseline.error.c_str());
+    return 2;
+  }
+  std::fputs(
+      cbmpi::obs::analysis::render_diff(fresh, baseline).c_str(), stdout);
+  return 0;
+}

@@ -44,6 +44,7 @@ struct LaunchPlan {
   int iterations = 10;
   bool show_profile = false;
   bool show_metrics = false;
+  bool analyze = false;
   std::string policy_name;
   std::string report_file;  ///< --report: run-report JSON destination
   std::string trace_file;   ///< --trace-out: Perfetto trace destination
@@ -71,12 +72,21 @@ void emit_outputs(const LaunchPlan& plan, const mpi::JobResult& result) {
   ctx.deployment = plan.config.deployment.label();
   ctx.policy = plan.policy_name;
   ctx.seed = plan.config.seed;
+  obs::analysis::Analysis analysis;
+  if (plan.analyze) {
+    analysis = obs::analysis::analyze(
+        result.spans, static_cast<int>(result.rank_times.size()),
+        result.rank_times);
+    ctx.analysis = &analysis;
+    std::fputs(obs::analysis::analysis_summary(analysis).c_str(), stderr);
+  }
   if (!plan.report_file.empty()) {
     write_text_file(plan.report_file, obs::run_report_json(ctx, result));
     std::printf("run report written to %s\n", plan.report_file.c_str());
   }
   if (!plan.trace_file.empty()) {
-    write_text_file(plan.trace_file, obs::to_perfetto(result.spans, result.trace));
+    write_text_file(plan.trace_file,
+                    obs::to_perfetto(result.spans, result.trace, ctx.analysis));
     std::printf("trace written to %s (open in ui.perfetto.dev)\n",
                 plan.trace_file.c_str());
   }
@@ -183,7 +193,7 @@ struct RecoveryOptions {
 int run_schedule(const std::string& policy_name, int hosts, int jobs,
                  bool backfill, std::uint64_t seed,
                  const std::string& report_file, const RecoveryOptions& rec,
-                 const net::FabricConfig& fabric) {
+                 const net::FabricConfig& fabric, bool analyze) {
   const auto policy = sched::parse_policy(policy_name);
   if (!policy) {
     std::fprintf(stderr,
@@ -202,6 +212,7 @@ int run_schedule(const std::string& policy_name, int hosts, int jobs,
   config.max_restarts = rec.max_restarts;
   config.blacklist_threshold = rec.blacklist_threshold;
   config.fabric = fabric;
+  config.observe = analyze;
   sched::Scheduler scheduler(config);
 
   const int cores = hosts * config.host_shape.total_cores();
@@ -288,6 +299,21 @@ int run_schedule(const std::string& policy_name, int hosts, int jobs,
                   "attempts\n",
                   event.host, event.at, event.crashes);
   }
+  std::map<std::string, obs::analysis::Analysis> job_analyses;
+  if (analyze) {
+    // Per-job critical paths: each job's spans live in their own virtual
+    // timeline starting at 0, so each is analyzed independently.
+    for (const auto& job : scheduler.jobs()) {
+      if (job.result.rank_times.empty()) continue;
+      auto analysis = obs::analysis::analyze(
+          job.result.spans, static_cast<int>(job.result.rank_times.size()),
+          job.result.rank_times);
+      std::fprintf(stderr, "--- %s (%s, %d ranks) ---\n", job.spec.name.c_str(),
+                   job.spec.body.c_str(), job.spec.ranks);
+      std::fputs(obs::analysis::analysis_summary(analysis).c_str(), stderr);
+      job_analyses.emplace(job.spec.name, std::move(analysis));
+    }
+  }
   if (!report_file.empty()) {
     obs::ReportContext ctx;
     ctx.app = "schedule";
@@ -295,6 +321,7 @@ int run_schedule(const std::string& policy_name, int hosts, int jobs,
     ctx.policy = policy_name;
     ctx.seed = seed;
     ctx.cluster = &metrics;
+    if (analyze) ctx.job_analyses = &job_analyses;
     write_text_file(report_file, obs::schedule_report_json(ctx, scheduler));
     std::printf("schedule report written to %s\n", report_file.c_str());
   }
@@ -349,6 +376,10 @@ int main(int argc, char** argv) {
   plan.config.seed = static_cast<std::uint64_t>(opts.get_int("seed", 42, "job seed"));
   plan.show_profile = opts.get_flag("profile", "print the mpiP-style profile");
   plan.show_metrics = opts.get_flag("metrics", "print the metrics registry snapshot");
+  plan.analyze = opts.get_flag(
+      "analyze",
+      "critical-path & wait-state analysis: blame table to stderr, 'analysis' "
+      "report section, critical-path trace track (per job with --schedule)");
   plan.report_file =
       opts.get("report", "", "write the versioned run-report JSON to this file");
   plan.trace_file = opts.get(
@@ -390,12 +421,13 @@ int main(int argc, char** argv) {
 
   if (!schedule.empty())
     return run_schedule(schedule, std::max(hosts, 2), jobs, !no_backfill,
-                        plan.config.seed, plan.report_file, rec, fabric);
+                        plan.config.seed, plan.report_file, rec, fabric,
+                        plan.analyze);
 
   // Observability costs nothing in virtual time, so any output flag simply
   // switches it on; --trace-out additionally records the instant events.
-  plan.config.observe =
-      plan.show_metrics || !plan.report_file.empty() || !plan.trace_file.empty();
+  plan.config.observe = plan.show_metrics || plan.analyze ||
+                        !plan.report_file.empty() || !plan.trace_file.empty();
   plan.config.record_trace = !plan.trace_file.empty();
   plan.policy_name = policy == "default" ? "default" : "aware";
 

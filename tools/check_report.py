@@ -12,9 +12,14 @@ report:
   * v4 reg_cache section (when present): pinned <= peak <= capacity,
     pinned <= registered, and the headline hit/miss/eviction counts agree
     with the hca.reg_cache.* metrics counters
+  * v5 analysis section (when present, single and per schedule job): blame
+    times non-negative and summing to the critical path, fractions in
+    [0, 1], segments/top_segments inside [0, critical_path], wait-state
+    and coll-group times non-negative
   * comm_fraction and every other fraction in [0, 1]
   * histogram bucket counts sum to the histogram's count, bucket upper
-    bounds strictly ascending, sum consistent with the bucket ranges
+    bounds strictly ascending, sum consistent with the bucket ranges,
+    and (v5) p50 <= p95 <= p99 with each a valid bucket upper bound
   * counter/profile consistency: per-channel op counters equal the
     profile's channel table (Table-I path), eager + rndv sends equal the
     channel-op total
@@ -22,10 +27,12 @@ report:
 
 trace:
   * the document is a Chrome/Perfetto trace: {"traceEvents": [...]}
-  * every event has ph in {X, i, M}, ts >= 0 and (for X) dur >= 0
-  * timestamps are monotone in file order per (pid, tid) track
+  * every event has ph in {X, i, M, s, f}, ts >= 0 and (for X) dur >= 0
+  * X timestamps are monotone in file order per (pid, tid) track
   * duration events nest properly on every rank track (pid < 1000):
     a span that begins inside an open span must end within it
+  * flow events ('s' -> 'f') pair up by id: every flow finish has a
+    matching start and ids are not reused
 
 Usage:
   tools/check_report.py --report report.json --trace trace.json
@@ -95,6 +102,18 @@ def check_histogram(path, hist):
     if buckets and not lo <= s <= max_sum:
         problem(path, f"histogram {name}: sum {s} outside the bucket-implied "
                       f"range [{lo}, {max_sum}]")
+    # v5 percentiles: derived from the buckets, so each must be one of the
+    # bucket upper bounds and the sequence must be monotone in q.
+    quants = [hist.get(q) for q in ("p50", "p95", "p99")]
+    if any(q is not None for q in quants):
+        if any(q is None for q in quants):
+            problem(path, f"histogram {name}: partial percentile set {quants}")
+        elif not quants[0] <= quants[1] <= quants[2]:
+            problem(path, f"histogram {name}: percentiles not monotone "
+                          f"{quants}")
+        elif buckets and any(q not in uppers for q in quants):
+            problem(path, f"histogram {name}: percentile not a bucket upper "
+                          f"bound ({quants} vs {uppers})")
 
 
 def check_report(path):
@@ -170,6 +189,69 @@ def check_report(path):
         check_net(path, doc["net"])
     if doc.get("version", 0) >= 4 and "reg_cache" in doc:
         check_reg_cache(path, doc["reg_cache"], counters)
+    if doc.get("version", 0) >= 5 and "analysis" in doc:
+        check_analysis(path, doc["analysis"], "analysis")
+
+
+BLAME_CATEGORIES = ["compute", "eager", "rndv", "registration", "contention",
+                    "retry", "recovery", "mpi-other", "idle"]
+
+
+def check_analysis(path, analysis, where):
+    """v5 analysis section: the critical-path walk tiles [0, critical_path]
+    exactly, so the blame table must sum to the path length; every fraction
+    is in [0, 1]; every segment and wait-state time is a non-negative
+    virtual-time interval inside the path."""
+    cp = analysis.get("critical_path_us", -1)
+    if not isinstance(cp, (int, float)) or cp < 0:
+        problem(path, f"{where}.critical_path_us = {cp!r} is not >= 0")
+        return
+    eps = 1e-6 * max(cp, 1.0)
+    if analysis.get("end_rank", -1) < 0:
+        problem(path, f"{where}.end_rank = {analysis.get('end_rank')!r} "
+                      f"is not a rank")
+    blames = analysis.get("blame", [])
+    if [b.get("category") for b in blames] != BLAME_CATEGORIES:
+        problem(path, f"{where}.blame categories are not exactly "
+                      f"{BLAME_CATEGORIES}")
+    total = 0.0
+    for b in blames:
+        cat = b.get("category", "?")
+        t = b.get("time_us", -1)
+        if t < 0:
+            problem(path, f"{where}.blame[{cat}].time_us = {t!r} is negative")
+        total += max(t, 0)
+        check_fraction(path, f"{where}.blame[{cat}].fraction",
+                       b.get("fraction", -1))
+    if blames and abs(total - cp) > eps:
+        problem(path, f"{where}: blame sums to {total}, critical path "
+                      f"is {cp} (segments must tile the path)")
+    if analysis.get("segments", -1) < 0:
+        problem(path, f"{where}.segments is negative")
+    for i, seg in enumerate(analysis.get("top_segments", [])):
+        b, e = seg.get("begin_us", -1), seg.get("end_us", -1)
+        if not -eps <= b < e <= cp + eps:
+            problem(path, f"{where}.top_segments[{i}]: [{b}, {e}] not a "
+                          f"forward interval inside [0, {cp}]")
+        if abs(seg.get("time_us", -1) - (e - b)) > eps:
+            problem(path, f"{where}.top_segments[{i}]: time_us "
+                          f"{seg.get('time_us')!r} != end - begin")
+        if seg.get("category") not in BLAME_CATEGORIES:
+            problem(path, f"{where}.top_segments[{i}]: unknown category "
+                          f"{seg.get('category')!r}")
+    for ws in analysis.get("wait_states", []):
+        rank = ws.get("rank", "?")
+        for key in ("late_sender_us", "late_receiver_us", "coll_imbalance_us",
+                    "contention_us", "registration_us"):
+            if ws.get(key, -1) < 0:
+                problem(path, f"{where}.wait_states[rank {rank}].{key} "
+                              f"is negative")
+    for g in analysis.get("coll_groups", []):
+        if g.get("calls", 0) < 1:
+            problem(path, f"{where}.coll_groups[{g.get('name')!r}]: no calls")
+        if g.get("imbalance_us", -1) < 0:
+            problem(path, f"{where}.coll_groups[{g.get('name')!r}]: "
+                          f"negative imbalance")
 
 
 def check_net(path, net):
@@ -284,6 +366,8 @@ def check_schedule(path, doc):
             problem(path, f"job {name}: ended before it started")
         check_fraction(path, f"job {name} intra_host_share",
                        job.get("intra_host_share", -1))
+        if doc.get("version", 0) >= 5 and "analysis" in job:
+            check_analysis(path, job["analysis"], f"job {name} analysis")
         if doc.get("version", 0) < 2:
             continue
         if job.get("attempt", 0) < 0:
@@ -319,10 +403,12 @@ def check_trace(path):
 
     last_ts = {}      # (pid, tid) -> last ts seen, file order
     open_spans = {}   # (pid, tid) -> stack of (ts, ts + dur, name)
+    flow_starts = set()
+    flow_finishes = set()
     saw_duration = False
     for i, ev in enumerate(events):
         ph = ev.get("ph")
-        if ph not in ("X", "i", "M"):
+        if ph not in ("X", "i", "M", "s", "f"):
             problem(path, f"event {i}: unexpected ph {ph!r}")
             continue
         if ph == "M":
@@ -330,6 +416,23 @@ def check_trace(path):
         ts = ev.get("ts", -1)
         if not isinstance(ts, (int, float)) or ts < 0:
             problem(path, f"event {i}: ts = {ts!r} is not >= 0")
+            continue
+        if ph in ("s", "f"):
+            fid = ev.get("id")
+            if fid is None:
+                problem(path, f"event {i}: flow event without an id")
+                continue
+            if ph == "s":
+                if fid in flow_starts:
+                    problem(path, f"event {i}: flow id {fid!r} started twice")
+                flow_starts.add(fid)
+            else:
+                if ev.get("bp") != "e":
+                    problem(path, f"event {i}: flow finish without bp='e' "
+                                  f"(must bind to the enclosing slice)")
+                if fid in flow_finishes:
+                    problem(path, f"event {i}: flow id {fid!r} finished twice")
+                flow_finishes.add(fid)
             continue
         if ph != "X":
             continue  # instants keep recorder order; only ts >= 0 is claimed
@@ -357,6 +460,14 @@ def check_trace(path):
         stack.append((ts, ts + dur, ev.get("name")))
     if not saw_duration:
         problem(path, "no duration ('X') events found")
+    unmatched = flow_finishes - flow_starts
+    if unmatched:
+        problem(path, f"{len(unmatched)} flow finishes with no matching "
+                      f"start (e.g. id {sorted(unmatched)[0]!r})")
+    dangling = flow_starts - flow_finishes
+    if dangling:
+        problem(path, f"{len(dangling)} flow starts never finished "
+                      f"(e.g. id {sorted(dangling)[0]!r})")
 
 
 def main():
