@@ -110,6 +110,15 @@ int main(int argc, char** argv) {
                      Table::num(m.completed_work_us, 1),
                      Table::num(to_millis(m.makespan), 3)});
       json.begin_object();
+      // (label, bytes, latency_us) key the row for tools/check_regress.py;
+      // the sweep's headline latency is the cell's makespan.
+      std::string label = "p";
+      label += Table::num(prob, 1);
+      label += "/i";
+      label += Table::num(interval, 0);
+      json.field("label", label);
+      json.field("bytes", std::uint64_t{0});
+      json.field("latency_us", m.makespan);
       json.field("crash_prob", prob);
       json.field("checkpoint_interval_us", interval);
       json.field("crashes", m.crashes);

@@ -70,6 +70,29 @@ Bytes RegistrationCache::capacity(int rank) const {
   return shards_.at(static_cast<std::size_t>(rank)).capacity;
 }
 
+std::vector<std::vector<RegCacheEntry>> RegistrationCache::snapshot_entries()
+    const {
+  std::vector<std::vector<RegCacheEntry>> out(shards_.size());
+  for (std::size_t r = 0; r < shards_.size(); ++r) {
+    out[r].reserve(shards_[r].lru.size());
+    for (const Entry& entry : shards_[r].lru)
+      out[r].push_back(RegCacheEntry{entry.id, entry.bytes});
+  }
+  return out;
+}
+
+void RegistrationCache::warm(int rank, const std::vector<RegCacheEntry>& entries) {
+  auto& shard = shards_.at(static_cast<std::size_t>(rank));
+  CBMPI_REQUIRE(shard.lru.empty(), "reg cache warmed after first use");
+  for (const RegCacheEntry& entry : entries) {
+    if (shard.pinned + entry.bytes > shard.capacity) break;
+    shard.lru.push_back(Entry{entry.id, entry.bytes});
+    shard.index.emplace(entry.id, std::prev(shard.lru.end()));
+    shard.pinned += entry.bytes;
+  }
+  if (shard.pinned > shard.peak) shard.peak = shard.pinned;
+}
+
 RegCacheStats RegistrationCache::stats() const {
   RegCacheStats stats;
   for (const auto& shard : shards_) {

@@ -39,6 +39,22 @@ struct RegCacheStats {
   Bytes registered_bytes = 0;   ///< total bytes pinned over the job
 };
 
+/// One pinned region, as exported by snapshot_entries() / re-pinned by
+/// warm(): the buffer id the ADI3 engine assigned plus its pinned size.
+struct RegCacheEntry {
+  std::uint64_t id = 0;
+  Bytes bytes = 0;
+};
+
+/// Pin-down state carried across the segments of a live migration
+/// (src/migrate/): per-rank entry lists in MRU-first order. The migration
+/// engine clears the moved ranks' lists — their registrations die with the
+/// source container, so the resumed segment re-registers cold — and warms
+/// every other rank's shard so unaffected ranks keep their hits.
+struct RegCacheWarmState {
+  std::vector<std::vector<RegCacheEntry>> entries;  ///< [rank][MRU..LRU]
+};
+
 class RegistrationCache {
  public:
   /// Outcome of one lookup: either the buffer was already pinned (hit) or it
@@ -68,6 +84,16 @@ class RegistrationCache {
 
   /// Aggregated over ranks. Call only after rank threads joined.
   RegCacheStats stats() const;
+
+  /// Every shard's live entries, MRU first. Call only after rank threads
+  /// joined (migration-segment export).
+  std::vector<std::vector<RegCacheEntry>> snapshot_entries() const;
+
+  /// Pre-pins `entries` (MRU first) into `rank`'s shard before the job body
+  /// runs: recency order is preserved and entries that no longer fit the
+  /// (possibly VF-share-rescaled) capacity are dropped from the LRU end.
+  /// Counts nothing — warming is carried state, not traffic.
+  void warm(int rank, const std::vector<RegCacheEntry>& entries);
 
  private:
   struct Entry {

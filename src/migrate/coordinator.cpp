@@ -1,0 +1,86 @@
+#include "migrate/coordinator.hpp"
+
+#include "common/error.hpp"
+
+namespace cbmpi::migrate {
+
+Coordinator::Coordinator(Micros epoch, int min_rounds)
+    : epoch_(epoch), min_rounds_(min_rounds) {
+  CBMPI_REQUIRE(epoch > 0.0, "quiesce epoch must be positive, got ", epoch);
+  CBMPI_REQUIRE(min_rounds >= 1, "quiesce needs at least one completed round");
+}
+
+void Coordinator::begin_attempt(int nranks) {
+  const std::scoped_lock lock(mutex_);
+  CBMPI_REQUIRE(nranks > 0, "quiesce coordinator needs ranks, got ", nranks);
+  nranks_ = nranks;
+  saves_ = 0;
+  fired_ = false;
+  decided_round_ = -1;
+  verdict_ = false;
+  round_ = -1;
+  at_ = 0.0;
+  pending_msgs_ = 0;
+  state_.assign(static_cast<std::size_t>(nranks), {});
+}
+
+bool Coordinator::decide(int round, Micros aligned) {
+  const std::scoped_lock lock(mutex_);
+  if (round == decided_round_) return verdict_;
+  decided_round_ = round;
+  verdict_ = !fired_ && round_ < 0 && round >= min_rounds_ && aligned >= epoch_;
+  if (verdict_) {
+    round_ = round;
+    at_ = aligned;
+  }
+  return verdict_;
+}
+
+void Coordinator::save(int rank, int round, Micros aligned,
+                       std::vector<std::uint8_t> state,
+                       std::uint64_t pending_msgs) {
+  const std::scoped_lock lock(mutex_);
+  CBMPI_REQUIRE(round == round_ && aligned == at_,
+                "quiesce save from rank ", rank, " at round ", round,
+                " does not match the firing round ", round_);
+  auto& slot = state_.at(static_cast<std::size_t>(rank));
+  CBMPI_REQUIRE(slot.empty() && !fired_, "rank ", rank, " quiesced twice");
+  slot = std::move(state);
+  pending_msgs_ += pending_msgs;
+  if (++saves_ == nranks_) fired_ = true;
+}
+
+bool Coordinator::fired() const {
+  const std::scoped_lock lock(mutex_);
+  return fired_;
+}
+
+int Coordinator::round() const {
+  const std::scoped_lock lock(mutex_);
+  return round_;
+}
+
+Micros Coordinator::at() const {
+  const std::scoped_lock lock(mutex_);
+  return at_;
+}
+
+Bytes Coordinator::total_bytes() const {
+  const std::scoped_lock lock(mutex_);
+  Bytes total = 0;
+  for (const auto& state : state_) total += static_cast<Bytes>(state.size());
+  return total;
+}
+
+std::uint64_t Coordinator::drained_pending() const {
+  const std::scoped_lock lock(mutex_);
+  return pending_msgs_;
+}
+
+std::vector<std::vector<std::uint8_t>> Coordinator::take_state() {
+  const std::scoped_lock lock(mutex_);
+  CBMPI_REQUIRE(fired_, "take_state before the quiesce fired");
+  return std::move(state_);
+}
+
+}  // namespace cbmpi::migrate

@@ -1,0 +1,27 @@
+#include "migrate/plan.hpp"
+
+#include "common/error.hpp"
+
+namespace cbmpi::migrate {
+
+const char* to_string(MigrationPolicy policy) {
+  switch (policy) {
+    case MigrationPolicy::Off: return "off";
+    case MigrationPolicy::Defrag: return "defrag";
+    case MigrationPolicy::Evacuate: return "evacuate";
+    case MigrationPolicy::Colocate: return "colocate";
+  }
+  return "?";
+}
+
+MigrationPolicy parse_policy(const std::string& text) {
+  if (text == "off") return MigrationPolicy::Off;
+  if (text == "defrag") return MigrationPolicy::Defrag;
+  if (text == "evacuate") return MigrationPolicy::Evacuate;
+  if (text == "colocate") return MigrationPolicy::Colocate;
+  CBMPI_REQUIRE(false, "unknown migration policy '", text,
+                "' (expected off|defrag|evacuate|colocate)");
+  return MigrationPolicy::Off;  // unreachable
+}
+
+}  // namespace cbmpi::migrate

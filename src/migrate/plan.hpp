@@ -1,0 +1,129 @@
+// Live-migration vocabulary shared by the engine (src/migrate/engine),
+// the policies (src/sched/rebalancer) and the reporters (src/obs/report):
+// which container moves where, what the move is predicted to cost, and what
+// actually happened. Plain data below mpi/ in the layering so JobConfig /
+// JobResult can embed it without a cycle.
+//
+// The cost model (DESIGN.md §17) mirrors classic pre-copy live migration:
+// `precopy_rounds` background copies of a geometrically shrinking dirty set
+// (`dirty_rate` per round) overlap execution; the final stop-and-copy pause
+// transfers only the residue. The gate compares that pause plus the moved
+// ranks' cold re-registration cost against the predicted locality win
+// (HCA-vs-SHM per-message and per-byte deltas over the traffic still to
+// come), scaled by `cost_margin`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace cbmpi::migrate {
+
+/// What the ElasticRebalancer optimizes for. Off is the default everywhere;
+/// with Off every number in the simulator stays bit-identical to a build
+/// without src/migrate/.
+enum class MigrationPolicy : std::uint8_t {
+  Off,       ///< never migrate
+  Defrag,    ///< absorb a fragmented job's remote container onto a host
+             ///< already running the rest of the job
+  Evacuate,  ///< move containers off hosts with crash history before the
+             ///< next fault kills the whole job
+  Colocate,  ///< co-locate the chattiest cross-host rank pair
+};
+
+const char* to_string(MigrationPolicy policy);
+
+/// Parses "off" / "defrag" / "evacuate" / "colocate" (the --migrate flag).
+/// Throws on anything else.
+MigrationPolicy parse_policy(const std::string& text);
+
+/// Knobs of the pre-copy cost model (--migrate-cost, --precopy-rounds).
+struct CostModel {
+  /// Gate margin: a move is worthwhile only when predicted_win_us >
+  /// total_cost_us * cost_margin. >1 = conservative, <1 = eager.
+  double cost_margin = 1.0;
+  /// Background image copies before the stop-and-copy pause.
+  int precopy_rounds = 2;
+  /// Fraction of the image re-dirtied during one pre-copy round.
+  double dirty_rate = 0.5;
+};
+
+/// One container move, in the coordinates of the job's JobPlacement: local
+/// (dense) source host id + container index there, destination physical
+/// host, the ranks that ride along, and the destination flat core ids
+/// (one per moved rank, disjoint from every cpuset already on the host).
+struct MoveSpec {
+  int src_host = -1;         ///< local host id in the placement
+  int container_index = -1;  ///< container on src_host
+  int dst_phys_host = -1;    ///< physical host id (cluster coordinates)
+  std::vector<int> ranks;    ///< ranks inside the moved container
+  std::vector<int> dst_cores;  ///< flat core ids on the destination
+};
+
+/// The rebalancer's traffic forecast for the pairs a move would turn local:
+/// how many messages and payload bytes they still exchange after the epoch.
+struct TrafficForecast {
+  std::uint64_t messages = 0;
+  Bytes bytes = 0;
+};
+
+/// Everything the cost gate computed, kept for the run report so a rejected
+/// or executed move can be audited (predicted vs actual).
+struct CostEstimate {
+  Bytes image_bytes = 0;       ///< container image = moved ranks' state
+  int precopy_rounds = 0;
+  Bytes stop_copy_bytes = 0;   ///< residue transferred during the pause
+  Micros precopy_us = 0.0;     ///< background copy time (overlapped)
+  Micros pause_us = 0.0;       ///< snapshot + stop-and-copy + resume
+  Micros rereg_us = 0.0;       ///< cold re-registration on the destination
+  Micros total_us = 0.0;       ///< pause_us + rereg_us
+  Micros predicted_win_us = 0.0;  ///< locality win over the remaining traffic
+  bool worthwhile = false;     ///< predicted_win_us > total_us * cost_margin
+};
+
+/// One accepted move, handed from the policy layer to the engine.
+struct MigrationPlan {
+  MigrationPolicy policy = MigrationPolicy::Off;
+  MoveSpec move;
+  /// Quiesce at the first body-round boundary at or after this virtual time
+  /// (and after at least one completed round, so pair state exists to flush).
+  Micros epoch = 1.0;
+  CostModel cost{};
+  CostEstimate estimate{};
+  /// Socket geometry used to resolve flat destination core ids into
+  /// (socket, core) pins; 0 = the ClusterBuilder default shape.
+  int cores_per_socket = 0;
+};
+
+/// What one executed migration actually did (run-report v6 `migration`).
+struct MigrationRecord {
+  MoveSpec move;
+  CostEstimate cost;           ///< the gate's prediction, for comparison
+  int quiesce_round = -1;      ///< body round at which ranks drained
+  Micros quiesce_at = 0.0;     ///< aligned quiesce instant (source segment)
+  Micros resume_at = 0.0;      ///< virtual time the job resumed on the dst
+  Bytes snapshot_bytes = 0;    ///< image actually snapshotted
+  std::uint64_t drained_msgs = 0;  ///< matcher depth summed at the quiesce
+  Micros pause_us = 0.0;       ///< actual snapshot + transfer + resume cost
+  int pairs_to_local = 0;      ///< rank pairs that became host-local
+  int pairs_to_remote = 0;     ///< rank pairs the move pushed off-host
+  std::uint64_t invalidated_reg_entries = 0;  ///< pin-down entries dropped
+  Bytes invalidated_reg_bytes = 0;
+};
+
+/// Per-job migration outcome, embedded in mpi::JobResult and aggregated by
+/// the scheduler into ClusterMetrics.
+struct MigrationReport {
+  bool enabled = false;  ///< a migration engine drove this job
+  MigrationPolicy policy = MigrationPolicy::Off;
+  int proposed = 0;
+  int rejected = 0;  ///< proposals the cost gate turned down
+  int executed = 0;
+  Micros total_pause_us = 0.0;
+  Micros predicted_win_us = 0.0;
+  Micros predicted_cost_us = 0.0;
+  std::vector<MigrationRecord> records;
+};
+
+}  // namespace cbmpi::migrate

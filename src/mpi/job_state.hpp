@@ -28,6 +28,10 @@
 #include "sim/trace.hpp"
 #include "topo/calibration.hpp"
 
+namespace cbmpi::migrate {
+class Coordinator;
+}
+
 namespace cbmpi::mpi {
 
 class CheckpointStore;
@@ -97,6 +101,10 @@ struct JobState {
   /// Coordinated checkpoint coordinator (null when checkpointing is off and
   /// the job is not a restore — Process::checkpoint is then a free no-op).
   CheckpointStore* checkpoint = nullptr;
+
+  /// Live-migration quiesce coordinator (JobConfig::quiesce pass-through;
+  /// null on every ordinary run).
+  migrate::Coordinator* quiesce = nullptr;
 
   std::mutex windows_mutex;
   std::map<std::uint64_t, std::shared_ptr<WindowInfo>> windows;

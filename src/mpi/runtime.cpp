@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "container/engine.hpp"
+#include "migrate/coordinator.hpp"
 #include "mpi/locality.hpp"
 #include "osl/machine.hpp"
 #include "topo/hardware.hpp"
@@ -63,7 +64,9 @@ bool Process::fabric_probe() const { return engine_.job().net_probe; }
 
 bool Process::checkpoint(int completed_rounds, std::span<const std::uint8_t> state) {
   auto* store = engine_.job().checkpoint;
-  if (!store || !store->taking()) return false;
+  auto* quiesce = engine_.job().quiesce;
+  const bool taking = store && store->taking();
+  if (!taking && quiesce == nullptr) return false;
   // Quiesce: align every rank to one virtual instant. All ranks then hold
   // the same `aligned`, so the store's take/skip decision is uniform.
   const Micros aligned = phase_barrier_->arrive_and_wait(os_->clock().now());
@@ -72,6 +75,25 @@ bool Process::checkpoint(int completed_rounds, std::span<const std::uint8_t> sta
   // before saving — the snapshot for this round then never commits and the
   // previous one stays the restart point (all-or-nothing commit).
   engine_.check_crash();
+  if (quiesce != nullptr && quiesce->decide(completed_rounds, aligned)) {
+    // Live-migration quiesce: every in-flight send was drained through the
+    // matcher before the barrier (the round's receives completed), so the
+    // pending depth recorded here is the drain evidence. Snapshot, charge
+    // the same cost as a coordinated checkpoint, and unwind the segment.
+    const std::uint64_t pending = engine_.job().matcher(rank()).pending();
+    quiesce->save(rank(), completed_rounds, aligned,
+                  std::vector<std::uint8_t>(state.begin(), state.end()), pending);
+    const Micros cost = CheckpointStore::snapshot_cost(state.size());
+    os_->clock().advance(cost);
+    engine_.profile().add_recovery(cost);
+    if (engine_.job().spans)
+      engine_.job().spans->record(
+          {"migrate-quiesce", obs::SpanCat::Migrate, rank(), -1, -1,
+           static_cast<Bytes>(state.size()), aligned, os_->clock().now(),
+           "round " + std::to_string(completed_rounds)});
+    throw migrate::QuiesceInterrupt{};
+  }
+  if (!taking) return false;
   if (!store->decide(completed_rounds, aligned)) return false;
   store->save(rank(), completed_rounds, aligned,
               std::vector<std::uint8_t>(state.begin(), state.end()));
@@ -317,6 +339,15 @@ JobResult run_job_attempt(const JobConfig& config,
   job.nranks = nranks;
   job.seed = config.seed;
 
+  // --- live-migration quiesce ----------------------------------------------
+  // Like the per-attempt CheckpointStore below, the coordinator restarts for
+  // every attempt: the fabric model's record and apply passes each quiesce
+  // from scratch, and the apply pass's snapshot is the one that stands.
+  if (config.quiesce != nullptr) {
+    config.quiesce->begin_attempt(nranks);
+    job.quiesce = config.quiesce;
+  }
+
   // --- fabric model ---------------------------------------------------------
   if (net != nullptr) {
     // Every rank's cluster-wide host id: scheduler-placed jobs see the full
@@ -380,6 +411,16 @@ JobResult run_job_attempt(const JobConfig& config,
             job.fabric->vf_share(
                 job.rank_phys_host[static_cast<std::size_t>(r)]));
     job.hca->init_reg_cache(std::move(capacity));
+    // A migration's resume segment starts with the previous segment's cache
+    // warm for every rank that did not move (the engine clears the moved
+    // ranks' entry lists before handing the carry over).
+    if (config.reg_warm && !config.reg_warm->entries.empty()) {
+      auto* cache = job.hca->mutable_reg_cache();
+      const int carried = std::min(
+          nranks, static_cast<int>(config.reg_warm->entries.size()));
+      for (int r = 0; r < carried; ++r)
+        cache->warm(r, config.reg_warm->entries[static_cast<std::size_t>(r)]);
+    }
   }
   if (inject) {
     job.faults = &injector;
@@ -604,7 +645,11 @@ JobResult run_job_attempt(const JobConfig& config,
   const RankFailure* root = nullptr;
   int root_rank = -1;
   bool any_crash = false;
+  // A fired quiesce means every rank unwound with QuiesceInterrupt — a clean
+  // segment end, not a failure; the bystander pass must not pick one up.
+  const bool quiesced = config.quiesce != nullptr && config.quiesce->fired();
   for (int pass = 0; pass < 2 && !root; ++pass) {
+    if (pass == 1 && quiesced) break;
     for (int r = 0; r < nranks; ++r) {
       const auto& failure = failures[static_cast<std::size_t>(r)];
       if (!failure.error) continue;
@@ -616,6 +661,8 @@ JobResult run_job_attempt(const JobConfig& config,
           continue;
         } catch (const AbortedError&) {
           continue;  // secondary casualty, keep looking
+        } catch (const migrate::QuiesceInterrupt&) {
+          continue;  // clean quiesce unwind, never a root cause
         } catch (...) {
         }
       }
@@ -688,6 +735,11 @@ JobResult run_job_attempt(const JobConfig& config,
   }
   result.hca_queue_pairs = job.hca->queue_pairs();
   result.reg_cache = job.hca->reg_cache_stats();
+  // Export the final pin-down state for the migration engine's next segment
+  // — only from the pass whose results stand (never the record pass).
+  if (config.reg_warm && config.tuning.reg_model &&
+      (net == nullptr || net->apply))
+    config.reg_warm->entries = job.hca->reg_cache()->snapshot_entries();
   if (config.record_trace) result.trace = recorder.events();
   result.fault_report = fault_log.finalize();
   if (checkpoint_store) {

@@ -22,6 +22,7 @@
 #include "fabric/reg_cache.hpp"
 #include "fabric/selector.hpp"
 #include "faults/fault.hpp"
+#include "migrate/plan.hpp"
 #include "mpi/checkpoint.hpp"
 #include "mpi/coll/tuning_table.hpp"
 #include "mpi/communicator.hpp"
@@ -32,6 +33,10 @@
 #include "prof/profile.hpp"
 #include "sim/trace.hpp"
 #include "topo/calibration.hpp"
+
+namespace cbmpi::migrate {
+class Coordinator;
+}
 
 namespace cbmpi::mpi {
 
@@ -89,6 +94,17 @@ struct JobConfig {
   /// functions of (config, seed) and rerun bit-identically.
   net::FabricConfig fabric{};
 
+  /// Live-migration quiesce hook (engine-installed, never user-set): when
+  /// non-null, Process::checkpoint consults it at every round boundary and
+  /// the job segment ends with a QuiesceInterrupt on the firing round. Null
+  /// on every ordinary run — the added cost is one pointer test.
+  migrate::Coordinator* quiesce = nullptr;
+
+  /// Pin-down cache state carried across migration segments
+  /// (engine-installed): entries warmed into the fresh cache before rank
+  /// threads start, and the final cache exported back at job end.
+  std::shared_ptr<fabric::RegCacheWarmState> reg_warm;
+
   bool record_trace = false;
 
   /// Attaches the observability layer (obs::MetricsRegistry + span tracing)
@@ -129,6 +145,10 @@ struct JobResult {
   bool restored = false;
   int restore_round = 0;
   Micros restore_progress_us = 0.0;
+
+  /// Live-migration outcome (report v6 "migration" section). `enabled` is
+  /// false unless a migrate::Engine drove this job.
+  migrate::MigrationReport migration;
 };
 
 /// The per-rank handle passed to the job body.

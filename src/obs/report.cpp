@@ -193,6 +193,59 @@ void write_reg_cache(JsonWriter& w, const fabric::RegCacheStats& stats) {
   w.end_object();
 }
 
+void write_migration_record(JsonWriter& w, const migrate::MigrationRecord& rec) {
+  w.begin_object();
+  w.key("move").begin_object();
+  w.field("src_host", rec.move.src_host);
+  w.field("container", rec.move.container_index);
+  w.field("dst_phys_host", rec.move.dst_phys_host);
+  w.key("ranks").begin_array();
+  for (const int r : rec.move.ranks) w.value(std::int64_t{r});
+  w.end_array();
+  w.end_object();
+  w.field("quiesce_round", rec.quiesce_round);
+  w.field("quiesce_at_us", rec.quiesce_at);
+  w.field("resume_at_us", rec.resume_at);
+  w.field("snapshot_bytes", rec.snapshot_bytes);
+  w.field("drained_msgs", rec.drained_msgs);
+  w.field("pause_us", rec.pause_us);
+  w.field("pairs_to_local", rec.pairs_to_local);
+  w.field("pairs_to_remote", rec.pairs_to_remote);
+  w.field("invalidated_reg_entries", rec.invalidated_reg_entries);
+  w.field("invalidated_reg_bytes", rec.invalidated_reg_bytes);
+  w.key("estimate").begin_object();
+  w.field("image_bytes", rec.cost.image_bytes);
+  w.field("precopy_rounds", rec.cost.precopy_rounds);
+  w.field("stop_copy_bytes", rec.cost.stop_copy_bytes);
+  w.field("precopy_us", rec.cost.precopy_us);
+  w.field("pause_us", rec.cost.pause_us);
+  w.field("rereg_us", rec.cost.rereg_us);
+  w.field("total_us", rec.cost.total_us);
+  w.field("predicted_win_us", rec.cost.predicted_win_us);
+  w.field("worthwhile", rec.cost.worthwhile);
+  w.end_object();
+  w.end_object();
+}
+
+/// The v6 "migration" section body, shared by both report flavors. Callers
+/// gate emission (single: a migration engine drove the job; schedule: a
+/// migration policy was on), so off-policy reports stay byte-identical to
+/// v5 documents apart from the version field.
+void write_migration(JsonWriter& w, const migrate::MigrationReport& report) {
+  w.key("migration").begin_object();
+  w.field("policy", migrate::to_string(report.policy));
+  w.field("proposed", report.proposed);
+  w.field("rejected", report.rejected);
+  w.field("executed", report.executed);
+  w.field("total_pause_us", report.total_pause_us);
+  w.field("predicted_win_us", report.predicted_win_us);
+  w.field("predicted_cost_us", report.predicted_cost_us);
+  w.key("records").begin_array();
+  for (const auto& rec : report.records) write_migration_record(w, rec);
+  w.end_array();
+  w.end_object();
+}
+
 void write_header(JsonWriter& w, const ReportContext& ctx, const char* mode) {
   w.field("schema", "cbmpi.run_report");
   w.field("version", std::int64_t{kRunReportVersion});
@@ -260,6 +313,7 @@ std::string run_report_json(const ReportContext& ctx, const mpi::JobResult& resu
   write_recovery(w, result);
   if (result.net.enabled) write_net(w, result.net);
   if (result.reg_cache.enabled) write_reg_cache(w, result.reg_cache);
+  if (result.migration.enabled) write_migration(w, result.migration);
   if (ctx.analysis != nullptr) {
     w.key("analysis");
     analysis::write_analysis(w, *ctx.analysis);
@@ -279,6 +333,26 @@ std::string schedule_report_json(const ReportContext& ctx,
   write_header(w, ctx, "schedule");
   w.key("cluster");
   write_cluster_metrics(w, scheduler.metrics());
+  if (scheduler.config().migrate_policy != migrate::MigrationPolicy::Off) {
+    // Aggregate the per-job migration outcomes into one v6 section; the
+    // per-move records ride along so the locality-win-vs-cost story of each
+    // executed move is auditable from the schedule report alone.
+    migrate::MigrationReport aggregate;
+    aggregate.enabled = true;
+    aggregate.policy = scheduler.config().migrate_policy;
+    const auto& metrics = scheduler.metrics();
+    aggregate.proposed = metrics.migrations_proposed;
+    aggregate.rejected = metrics.migrations_rejected;
+    aggregate.executed = metrics.migrations_executed;
+    aggregate.total_pause_us = metrics.migration_pause_us;
+    aggregate.predicted_win_us = metrics.migration_win_us;
+    aggregate.predicted_cost_us = metrics.migration_cost_us;
+    for (const auto& job : scheduler.jobs()) {
+      for (const auto& rec : job.result.migration.records)
+        aggregate.records.push_back(rec);
+    }
+    write_migration(w, aggregate);
+  }
   w.key("jobs").begin_array();
   for (const auto& job : scheduler.jobs()) {
     w.begin_object();

@@ -38,7 +38,14 @@ namespace cbmpi::obs {
 /// only when the run was analyzed (--analyze) — the "analysis" section
 /// (critical-path length, top-k segments, per-category blame, per-rank
 /// wait-state table); schedule reports gain the same object per job row.
-inline constexpr int kRunReportVersion = 5;
+/// v6: adds the "migration" section. Single reports driven by
+/// migrate::Engine get policy, proposal/execution counts, the cost gate's
+/// prediction (pause + re-reg vs locality win) and one record per executed
+/// move (quiesce round, drained messages, pause, pair locality delta,
+/// invalidated pin-down entries); absent without a migration engine.
+/// Schedule reports gain the same section whenever a migration policy is
+/// on, aggregated across jobs plus per-job records.
+inline constexpr int kRunReportVersion = 6;
 
 /// What the emitter cannot read off a JobResult: how the job was launched.
 struct ReportContext {

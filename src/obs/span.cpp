@@ -12,6 +12,7 @@ const char* to_string(SpanCat cat) {
     case SpanCat::Proto: return "proto";
     case SpanCat::Compute: return "compute";
     case SpanCat::Fault: return "fault";
+    case SpanCat::Migrate: return "migrate";
   }
   return "?";
 }

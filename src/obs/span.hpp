@@ -10,6 +10,8 @@
 //            the rendezvous RTS->done handshake), channel track
 //   Compute  a Process::compute phase, rank track
 //   Fault    recovery time (retry backoff, locality fallback), rank track
+//   Migrate  live-migration time (quiesce snapshot, image transfer, resume),
+//            rank track
 //
 // Recorder appends are thread-safe; append order across rank threads is
 // wall-clock noise, so exporters call sorted_spans() which orders by
@@ -27,9 +29,9 @@
 
 namespace cbmpi::obs {
 
-enum class SpanCat : std::uint8_t { Mpi, Coll, Proto, Compute, Fault };
+enum class SpanCat : std::uint8_t { Mpi, Coll, Proto, Compute, Fault, Migrate };
 
-inline constexpr std::size_t kSpanCats = 5;
+inline constexpr std::size_t kSpanCats = 6;
 
 const char* to_string(SpanCat cat);
 

@@ -163,6 +163,15 @@ struct ClusterMetrics {
   /// finishing attempt's runtime), for the saved-work shape checks.
   Micros completed_work_us = 0.0;
 
+  // Live-migration aggregates (the report v6 "migration" section); all zero
+  // with the policy off.
+  int migrations_proposed = 0;
+  int migrations_rejected = 0;   ///< proposals the cost gate turned down
+  int migrations_executed = 0;
+  Micros migration_pause_us = 0.0;
+  Micros migration_win_us = 0.0;   ///< predicted locality win, summed
+  Micros migration_cost_us = 0.0;  ///< predicted pause + re-reg, summed
+
   double intra_host_pair_share() const {
     const int total = intra_host_pairs + inter_host_pairs;
     return total == 0 ? 1.0 : static_cast<double>(intra_host_pairs) / total;

@@ -1,0 +1,292 @@
+#include "sched/rebalancer.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/error.hpp"
+#include "mpi/job_registry.hpp"
+
+namespace cbmpi::sched {
+namespace {
+
+/// One candidate container: which placement host fragment it lives in and
+/// which job ranks it holds (the chunking mirrors make_job_config: each
+/// host's rank list is cut into consecutive `ranks_per_container` chunks).
+struct Chunk {
+  int host_index = -1;       ///< index into placement.hosts
+  int container_index = -1;  ///< chunk index within that host
+  std::vector<int> ranks;
+};
+
+std::vector<Chunk> chunks_on(const Placement& placement, int host_index,
+                             int ranks_per_container) {
+  std::vector<Chunk> out;
+  const auto& ranks = placement.hosts[static_cast<std::size_t>(host_index)].ranks;
+  for (std::size_t base = 0; base < ranks.size();
+       base += static_cast<std::size_t>(ranks_per_container)) {
+    Chunk chunk;
+    chunk.host_index = host_index;
+    chunk.container_index = static_cast<int>(out.size());
+    const auto end =
+        std::min(ranks.size(), base + static_cast<std::size_t>(ranks_per_container));
+    chunk.ranks.assign(ranks.begin() + static_cast<std::ptrdiff_t>(base),
+                       ranks.begin() + static_cast<std::ptrdiff_t>(end));
+    out.push_back(std::move(chunk));
+  }
+  return out;
+}
+
+/// Symmetric traffic weight between two ranks; 0 when the hint has no entry.
+double weight(const mpi::TrafficMatrix& traffic, int a, int b) {
+  const auto ia = static_cast<std::size_t>(a);
+  const auto ib = static_cast<std::size_t>(b);
+  if (ia >= traffic.size() || ib >= traffic.size()) return 0.0;
+  double w = 0.0;
+  if (ib < traffic[ia].size()) w += traffic[ia][ib];
+  if (ia < traffic[ib].size()) w += traffic[ib][ia];
+  return w;
+}
+
+/// Net traffic weight the move converts to intra-host: pairs gained on the
+/// destination minus pairs lost on the source.
+double net_localized_weight(const mpi::TrafficMatrix& traffic,
+                            const std::vector<int>& moved,
+                            const std::vector<int>& src_stay,
+                            const std::vector<int>& dst_ranks) {
+  double net = 0.0;
+  for (int m : moved) {
+    for (int d : dst_ranks) net += weight(traffic, m, d);
+    for (int s : src_stay) net -= weight(traffic, m, s);
+  }
+  return net;
+}
+
+}  // namespace
+
+ElasticRebalancer::ElasticRebalancer(migrate::MigrationPolicy policy,
+                                     migrate::CostModel cost)
+    : policy_(policy), cost_(cost) {}
+
+RebalanceDecision ElasticRebalancer::propose(
+    const JobSpec& job, const Placement& placement, const mpi::JobConfig& config,
+    const ClusterState& state, const std::vector<int>& host_crashes,
+    const topo::HostShape& shape) const {
+  RebalanceDecision decision;
+  if (policy_ == migrate::MigrationPolicy::Off) return decision;
+  // Only containerized jobs can move, only recoverable bodies can snapshot
+  // at the quiesce epoch, and only multi-round jobs have traffic left to win.
+  if (job.ranks_per_container <= 0) return decision;
+  if (!mpi::JobBodyRegistry::instance().info(job.body).recoverable) return decision;
+  if (job.params.rounds < 2) return decision;
+
+  const auto traffic = effective_traffic(job);
+
+  // Pick (donor chunk, destination physical host) per policy.
+  Chunk moved;
+  topo::HostId dst_phys = -1;
+  const int nhosts = static_cast<int>(placement.hosts.size());
+
+  const auto crashes_at = [&](topo::HostId host) {
+    const auto i = static_cast<std::size_t>(host);
+    return i < host_crashes.size() ? host_crashes[i] : 0;
+  };
+  const auto fits = [&](topo::HostId host, std::size_t need) {
+    return !state.is_blacklisted(host) &&
+           state.free_count(host) >= static_cast<int>(need);
+  };
+
+  switch (policy_) {
+    case migrate::MigrationPolicy::Off: return decision;
+    case migrate::MigrationPolicy::Defrag: {
+      if (nhosts < 2) return decision;
+      // Donor: the host fragment with the fewest ranks (ties -> the later
+      // host, i.e. the placement's trailing spill). Move its last container
+      // (the smallest chunk when the division is uneven).
+      int donor = 0;
+      for (int h = 1; h < nhosts; ++h) {
+        if (placement.hosts[static_cast<std::size_t>(h)].ranks.size() <=
+            placement.hosts[static_cast<std::size_t>(donor)].ranks.size()) {
+          donor = h;
+        }
+      }
+      auto chunks = chunks_on(placement, donor, job.ranks_per_container);
+      if (chunks.empty()) return decision;
+      moved = chunks.back();
+      // Destination: the job host holding the most ranks that still has the
+      // free cores (ties -> lowest physical id).
+      int best = -1;
+      for (int h = 0; h < nhosts; ++h) {
+        if (h == donor) continue;
+        const auto& cand = placement.hosts[static_cast<std::size_t>(h)];
+        if (!fits(cand.host, moved.ranks.size())) continue;
+        if (best < 0 ||
+            cand.ranks.size() >
+                placement.hosts[static_cast<std::size_t>(best)].ranks.size()) {
+          best = h;
+        }
+      }
+      if (best < 0) return decision;
+      dst_phys = placement.hosts[static_cast<std::size_t>(best)].host;
+      break;
+    }
+    case migrate::MigrationPolicy::Evacuate: {
+      // Donor: the job's first host that has already produced crash faults.
+      int donor = -1;
+      for (int h = 0; h < nhosts; ++h) {
+        if (crashes_at(placement.hosts[static_cast<std::size_t>(h)].host) > 0) {
+          donor = h;
+          break;
+        }
+      }
+      if (donor < 0) return decision;
+      auto chunks = chunks_on(placement, donor, job.ranks_per_container);
+      if (chunks.empty()) return decision;
+      moved = chunks.back();
+      // Destination: prefer a crash-free host the job already occupies (the
+      // move then also wins locality); fall back to the lowest-id crash-free
+      // host with room anywhere in the cluster.
+      int best = -1;
+      for (int h = 0; h < nhosts; ++h) {
+        if (h == donor) continue;
+        const auto& cand = placement.hosts[static_cast<std::size_t>(h)];
+        if (crashes_at(cand.host) > 0 || !fits(cand.host, moved.ranks.size()))
+          continue;
+        if (best < 0 ||
+            cand.ranks.size() >
+                placement.hosts[static_cast<std::size_t>(best)].ranks.size()) {
+          best = h;
+        }
+      }
+      if (best >= 0) {
+        dst_phys = placement.hosts[static_cast<std::size_t>(best)].host;
+      } else {
+        for (topo::HostId host = 0; host < state.num_hosts(); ++host) {
+          bool used = false;
+          for (const auto& a : placement.hosts) used = used || a.host == host;
+          if (used || crashes_at(host) > 0 || !fits(host, moved.ranks.size()))
+            continue;
+          dst_phys = host;
+          break;
+        }
+        if (dst_phys < 0) return decision;
+      }
+      break;
+    }
+    case migrate::MigrationPolicy::Colocate: {
+      if (nhosts < 2) return decision;
+      // The heaviest cross-host pair in the traffic hint.
+      std::vector<int> host_of(static_cast<std::size_t>(job.ranks), -1);
+      for (int h = 0; h < nhosts; ++h) {
+        for (int r : placement.hosts[static_cast<std::size_t>(h)].ranks) {
+          host_of[static_cast<std::size_t>(r)] = h;
+        }
+      }
+      int best_a = -1, best_b = -1;
+      double best_w = 0.0;
+      for (int a = 0; a < job.ranks; ++a) {
+        for (int b = a + 1; b < job.ranks; ++b) {
+          if (host_of[static_cast<std::size_t>(a)] ==
+              host_of[static_cast<std::size_t>(b)])
+            continue;
+          const double w = weight(traffic, a, b);
+          if (w > best_w) {
+            best_w = w;
+            best_a = a;
+            best_b = b;
+          }
+        }
+      }
+      if (best_a < 0) return decision;
+      // Move a's container toward b, or b's toward a — whichever destination
+      // has the free cores (a-to-b first).
+      for (const auto& [mover, target] :
+           {std::pair{best_a, best_b}, std::pair{best_b, best_a}}) {
+        const int donor = host_of[static_cast<std::size_t>(mover)];
+        auto chunks = chunks_on(placement, donor, job.ranks_per_container);
+        for (auto& chunk : chunks) {
+          if (std::find(chunk.ranks.begin(), chunk.ranks.end(), mover) ==
+              chunk.ranks.end())
+            continue;
+          const auto target_host =
+              placement.hosts[static_cast<std::size_t>(
+                                  host_of[static_cast<std::size_t>(target)])]
+                  .host;
+          if (fits(target_host, chunk.ranks.size())) {
+            moved = chunk;
+            dst_phys = target_host;
+          }
+          break;
+        }
+        if (dst_phys >= 0) break;
+      }
+      if (dst_phys < 0) return decision;
+      break;
+    }
+  }
+
+  const auto& donor_assignment =
+      placement.hosts[static_cast<std::size_t>(moved.host_index)];
+
+  // Traffic the move converts to intra-host, over the rounds after the epoch.
+  std::vector<int> src_stay;
+  for (int r : donor_assignment.ranks) {
+    if (std::find(moved.ranks.begin(), moved.ranks.end(), r) ==
+        moved.ranks.end())
+      src_stay.push_back(r);
+  }
+  std::vector<int> dst_ranks;
+  for (const auto& a : placement.hosts) {
+    if (a.host != dst_phys) continue;
+    for (int r : a.ranks) dst_ranks.push_back(r);
+  }
+  const double net_w = net_localized_weight(traffic, moved.ranks, src_stay, dst_ranks);
+  if (net_w <= 0.0 && policy_ != migrate::MigrationPolicy::Evacuate) {
+    return decision;  // a move that localizes nothing cannot pay for itself
+  }
+
+  const int remaining_rounds = std::max(job.params.rounds - 1, 0);
+  migrate::TrafficForecast forecast;
+  forecast.messages = static_cast<std::uint64_t>(
+      2.0 * std::max(net_w, 0.0) * static_cast<double>(remaining_rounds));
+  forecast.bytes = forecast.messages * job.params.message_size;
+
+  // Snapshot image: each rank's state parcel is of the order of its working
+  // message, the same heuristic CheckpointStore prices snapshots with.
+  const auto moved_ranks = static_cast<int>(moved.ranks.size());
+  const Bytes image_bytes =
+      std::max<Bytes>(job.params.message_size, 1) *
+      static_cast<Bytes>(moved_ranks);
+
+  decision.proposed = true;
+  auto& plan = decision.plan;
+  plan.policy = policy_;
+  plan.cost = cost_;
+  plan.epoch = 1.0;
+  plan.cores_per_socket = shape.cores_per_socket;
+  plan.move.src_host = moved.host_index;
+  plan.move.container_index = moved.container_index;
+  plan.move.dst_phys_host = dst_phys;
+  plan.move.ranks = moved.ranks;
+  // The scheduler claims exactly these after accepting: claim() hands out
+  // the lowest free flat ids, which is precisely free_cores()'s prefix.
+  const auto free = state.free_cores(dst_phys);
+  CBMPI_REQUIRE(static_cast<int>(free.size()) >= moved_ranks,
+                "rebalancer picked a destination without room");
+  plan.move.dst_cores.assign(free.begin(), free.begin() + moved_ranks);
+
+  plan.estimate = migrate::Engine::estimate(config.profile, config.tuning, cost_,
+                                            image_bytes, moved_ranks, forecast);
+  if (policy_ == migrate::MigrationPolicy::Evacuate) {
+    // Reliability term: evacuating a crash-prone host saves the expected
+    // re-run of the moved ranks' remaining work if the host fails again.
+    plan.estimate.predicted_win_us +=
+        0.5 * static_cast<double>(moved_ranks) * job.est_runtime;
+    plan.estimate.worthwhile =
+        plan.estimate.predicted_win_us >
+        plan.estimate.total_us * cost_.cost_margin;
+  }
+  decision.accepted = plan.estimate.worthwhile;
+  return decision;
+}
+
+}  // namespace cbmpi::sched

@@ -1,0 +1,57 @@
+// Elastic rebalancing: should a just-placed job be live-migrated mid-run?
+//
+// The scheduler consults the ElasticRebalancer after placement but before
+// launch. The rebalancer inspects the achieved placement and — under the
+// configured policy — proposes at most one container move:
+//
+//   * Defrag    — fold a job's smallest host fragment back onto another of
+//                 its hosts with free cores, converting inter-host pairs to
+//                 intra-host (SHM/CMA-eligible) pairs.
+//   * Evacuate  — move the job's containers off a host that has already
+//                 produced crash faults this run (flaky-host avoidance).
+//   * Colocate  — co-locate the heaviest cross-host communicating pair from
+//                 the job's traffic hint.
+//
+// Every proposal then passes the migrate::Engine cost gate: predicted pause
+// (pre-copy + stop-and-copy + cold re-registration) vs predicted locality
+// win over the traffic still to come. Only worthwhile moves are accepted;
+// the scheduler runs accepted jobs through migrate::Engine::run.
+//
+// Pure function of (job, placement, state, crash history, seed-free policy
+// math) — same run, same proposals, bit-identical reruns.
+#pragma once
+
+#include "migrate/engine.hpp"
+#include "sched/placer.hpp"
+
+namespace cbmpi::sched {
+
+/// The rebalancer's verdict for one job launch.
+struct RebalanceDecision {
+  bool proposed = false;  ///< the policy found a candidate move
+  bool accepted = false;  ///< ... and the cost gate judged it worthwhile
+  migrate::MigrationPlan plan;
+};
+
+class ElasticRebalancer {
+ public:
+  ElasticRebalancer(migrate::MigrationPolicy policy, migrate::CostModel cost);
+
+  /// Evaluates `job` as placed. `config` supplies the machine profile and
+  /// tuning the cost gate prices against; `state` the free-core map (the
+  /// job's own claims are already recorded, so free cores are genuinely
+  /// spare); `host_crashes` the per-physical-host crash count so far.
+  RebalanceDecision propose(const JobSpec& job, const Placement& placement,
+                            const mpi::JobConfig& config,
+                            const ClusterState& state,
+                            const std::vector<int>& host_crashes,
+                            const topo::HostShape& shape) const;
+
+  migrate::MigrationPolicy policy() const { return policy_; }
+
+ private:
+  migrate::MigrationPolicy policy_;
+  migrate::CostModel cost_;
+};
+
+}  // namespace cbmpi::sched

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <utility>
 
 #include "common/error.hpp"
@@ -67,9 +68,27 @@ Scheduler::Scheduler(SchedulerConfig config)
                 "blacklist_threshold must be >= 0 (0 = never blacklist)");
   CBMPI_REQUIRE(config.checkpoint_interval >= 0.0,
                 "checkpoint_interval must be >= 0 (0 = off)");
+  CBMPI_REQUIRE(config.migrate_cost.cost_margin >= 0.0,
+                "migrate cost_margin must be >= 0");
+  CBMPI_REQUIRE(config.migrate_cost.precopy_rounds >= 0,
+                "precopy_rounds must be >= 0");
+  CBMPI_REQUIRE(config.migrate_cost.dirty_rate >= 0.0 &&
+                    config.migrate_cost.dirty_rate <= 1.0,
+                "dirty_rate must be in [0, 1]");
   runner_ = [](const mpi::JobConfig& job_config, const JobSpec& job) {
     return mpi::run_job(job_config, mpi::JobBodyRegistry::instance().make(
                                         job.body, job.params));
+  };
+  if (config_.migrate_policy != migrate::MigrationPolicy::Off) {
+    rebalancer_ = std::make_unique<ElasticRebalancer>(config_.migrate_policy,
+                                                      config_.migrate_cost);
+  }
+  migrate_runner_ = [](const mpi::JobConfig& job_config, const JobSpec& job,
+                       const migrate::MigrationPlan& plan) {
+    return migrate::Engine::run(job_config,
+                                mpi::JobBodyRegistry::instance().make(
+                                    job.body, job.params),
+                                plan);
   };
 }
 
@@ -139,11 +158,43 @@ bool Scheduler::try_start(const JobSpec& job, Micros now, bool backfilled) {
     seed = mix64(seed ^ mix64(static_cast<std::uint64_t>(job.attempt)));
   job_config.seed = seed;
 
+  // Elastic rebalancing: with a migration policy on, ask the rebalancer
+  // whether this launch should move a container mid-run. Claims for the
+  // destination cores go under the job's id, so the one release(job.id) at
+  // completion frees source and destination alike.
+  std::optional<migrate::MigrationPlan> migration;
+  if (rebalancer_) {
+    auto decision = rebalancer_->propose(job, *placement, job_config, state_,
+                                         host_crashes_, config_.host_shape);
+    if (decision.proposed) {
+      ++migrations_proposed_;
+      if (decision.accepted) {
+        const auto claimed = state_.claim(
+            decision.plan.move.dst_phys_host,
+            static_cast<int>(decision.plan.move.dst_cores.size()), job.id);
+        CBMPI_REQUIRE(claimed == decision.plan.move.dst_cores,
+                      "rebalancer/state core mismatch on host ",
+                      decision.plan.move.dst_phys_host, " for job ", job.id);
+        migration = std::move(decision.plan);
+      } else {
+        ++migrations_rejected_;
+      }
+    }
+  }
+
   record.attempt = job.attempt;
   record.restored_progress = job.restore ? job.restore->progress_us : 0.0;
   try {
-    record.result = runner_(job_config, job);
+    record.result = migration ? migrate_runner_(job_config, job, *migration)
+                              : runner_(job_config, job);
     record.end_time = now + record.result.job_time;
+    const auto& mig = record.result.migration;
+    migrations_executed_ += mig.executed;
+    migration_pause_us_ += mig.total_pause_us;
+    if (mig.executed > 0) {
+      migration_win_us_ += mig.predicted_win_us;
+      migration_cost_us_ += mig.predicted_cost_us;
+    }
     checkpoints_committed_ += static_cast<int>(record.result.checkpoints.size());
     completed_work_us_ += static_cast<double>(job.ranks) *
                           (record.restored_progress + record.result.job_time);
@@ -389,6 +440,12 @@ const std::vector<ScheduledJob>& Scheduler::run() {
   metrics_.blacklisted_hosts = state_.blacklisted_hosts();
   metrics_.lost_work_us = lost_work_us_;
   metrics_.completed_work_us = completed_work_us_;
+  metrics_.migrations_proposed = migrations_proposed_;
+  metrics_.migrations_rejected = migrations_rejected_;
+  metrics_.migrations_executed = migrations_executed_;
+  metrics_.migration_pause_us = migration_pause_us_;
+  metrics_.migration_win_us = migration_win_us_;
+  metrics_.migration_cost_us = migration_cost_us_;
   return done_;
 }
 
@@ -418,6 +475,21 @@ void Scheduler::export_metrics(obs::MetricsRegistry& registry) const {
   registry.gauge("sched.recovery.lost_work_us").set(metrics_.lost_work_us);
   registry.gauge("sched.recovery.completed_work_us")
       .set(metrics_.completed_work_us);
+  // Migration metrics only exist when the feature is on, so off-policy
+  // metric dumps stay byte-identical to a scheduler without it.
+  if (config_.migrate_policy != migrate::MigrationPolicy::Off) {
+    registry.counter("sched.migration.proposed")
+        .add(static_cast<std::uint64_t>(metrics_.migrations_proposed));
+    registry.counter("sched.migration.rejected")
+        .add(static_cast<std::uint64_t>(metrics_.migrations_rejected));
+    registry.counter("sched.migration.executed")
+        .add(static_cast<std::uint64_t>(metrics_.migrations_executed));
+    registry.gauge("sched.migration.pause_us").set(metrics_.migration_pause_us);
+    registry.gauge("sched.migration.predicted_win_us")
+        .set(metrics_.migration_win_us);
+    registry.gauge("sched.migration.predicted_cost_us")
+        .set(metrics_.migration_cost_us);
+  }
   auto& waits = registry.histogram("sched.queue_wait_us");
   auto& runtimes = registry.histogram("sched.job_runtime_us");
   for (const auto& job : done_) {

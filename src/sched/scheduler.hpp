@@ -18,6 +18,7 @@
 #include "sched/cluster_state.hpp"
 #include "sched/job.hpp"
 #include "sched/placer.hpp"
+#include "sched/rebalancer.hpp"
 #include "topo/calibration.hpp"
 
 namespace cbmpi::sched {
@@ -58,6 +59,13 @@ struct SchedulerConfig {
   /// Default coordinated-checkpoint interval for jobs whose spec leaves
   /// JobSpec::checkpoint_interval negative. 0 = checkpoints off.
   Micros checkpoint_interval = 0.0;
+
+  // --- live migration / elastic rebalancing (DESIGN.md §17) ----------------
+  /// Rebalancing policy consulted at every job launch; Off (the default)
+  /// leaves the schedule byte-identical to a scheduler without the feature.
+  migrate::MigrationPolicy migrate_policy = migrate::MigrationPolicy::Off;
+  /// Cost gate every proposal must pass (margin, pre-copy schedule).
+  migrate::CostModel migrate_cost{};
 };
 
 /// One host removed from placement: when, and after how many crashes.
@@ -105,6 +113,14 @@ class Scheduler {
   using Runner = std::function<mpi::JobResult(const mpi::JobConfig&, const JobSpec&)>;
   void set_runner(Runner runner) { runner_ = std::move(runner); }
 
+  /// Test seam for accepted migrations. The default runs the job through
+  /// migrate::Engine::run with the rebalancer's plan.
+  using MigrateRunner = std::function<mpi::JobResult(
+      const mpi::JobConfig&, const JobSpec&, const migrate::MigrationPlan&)>;
+  void set_migrate_runner(MigrateRunner runner) {
+    migrate_runner_ = std::move(runner);
+  }
+
  private:
   struct Running {
     int job_id = 0;
@@ -134,6 +150,8 @@ class Scheduler {
   ClusterState state_;
   std::unique_ptr<Placer> placer_;
   Runner runner_;
+  std::unique_ptr<ElasticRebalancer> rebalancer_;  ///< null when policy Off
+  MigrateRunner migrate_runner_;
 
   std::vector<JobSpec> pending_;   ///< submitted, not yet started
   std::vector<Running> running_;
@@ -152,6 +170,14 @@ class Scheduler {
   int jobs_failed_ = 0;
   Micros lost_work_us_ = 0.0;
   Micros completed_work_us_ = 0.0;
+
+  // Migration bookkeeping, folded into metrics_ at the end of run().
+  int migrations_proposed_ = 0;
+  int migrations_rejected_ = 0;
+  int migrations_executed_ = 0;
+  Micros migration_pause_us_ = 0.0;
+  Micros migration_win_us_ = 0.0;
+  Micros migration_cost_us_ = 0.0;
 };
 
 }  // namespace cbmpi::sched

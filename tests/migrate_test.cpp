@@ -1,0 +1,405 @@
+// Live-migration tests: the quiesce protocol drains in-flight traffic at a
+// round boundary, the engine's two-segment execution re-detects locality and
+// re-picks channels on the destination, pin-down cache entries of moved
+// ranks go cold (visible as extra registration misses), the rebalancer
+// policies propose sensible moves under the cost gate, and the whole
+// subsystem — scheduler included — reruns bit-identically.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "migrate/coordinator.hpp"
+#include "migrate/engine.hpp"
+#include "mpi/job_registry.hpp"
+#include "obs/report.hpp"
+#include "sched/rebalancer.hpp"
+#include "sched/scheduler.hpp"
+
+namespace cbmpi {
+namespace {
+
+topo::HostShape small_shape() { return topo::HostShape{2, 4, true}; }
+
+/// 6-rank ring over two hosts: ranks {0..3} on host 0, {4,5} fragmented onto
+/// host 1 — the classic defrag shape. Containers hold 2 ranks.
+sched::Placement two_host_placement() {
+  sched::Placement placement;
+  placement.hosts.push_back({0, {0, 1, 2, 3}, {0, 1, 2, 3}});
+  placement.hosts.push_back({1, {4, 5}, {0, 1}});
+  return placement;
+}
+
+sched::JobSpec ring_job(int rounds, Bytes message_size) {
+  sched::JobSpec job;
+  job.id = 1;
+  job.body = "ring";
+  job.ranks = 6;
+  job.ranks_per_container = 2;
+  job.params.rounds = rounds;
+  job.params.message_size = message_size;
+  return job;
+}
+
+mpi::JobConfig config_for(const sched::JobSpec& job,
+                          const sched::Placement& placement) {
+  auto config = sched::make_job_config(job, placement, small_shape());
+  config.observe = true;
+  config.seed = 42;
+  return config;
+}
+
+/// Moves host 1's only container (ranks {4,5}) onto host 0, cores {4,5}.
+migrate::MigrationPlan defrag_plan() {
+  migrate::MigrationPlan plan;
+  plan.policy = migrate::MigrationPolicy::Defrag;
+  plan.move.src_host = 1;
+  plan.move.container_index = 0;
+  plan.move.dst_phys_host = 0;
+  plan.move.ranks = {4, 5};
+  plan.move.dst_cores = {4, 5};
+  plan.epoch = 1.0;
+  plan.cores_per_socket = small_shape().cores_per_socket;
+  return plan;
+}
+
+mpi::JobResult run_migrated(const sched::JobSpec& job,
+                            const mpi::JobConfig& config,
+                            const migrate::MigrationPlan& plan) {
+  return migrate::Engine::run(
+      config, mpi::JobBodyRegistry::instance().make(job.body, job.params),
+      plan);
+}
+
+std::string report_of(const mpi::JobResult& result) {
+  obs::ReportContext ctx;
+  ctx.app = "migrate_test";
+  ctx.deployment = "2x?x6";
+  ctx.policy = "aware";
+  ctx.seed = 42;
+  return obs::run_report_json(ctx, result);
+}
+
+// ---- engine ----------------------------------------------------------------
+
+TEST(MigrateEngine, QuiesceDrainsAndExecutesTheMove) {
+  const auto job = ring_job(6, 16_KiB);
+  const auto result = run_migrated(job, config_for(job, two_host_placement()),
+                                   defrag_plan());
+  ASSERT_EQ(result.migration.executed, 1);
+  ASSERT_EQ(result.migration.records.size(), 1u);
+  const auto& rec = result.migration.records[0];
+  EXPECT_GE(rec.quiesce_round, 1);
+  EXPECT_GT(rec.resume_at, rec.quiesce_at);
+  EXPECT_GT(rec.pause_us, 0.0);
+  // The quiesce happens at a barrier-aligned round boundary, after every
+  // in-flight rendezvous completed — a fully drained matcher on every rank.
+  EXPECT_EQ(rec.drained_msgs, 0u);
+  EXPECT_GT(rec.snapshot_bytes, 0u);
+  // Both moved ranks cross the fabric: one Migrate transfer span each, plus
+  // a quiesce span per rank.
+  const auto migrate_spans = std::count_if(
+      result.spans.begin(), result.spans.end(),
+      [](const obs::Span& s) { return s.cat == obs::SpanCat::Migrate; });
+  EXPECT_GE(migrate_spans, 2);
+}
+
+TEST(MigrateEngine, ChannelReselectionMakesMovedPairsLocal) {
+  const auto job = ring_job(6, 16_KiB);
+  const auto config = config_for(job, two_host_placement());
+  const auto plain = mpi::run_job(
+      config, mpi::JobBodyRegistry::instance().make(job.body, job.params));
+  const auto migrated = run_migrated(job, config, defrag_plan());
+  ASSERT_EQ(migrated.migration.executed, 1);
+  const auto& rec = migrated.migration.records[0];
+  // {4,5} x {0,1,2,3}: eight pairs become host-local, none go remote.
+  EXPECT_EQ(rec.pairs_to_local, 8);
+  EXPECT_EQ(rec.pairs_to_remote, 0);
+  // Post-move rounds run entirely on-host, so the selector re-picks SHM/CMA
+  // where the un-migrated run kept hammering the HCA.
+  const auto hca_ops = [](const mpi::JobResult& r) {
+    return r.profile.total.channel_ops(fabric::ChannelKind::Hca);
+  };
+  const auto local_ops = [](const mpi::JobResult& r) {
+    return r.profile.total.channel_ops(fabric::ChannelKind::Shm) +
+           r.profile.total.channel_ops(fabric::ChannelKind::Cma);
+  };
+  EXPECT_LT(hca_ops(migrated), hca_ops(plain));
+  EXPECT_GT(local_ops(migrated), local_ops(plain));
+}
+
+TEST(MigrateEngine, MovedRanksReRegisterCold) {
+  // Three hosts so remote traffic survives the move: {0,1} stays on host 0
+  // while {4,5} folds from host 2 onto host 1. 64 KiB rendezvous payloads
+  // keep the pin-down cache hot on every sender.
+  auto job = ring_job(6, 64_KiB);
+  sched::Placement placement;
+  placement.hosts.push_back({0, {0, 1}, {0, 1}});
+  placement.hosts.push_back({1, {2, 3}, {0, 1}});
+  placement.hosts.push_back({2, {4, 5}, {0, 1}});
+  auto config = config_for(job, placement);
+  config.tuning.reg_model = true;
+  config.tuning.reg_cache_bytes = 64_MiB;
+
+  migrate::MigrationPlan plan;
+  plan.policy = migrate::MigrationPolicy::Defrag;
+  plan.move.src_host = 2;
+  plan.move.container_index = 0;
+  plan.move.dst_phys_host = 1;
+  plan.move.ranks = {4, 5};
+  plan.move.dst_cores = {2, 3};
+  plan.cores_per_socket = small_shape().cores_per_socket;
+
+  const auto plain = mpi::run_job(
+      config, mpi::JobBodyRegistry::instance().make(job.body, job.params));
+  const auto migrated = run_migrated(job, config, plan);
+  ASSERT_EQ(migrated.migration.executed, 1);
+  const auto& rec = migrated.migration.records[0];
+  // The moved ranks' pin-down entries were invalidated at the move...
+  EXPECT_GT(rec.invalidated_reg_entries, 0u);
+  EXPECT_GT(rec.invalidated_reg_bytes, 0u);
+  // ...so their first post-move remote sends re-register (cold misses the
+  // un-migrated run never pays), while unmoved ranks arrive warm.
+  ASSERT_TRUE(plain.reg_cache.enabled);
+  ASSERT_TRUE(migrated.reg_cache.enabled);
+  EXPECT_GT(migrated.reg_cache.misses, plain.reg_cache.misses);
+}
+
+TEST(MigrateEngine, RerunsAreBitIdentical) {
+  const auto job = ring_job(6, 16_KiB);
+  const auto config = config_for(job, two_host_placement());
+  const auto a = run_migrated(job, config, defrag_plan());
+  const auto b = run_migrated(job, config, defrag_plan());
+  EXPECT_EQ(a.job_time, b.job_time);
+  EXPECT_EQ(a.rank_times, b.rank_times);
+  EXPECT_EQ(report_of(a), report_of(b));
+}
+
+TEST(MigrateEngine, EpochPastJobEndNeverMigrates) {
+  const auto job = ring_job(4, 4_KiB);
+  const auto config = config_for(job, two_host_placement());
+  auto plan = defrag_plan();
+  plan.epoch = 1e9;  // the job finishes long before the epoch
+  const auto result = run_migrated(job, config, plan);
+  EXPECT_EQ(result.migration.executed, 0);
+  EXPECT_TRUE(result.migration.records.empty());
+  EXPECT_GT(result.job_time, 0.0);
+  // Still deterministic with the never-firing coordinator installed.
+  const auto again = run_migrated(job, config, plan);
+  EXPECT_EQ(result.job_time, again.job_time);
+}
+
+TEST(MigrateEngine, SurvivesAnHcaLinkFlap) {
+  auto job = ring_job(8, 16_KiB);
+  auto config = config_for(job, two_host_placement());
+  config.faults.hca_link_flap_period = 40.0;
+  config.faults.hca_link_flap_duration = 5.0;
+  const auto a = run_migrated(job, config, defrag_plan());
+  ASSERT_EQ(a.migration.executed, 1);
+  const auto b = run_migrated(job, config, defrag_plan());
+  EXPECT_EQ(report_of(a), report_of(b));
+}
+
+TEST(MigrateEngine, CostGateArithmetic) {
+  const auto profile = topo::MachineProfile::chameleon_fdr();
+  const fabric::TuningParams tuning;
+  migrate::CostModel cost;
+  // No traffic left to win: never worthwhile.
+  const auto idle = migrate::Engine::estimate(profile, tuning, cost, 64_KiB,
+                                              2, {0, 0});
+  EXPECT_FALSE(idle.worthwhile);
+  EXPECT_GT(idle.total_us, 0.0);
+  // Plenty of cross-host messages left: the locality win dominates.
+  const auto busy = migrate::Engine::estimate(
+      profile, tuning, cost, 64_KiB, 2, {100000, 100000 * 16_KiB});
+  EXPECT_TRUE(busy.worthwhile);
+  EXPECT_GT(busy.predicted_win_us, busy.total_us);
+  // More pre-copy rounds shrink the stop-and-copy residue (dirty-page decay).
+  migrate::CostModel deep = cost;
+  deep.precopy_rounds = cost.precopy_rounds + 3;
+  const auto shallow = migrate::Engine::estimate(profile, tuning, cost,
+                                                 1_MiB, 2, {0, 0});
+  const auto deeper = migrate::Engine::estimate(profile, tuning, deep,
+                                                1_MiB, 2, {0, 0});
+  EXPECT_LT(deeper.stop_copy_bytes, shallow.stop_copy_bytes);
+}
+
+// ---- report ----------------------------------------------------------------
+
+TEST(MigrateReport, V6SectionPresentExactlyWhenEngineRan) {
+  const auto job = ring_job(6, 16_KiB);
+  const auto config = config_for(job, two_host_placement());
+  const auto migrated = run_migrated(job, config, defrag_plan());
+  const auto with = report_of(migrated);
+  EXPECT_EQ(obs::kRunReportVersion, 6);
+  EXPECT_NE(with.find("\"migration\""), std::string::npos);
+  EXPECT_NE(with.find("\"pairs_to_local\""), std::string::npos);
+  const auto plain = mpi::run_job(
+      config, mpi::JobBodyRegistry::instance().make(job.body, job.params));
+  EXPECT_EQ(report_of(plain).find("\"migration\""), std::string::npos);
+}
+
+// ---- rebalancer policies ---------------------------------------------------
+
+TEST(Rebalancer, EvacuateLeavesTheCrashyHost) {
+  const topo::Cluster cluster(3, small_shape());
+  sched::ClusterState state(cluster);
+  auto job = ring_job(4, 4_KiB);
+  job.ranks = 4;
+  sched::Placement placement;
+  placement.hosts.push_back({0, {0, 1}, {0, 1}});
+  placement.hosts.push_back({1, {2, 3}, {0, 1}});
+  state.claim(0, 2, job.id);
+  state.claim(1, 2, job.id);
+  const std::vector<int> crashes = {2, 0, 0};  // host 0 is flaky
+  const sched::ElasticRebalancer rebalancer(migrate::MigrationPolicy::Evacuate,
+                                            migrate::CostModel{});
+  const auto decision =
+      rebalancer.propose(job, placement, config_for(job, placement), state,
+                         crashes, small_shape());
+  ASSERT_TRUE(decision.proposed);
+  EXPECT_EQ(decision.plan.move.src_host, 0);
+  EXPECT_EQ(decision.plan.move.dst_phys_host, 1);  // crash-free job host
+  // The reliability term (expected re-run avoided) makes evacuation pay.
+  EXPECT_TRUE(decision.accepted);
+}
+
+TEST(Rebalancer, ColocateMovesTheTopTalkers) {
+  const topo::Cluster cluster(2, small_shape());
+  sched::ClusterState state(cluster);
+  auto job = ring_job(4, 4_KiB);
+  job.ranks = 4;
+  // Explicit traffic hint: ranks 1 and 2 talk heavily across hosts.
+  mpi::TrafficMatrix traffic(4, std::vector<double>(4, 0.0));
+  traffic[1][2] = 100.0;
+  job.traffic = traffic;
+  sched::Placement placement;
+  placement.hosts.push_back({0, {0, 1}, {0, 1}});
+  placement.hosts.push_back({1, {2, 3}, {0, 1}});
+  state.claim(0, 2, job.id);
+  state.claim(1, 2, job.id);
+  const sched::ElasticRebalancer rebalancer(migrate::MigrationPolicy::Colocate,
+                                            migrate::CostModel{});
+  const auto decision =
+      rebalancer.propose(job, placement, config_for(job, placement), state,
+                         {0, 0}, small_shape());
+  ASSERT_TRUE(decision.proposed);
+  // Rank 1's container {0,1} moves to rank 2's host.
+  EXPECT_EQ(decision.plan.move.ranks, (std::vector<int>{0, 1}));
+  EXPECT_EQ(decision.plan.move.dst_phys_host, 1);
+}
+
+TEST(Rebalancer, OffAndNativeJobsNeverPropose) {
+  const topo::Cluster cluster(2, small_shape());
+  sched::ClusterState state(cluster);
+  auto job = ring_job(6, 4_KiB);
+  const auto placement = two_host_placement();
+  const auto config = config_for(job, placement);
+  const sched::ElasticRebalancer off(migrate::MigrationPolicy::Off,
+                                     migrate::CostModel{});
+  EXPECT_FALSE(off.propose(job, placement, config, state, {0, 0},
+                           small_shape()).proposed);
+  const sched::ElasticRebalancer defrag(migrate::MigrationPolicy::Defrag,
+                                        migrate::CostModel{});
+  auto native = job;
+  native.ranks_per_container = 0;  // native processes cannot migrate
+  EXPECT_FALSE(defrag.propose(native, placement, config, state, {0, 0},
+                              small_shape()).proposed);
+}
+
+// ---- coordinator -----------------------------------------------------------
+
+TEST(MigrateCoordinator, FiresOncePerAttemptAtTheEpoch) {
+  migrate::Coordinator coord(/*epoch=*/5.0);
+  coord.begin_attempt(2);
+  EXPECT_FALSE(coord.decide(1, 3.0));   // before the epoch
+  EXPECT_TRUE(coord.decide(2, 6.0));    // first boundary past it
+  EXPECT_TRUE(coord.decide(2, 6.0));    // memoized for the firing round
+  coord.save(0, 2, 6.0, {1, 2, 3}, 0);
+  EXPECT_FALSE(coord.fired());
+  coord.save(1, 2, 6.0, {4}, 2);
+  EXPECT_TRUE(coord.fired());
+  EXPECT_EQ(coord.round(), 2);
+  EXPECT_EQ(coord.at(), 6.0);
+  EXPECT_EQ(coord.drained_pending(), 2u);
+  EXPECT_FALSE(coord.decide(3, 9.0));   // never fires twice
+  const auto state = coord.take_state();
+  ASSERT_EQ(state.size(), 2u);
+  EXPECT_EQ(state[0], (std::vector<std::uint8_t>{1, 2, 3}));
+  // A new attempt (crash recovery re-runs the segment) resets everything.
+  coord.begin_attempt(2);
+  EXPECT_FALSE(coord.fired());
+  EXPECT_TRUE(coord.decide(2, 6.0));
+}
+
+// ---- scheduler integration -------------------------------------------------
+
+sched::SchedulerConfig spread_cluster(migrate::MigrationPolicy policy) {
+  sched::SchedulerConfig config;
+  config.cluster_hosts = 4;
+  config.host_shape = small_shape();
+  config.policy = sched::PlacementPolicy::Spread;
+  config.seed = 42;
+  config.migrate_policy = policy;
+  return config;
+}
+
+std::vector<sched::JobSpec> fragmented_mix() {
+  std::vector<sched::JobSpec> mix;
+  for (int i = 0; i < 4; ++i) {
+    auto job = ring_job(8, 16_KiB);
+    job.id = -1;
+    job.ranks = 6;
+    job.submit_time = 20.0 * i;
+    mix.push_back(job);
+  }
+  return mix;
+}
+
+std::string schedule_report(sched::Scheduler& scheduler) {
+  obs::ReportContext ctx;
+  ctx.app = "migrate_test";
+  ctx.deployment = "4 hosts";
+  ctx.policy = "spread";
+  ctx.seed = 42;
+  ctx.cluster = &scheduler.metrics();
+  return obs::schedule_report_json(ctx, scheduler);
+}
+
+TEST(SchedulerMigration, DefragWinsBeatTheCostOnAFragmentedMix) {
+  sched::Scheduler scheduler(spread_cluster(migrate::MigrationPolicy::Defrag));
+  for (auto& job : fragmented_mix()) scheduler.submit(std::move(job));
+  scheduler.run();
+  const auto& metrics = scheduler.metrics();
+  EXPECT_GE(metrics.migrations_proposed, 1);
+  ASSERT_GE(metrics.migrations_executed, 1);
+  // The acceptance shape: the gate only lets wins through, so the summed
+  // predicted locality win exceeds the summed predicted cost.
+  EXPECT_GT(metrics.migration_win_us, metrics.migration_cost_us);
+  EXPECT_GT(metrics.migration_pause_us, 0.0);
+  // Every job still completes — migrated jobs release both core sets.
+  for (const auto& job : scheduler.jobs())
+    EXPECT_EQ(job.outcome, sched::JobOutcome::Completed);
+}
+
+TEST(SchedulerMigration, ScheduleRerunsBitIdentically) {
+  const auto run_once = [] {
+    sched::Scheduler scheduler(
+        spread_cluster(migrate::MigrationPolicy::Defrag));
+    for (auto& job : fragmented_mix()) scheduler.submit(std::move(job));
+    scheduler.run();
+    return schedule_report(scheduler);
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(SchedulerMigration, OffPolicyEmitsNoMigrationSection) {
+  sched::Scheduler scheduler(spread_cluster(migrate::MigrationPolicy::Off));
+  for (auto& job : fragmented_mix()) scheduler.submit(std::move(job));
+  scheduler.run();
+  EXPECT_EQ(scheduler.metrics().migrations_proposed, 0);
+  EXPECT_EQ(schedule_report(scheduler).find("\"migration\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace cbmpi

@@ -395,7 +395,7 @@ TEST(ObsReport, RunReportGoldenShape) {
   EXPECT_TRUE(JsonChecker(json).valid()) << json.substr(0, 400);
 
   for (const char* key :
-       {"\"schema\":\"cbmpi.run_report\"", "\"version\":5", "\"mode\":\"single\"",
+       {"\"schema\":\"cbmpi.run_report\"", "\"version\":6", "\"mode\":\"single\"",
         "\"job\":", "\"result\":", "\"profile\":", "\"metrics\":", "\"spans\":",
         "\"faults\":", "\"recovery\":", "\"comm_fraction\":", "\"rank_times_us\":",
         "\"counters\":", "\"histograms\":", "\"by_category\":", "\"p50\":",

@@ -223,7 +223,7 @@ TEST(RegCacheJob, EnabledRerunIsByteIdentical) {
   const std::string b = obs::run_report_json(ctx, second);
   EXPECT_EQ(a, b);
   EXPECT_NE(a.find("\"reg_cache\""), std::string::npos);
-  EXPECT_NE(a.find("\"version\":5"), std::string::npos);
+  EXPECT_NE(a.find("\"version\":6"), std::string::npos);
 }
 
 // --- SR-IOV VF capacity sharing ---------------------------------------------

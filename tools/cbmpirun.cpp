@@ -188,12 +188,20 @@ struct RecoveryOptions {
   int blacklist_threshold = 3;
 };
 
+/// Live-migration knobs forwarded into schedule mode (off by default).
+struct MigrateOptions {
+  std::string policy = "off";  ///< off | defrag | evacuate | colocate
+  double cost_margin = 1.0;    ///< win must beat cost x margin
+  int precopy_rounds = 2;      ///< pre-copy iterations before stop-and-copy
+};
+
 /// Multi-job mode: submit a deterministic mix of registry jobs to the
 /// cluster scheduler and report the per-job schedule plus cluster metrics.
 int run_schedule(const std::string& policy_name, int hosts, int jobs,
                  bool backfill, std::uint64_t seed,
                  const std::string& report_file, const RecoveryOptions& rec,
-                 const net::FabricConfig& fabric, bool analyze) {
+                 const MigrateOptions& mig, const net::FabricConfig& fabric,
+                 bool analyze) {
   const auto policy = sched::parse_policy(policy_name);
   if (!policy) {
     std::fprintf(stderr,
@@ -213,6 +221,14 @@ int run_schedule(const std::string& policy_name, int hosts, int jobs,
   config.blacklist_threshold = rec.blacklist_threshold;
   config.fabric = fabric;
   config.observe = analyze;
+  try {
+    config.migrate_policy = migrate::parse_policy(mig.policy);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "cbmpirun: %s\n", e.what());
+    return 2;
+  }
+  config.migrate_cost.cost_margin = mig.cost_margin;
+  config.migrate_cost.precopy_rounds = mig.precopy_rounds;
   sched::Scheduler scheduler(config);
 
   const int cores = hosts * config.host_shape.total_cores();
@@ -298,6 +314,15 @@ int run_schedule(const std::string& policy_name, int hosts, int jobs,
       std::printf("host %d blacklisted at t=%.1f us after %d crashed "
                   "attempts\n",
                   event.host, event.at, event.crashes);
+  }
+  if (config.migrate_policy != migrate::MigrationPolicy::Off) {
+    std::printf("migration (%s): %d proposed, %d rejected by the cost gate, "
+                "%d executed — pause %.1f us, predicted win %.1f us vs cost "
+                "%.1f us\n",
+                migrate::to_string(config.migrate_policy),
+                metrics.migrations_proposed, metrics.migrations_rejected,
+                metrics.migrations_executed, metrics.migration_pause_us,
+                metrics.migration_win_us, metrics.migration_cost_us);
   }
   std::map<std::string, obs::analysis::Analysis> job_analyses;
   if (analyze) {
@@ -404,6 +429,16 @@ int main(int argc, char** argv) {
   rec.blacklist_threshold = static_cast<int>(opts.get_int(
       "blacklist-threshold", 3,
       "crashed attempts before a host is blacklisted, 0 = never (--schedule)"));
+  MigrateOptions mig;
+  mig.policy = opts.get(
+      "migrate", "off",
+      "live-migration policy: off | defrag | evacuate | colocate (--schedule)");
+  mig.cost_margin = opts.get_double(
+      "migrate-cost", 1.0,
+      "cost-gate margin: locality win must exceed cost x this (--schedule)");
+  mig.precopy_rounds = static_cast<int>(opts.get_int(
+      "precopy-rounds", 2,
+      "pre-copy iterations before the stop-and-copy pause (--schedule)"));
   if (opts.finish("cbmpirun — launch an application on the simulated "
                   "container/VM cluster"))
     return 0;
@@ -421,7 +456,7 @@ int main(int argc, char** argv) {
 
   if (!schedule.empty())
     return run_schedule(schedule, std::max(hosts, 2), jobs, !no_backfill,
-                        plan.config.seed, plan.report_file, rec, fabric,
+                        plan.config.seed, plan.report_file, rec, mig, fabric,
                         plan.analyze);
 
   // Observability costs nothing in virtual time, so any output flag simply

@@ -8,6 +8,11 @@
    cbmpirun flag and every CBMPI_* env var read anywhere in src/ or tools/
    must be documented, and every flag/env var the doc mentions must still
    exist (no stale rows).
+4. Build wiring is consistent: every src/ subdirectory with .cpp files has
+   a CMakeLists.txt and an add_subdirectory entry in src/CMakeLists.txt
+   (header-only directories, e.g. src/pgas, are exempt from build wiring
+   but still need the ARCHITECTURE.md coverage of check 2), and every
+   add_subdirectory entry points at a directory that still exists.
 
 Exit status is the number of problems found; each problem is printed as
 `file: message` so editors can jump to it.
@@ -85,6 +90,37 @@ def check_architecture_covers_src(problems):
                 f"(expected a 'src/{entry}' mention)")
 
 
+def check_build_coverage(problems):
+    """Every src/<dir> holding .cpp sources must be wired into the build:
+    its own CMakeLists.txt plus an add_subdirectory(<dir>) in
+    src/CMakeLists.txt. Header-only directories need no wiring (the library
+    target never compiles them), and stale add_subdirectory entries for
+    removed directories are flagged too."""
+    src = os.path.join(REPO, "src")
+    with open(os.path.join(src, "CMakeLists.txt"), encoding="utf-8") as f:
+        wired = set(re.findall(r"add_subdirectory\(\s*([A-Za-z0-9_./-]+)\s*\)",
+                               f.read()))
+    for entry in sorted(os.listdir(src)):
+        subdir = os.path.join(src, entry)
+        if not os.path.isdir(subdir):
+            continue
+        has_cpp = any(name.endswith(".cpp") for name in os.listdir(subdir))
+        if not has_cpp:
+            continue  # header-only (e.g. src/pgas): nothing to compile
+        if not os.path.exists(os.path.join(subdir, "CMakeLists.txt")):
+            problems.append(
+                f"src/{entry}: has .cpp sources but no CMakeLists.txt")
+        if entry not in wired:
+            problems.append(
+                f"src/CMakeLists.txt: src/{entry} has .cpp sources but no "
+                f"add_subdirectory({entry}) entry — its code never builds")
+    for entry in sorted(wired):
+        if not os.path.isdir(os.path.join(src, entry)):
+            problems.append(
+                f"src/CMakeLists.txt: add_subdirectory({entry}) points at a "
+                f"directory that does not exist (stale)")
+
+
 def registered_env_vars():
     """CBMPI_* string literals anywhere in src/ or tools/ C++ sources."""
     found = set()
@@ -131,12 +167,13 @@ def main():
             continue
         check_links(doc, problems)
     check_architecture_covers_src(problems)
+    check_build_coverage(problems)
     nflags, nenv = check_tuning_knobs(problems)
     for problem in problems:
         print(problem)
     if not problems:
         print(f"docs OK: {len(DOCS)} files, all links resolve, "
-              "all src/ subsystems documented, "
+              "all src/ subsystems documented and build-wired, "
               f"{nflags} flags + {nenv} env vars in sync with {TUNING_DOC}")
     return len(problems)
 

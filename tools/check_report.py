@@ -16,6 +16,11 @@ report:
     times non-negative and summing to the critical path, fractions in
     [0, 1], segments/top_segments inside [0, critical_path], wait-state
     and coll-group times non-negative
+  * v6 migration section (when present): a known policy, executed moves a
+    subset of accepted proposals, one record per executed move with a
+    positive quiesce round, a non-negative pause consistent with the
+    headline total, and non-negative locality/pin-down deltas
+    (--expect-migration additionally requires the section to be present)
   * comm_fraction and every other fraction in [0, 1]
   * histogram bucket counts sum to the histogram's count, bucket upper
     bounds strictly ascending, sum consistent with the bucket ranges,
@@ -191,6 +196,8 @@ def check_report(path):
         check_reg_cache(path, doc["reg_cache"], counters)
     if doc.get("version", 0) >= 5 and "analysis" in doc:
         check_analysis(path, doc["analysis"], "analysis")
+    if doc.get("version", 0) >= 6 and "migration" in doc:
+        check_migration(path, doc["migration"])
 
 
 BLAME_CATEGORIES = ["compute", "eager", "rndv", "registration", "contention",
@@ -316,6 +323,59 @@ def check_reg_cache(path, reg, counters):
                           f"{counter} says {counters[counter]}")
 
 
+MIGRATION_POLICIES = ("off", "defrag", "evacuate", "colocate")
+
+
+def check_migration(path, mig):
+    """v6 migration section: counters form a funnel (executed moves are the
+    accepted proposals that reached their epoch), one record per executed
+    move, and each record describes a real container move — a positive
+    quiesce round, resume at or after the quiesce, non-negative pause and
+    pin-down invalidation, and a pause consistent with the headline total."""
+    if mig.get("policy") not in MIGRATION_POLICIES:
+        problem(path, f"migration.policy {mig.get('policy')!r} not in "
+                      f"{MIGRATION_POLICIES}")
+    proposed = mig.get("proposed", 0)
+    rejected = mig.get("rejected", 0)
+    executed = mig.get("executed", 0)
+    for key in ("proposed", "rejected", "executed"):
+        if mig.get(key, -1) < 0:
+            problem(path, f"migration.{key} is negative")
+    if rejected + executed > proposed:
+        problem(path, f"migration: rejected {rejected} + executed {executed} "
+                      f"exceed proposed {proposed}")
+    records = mig.get("records", [])
+    if len(records) != executed:
+        problem(path, f"migration.executed = {executed} but {len(records)} "
+                      f"records listed")
+    for key in ("total_pause_us", "predicted_win_us", "predicted_cost_us"):
+        if mig.get(key, -1) < 0:
+            problem(path, f"migration.{key} is negative")
+    pause_total = 0.0
+    for i, rec in enumerate(records):
+        move = rec.get("move", {})
+        if not move.get("ranks"):
+            problem(path, f"migration record {i}: empty rank set")
+        if move.get("dst_phys_host", -1) < 0:
+            problem(path, f"migration record {i}: no destination host")
+        if rec.get("quiesce_round", -1) < 1:
+            problem(path, f"migration record {i}: quiesce_round "
+                          f"{rec.get('quiesce_round')!r} must be >= 1 (ranks "
+                          f"drain at a completed round boundary)")
+        if rec.get("resume_at_us", -1) < rec.get("quiesce_at_us", 0):
+            problem(path, f"migration record {i}: resumed before the quiesce")
+        for key in ("snapshot_bytes", "drained_msgs", "pause_us",
+                    "pairs_to_local", "pairs_to_remote",
+                    "invalidated_reg_entries", "invalidated_reg_bytes"):
+            if rec.get(key, -1) < 0:
+                problem(path, f"migration record {i}: negative {key}")
+        pause_total += max(rec.get("pause_us", 0), 0)
+    total = mig.get("total_pause_us", 0)
+    if records and abs(pause_total - total) > 1e-6 * max(total, 1.0):
+        problem(path, f"migration: record pauses sum to {pause_total}, "
+                      f"total_pause_us says {total}")
+
+
 def check_recovery(path, recovery):
     """v2 single-report recovery section: committed checkpoint events must be
     monotone in both round and virtual time, and the headline count must
@@ -345,6 +405,8 @@ def check_recovery(path, recovery):
 def check_schedule(path, doc):
     cluster = doc.get("cluster", {})
     check_fraction(path, "cluster.utilization", cluster.get("utilization", -1))
+    if doc.get("version", 0) >= 6 and "migration" in doc:
+        check_migration(path, doc["migration"])
     if doc.get("version", 0) >= 2:
         rec = cluster.get("recovery")
         if not isinstance(rec, dict):
@@ -474,11 +536,17 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--report", help="run report JSON to validate")
     parser.add_argument("--trace", help="Perfetto trace JSON to validate")
+    parser.add_argument("--expect-migration", action="store_true",
+                        help="require the v6 migration section in --report")
     args = parser.parse_args()
     if not args.report and not args.trace:
         parser.error("nothing to check: pass --report and/or --trace")
     if args.report:
         check_report(args.report)
+        if args.expect_migration:
+            doc = load(args.report)
+            if doc is not None and "migration" not in doc:
+                problem(args.report, "migration section expected but absent")
     if args.trace:
         check_trace(args.trace)
     for p in problems:
